@@ -1,0 +1,83 @@
+//===- bench/BenchUtil.h - Shared bench harness helpers --------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the table/figure benches: workload running with
+/// instrumentation, wall-clock timing, and environment-variable scale
+/// control (SATB_BENCH_SCALE overrides the default transaction count).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_BENCH_BENCHUTIL_H
+#define SATB_BENCH_BENCHUTIL_H
+
+#include "interp/Interpreter.h"
+#include "support/Stopwatch.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace satb {
+namespace bench {
+
+inline int64_t benchScale(int64_t Default) {
+  if (const char *Env = std::getenv("SATB_BENCH_SCALE"))
+    return std::atoll(Env);
+  return Default;
+}
+
+struct WorkloadRun {
+  BarrierStats::Summary Stats;
+  double WallSeconds = 0.0;
+  double CpuSeconds = 0.0;
+  uint64_t Steps = 0;
+  uint64_t BarrierCostInstrs = 0;
+  uint64_t ModeledInstrs = 0;
+  RunStatus Status = RunStatus::NotStarted;
+};
+
+/// Compiles and runs \p W at \p Scale; aborts loudly on traps or elision
+/// violations (a bench must not quietly report unsound numbers).
+inline WorkloadRun runWorkload(const Workload &W, const CompilerOptions &Opts,
+                               int64_t Scale) {
+  CompiledProgram CP = compileProgram(*W.P, Opts);
+  Heap H(*W.P);
+  Interpreter I(*W.P, CP, H);
+  SatbMarker M(H); // present so always-log modes have a log target
+  I.attachSatb(&M);
+  Stopwatch Timer;
+  CpuStopwatch CpuTimer;
+  RunStatus S = I.run(W.Entry, {Scale});
+  WorkloadRun R;
+  R.WallSeconds = Timer.elapsedUs() / 1e6;
+  R.CpuSeconds = CpuTimer.elapsedUs() / 1e6;
+  R.Stats = I.stats().summarize();
+  R.Steps = I.stepsExecuted();
+  R.BarrierCostInstrs = I.barrierCostInstrs();
+  R.ModeledInstrs = I.modeledInstrsExecuted();
+  R.Status = S;
+  if (S != RunStatus::Finished) {
+    std::fprintf(stderr, "bench: %s trapped: %s\n", W.Name.c_str(),
+                 trapName(I.trap()));
+    std::abort();
+  }
+  if (R.Stats.Violations != 0) {
+    std::fprintf(stderr, "bench: %s had %llu elision violations\n",
+                 W.Name.c_str(),
+                 static_cast<unsigned long long>(R.Stats.Violations));
+    std::abort();
+  }
+  return R;
+}
+
+inline void printRule(int Width = 78) {
+  for (int I = 0; I != Width; ++I)
+    std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+} // namespace bench
+} // namespace satb
+
+#endif // SATB_BENCH_BENCHUTIL_H

@@ -1,0 +1,52 @@
+//===- bench/fig3_code_size.cpp - Paper Figure 3 --------------------------===//
+///
+/// \file
+/// Regenerates Figure 3, "analysis effect on code size": at inline limit
+/// 100, the modeled compiled-code size of each workload without analysis
+/// (B, every SATB barrier emitted at 11 RISC instructions), with the field
+/// analysis (F), and with field + array analyses (A). The paper reports
+/// 2-6% reductions, with the array analysis contributing less to size
+/// than to dynamic rates "since array barriers usually occur in loops,
+/// which magnifies their dynamic impact".
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace satb;
+using namespace satb::bench;
+
+int main() {
+  std::printf("Figure 3: effect of analysis on compiled code size "
+              "(inline limit 100,\nSATB barrier = %u instrs)\n",
+              CodeSizeModel::SatbBarrierCost);
+  printRule(78);
+  std::printf("%-6s %12s %12s %9s %12s %9s %10s\n", "bench", "size B",
+              "size F", "dF", "size A", "dA", "elided F/A");
+  printRule(78);
+
+  for (const Workload &W : allWorkloads()) {
+    uint32_t Sizes[3];
+    uint32_t Elided[3];
+    const AnalysisMode Modes[] = {AnalysisMode::None, AnalysisMode::FieldOnly,
+                                  AnalysisMode::FieldAndArray};
+    for (int M = 0; M != 3; ++M) {
+      CompilerOptions Opts;
+      Opts.Analysis.Mode = Modes[M];
+      CompiledProgram CP = compileProgram(*W.P, Opts);
+      Sizes[M] = CP.totalCodeSize();
+      Elided[M] = CP.totalElidedSites();
+    }
+    std::printf("%-6s %12u %12u %8.1f%% %12u %8.1f%% %6u/%u\n",
+                W.Name.c_str(), Sizes[0], Sizes[1],
+                100.0 * (Sizes[0] - Sizes[1]) / Sizes[0], Sizes[2],
+                100.0 * (Sizes[0] - Sizes[2]) / Sizes[0], Elided[1],
+                Elided[2]);
+  }
+  printRule(78);
+  std::printf("Shape check (paper Section 4.4): elimination shrinks "
+              "compiled code by a few\npercent, and the array analysis "
+              "adds less to the static reduction than to the\ndynamic "
+              "elimination rates.\n");
+  return 0;
+}

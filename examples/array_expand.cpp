@@ -1,0 +1,106 @@
+//===- examples/array_expand.cpp - The paper's Section 3.1 example --------===//
+///
+/// \file
+/// Reproduces the paper's motivating array example end to end: the
+/// `expand` method whose copy-loop stores are all initializing. Shows the
+/// inferred loop invariant (the uninitialized null range expressed in a
+/// shared variable unknown) by contrasting analysis modes, and contrasts
+/// in-order initialization with variants the contract heuristic must
+/// reject (backward fill is fine; strided fill is not).
+///
+/// Run:  ./array_expand
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/MethodBuilder.h"
+#include "interp/Interpreter.h"
+#include "workloads/StdLib.h"
+
+#include <cstdio>
+
+using namespace satb;
+
+namespace {
+
+/// Builds `fill(n)`: allocates an n-array and fills it with stride
+/// \p Stride starting at \p Start (forward when Stride > 0).
+MethodId buildFill(Program &P, const char *Name, int32_t Start,
+                   int32_t Stride) {
+  MethodBuilder B(P, Name, {JType::Int}, JType::Ref);
+  Local N = B.arg(0);
+  Local Arr = B.newLocal(JType::Ref), I = B.newLocal(JType::Int);
+  Label Loop = B.newLabel(), Done = B.newLabel();
+  B.iload(N).newRefArray().astore(Arr);
+  if (Start >= 0)
+    B.iconst(Start).istore(I);
+  else // start at n + Start (e.g. n-1 for a backward fill)
+    B.iload(N).iconst(-Start).isub().istore(I);
+  B.bind(Loop);
+  B.iload(I).iconst(0).ifICmpLt(Done);
+  B.iload(I).iload(N).ifICmpGe(Done);
+  B.aload(Arr).iload(I).aload(Arr).aastore(); // self-reference payload
+  B.iinc(I, Stride).jump(Loop);
+  B.bind(Done);
+  B.aload(Arr).areturn();
+  return B.finish();
+}
+
+void report(const Program &P, MethodId Id, const char *Label) {
+  for (AnalysisMode Mode :
+       {AnalysisMode::FieldOnly, AnalysisMode::FieldAndArray}) {
+    CompilerOptions Opts;
+    Opts.Analysis.Mode = Mode;
+    CompiledMethod CM = compileMethod(P, Id, Opts);
+    std::printf("  %-24s mode %s: %u of %u array barriers elided\n", Label,
+                Mode == AnalysisMode::FieldOnly ? "F" : "A",
+                CM.Analysis.NumElidedArray, CM.Analysis.NumArraySites);
+  }
+}
+
+} // namespace
+
+int main() {
+  Program P;
+  MethodId Expand = addExpandMethod(P, "expand");
+
+  std::printf("The Section 3.1 example:\n"
+              "  static T[] expand(T[] ta) {\n"
+              "    T[] new_ta = new T[ta.length*2];\n"
+              "    for (int i = 0; i < ta.length; i++) new_ta[i] = ta[i];\n"
+              "    return new_ta; }\n\n");
+  report(P, Expand, "expand (forward copy)");
+
+  // Variants exercising the contract heuristic (Section 3.3/3.6):
+  MethodId Fwd = buildFill(P, "fillForward", 0, 1);
+  MethodId Bwd = buildFill(P, "fillBackward", -1, -1);
+  MethodId Strided = buildFill(P, "fillEveryOther", 0, 2);
+  std::printf("\ncontract() accepts stores at either end of the "
+              "uninitialized range:\n");
+  report(P, Fwd, "forward fill");
+  report(P, Bwd, "backward fill");
+  std::printf("\n...but a strided fill leaves interior holes, so no store "
+              "is provably pre-null:\n");
+  report(P, Strided, "every-other fill");
+
+  // Execute everything and verify no elided barrier ever overwrote a
+  // non-null slot.
+  MethodBuilder B(P, "driver", {JType::Int}, std::nullopt);
+  Local N = B.arg(0);
+  B.iload(N).newRefArray().invoke(Expand).pop();
+  B.iload(N).invoke(Fwd).pop();
+  B.iload(N).invoke(Bwd).pop();
+  B.iload(N).invoke(Strided).pop();
+  B.ret();
+  MethodId Driver = B.finish();
+
+  CompiledProgram CP = compileProgram(P, CompilerOptions{});
+  Heap H(P);
+  Interpreter I(P, CP, H);
+  I.run(Driver, {1000});
+  BarrierStats::Summary S = I.stats().summarize();
+  std::printf("\ndynamic check: %llu stores executed, %.1f%% elided, "
+              "%llu violations\n",
+              static_cast<unsigned long long>(S.TotalExecs), S.pctElided(),
+              static_cast<unsigned long long>(S.Violations));
+  return S.Violations == 0 && I.status() == RunStatus::Finished ? 0 : 1;
+}

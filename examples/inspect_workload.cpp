@@ -1,0 +1,68 @@
+//===- examples/inspect_workload.cpp - Per-site store-profile viewer ------===//
+///
+/// \file
+/// The Section 4.3 methodology as a tool: runs one workload with full
+/// instrumentation, then lists the most frequently executed store sites
+/// whose barriers were NOT eliminated, with their dynamic pre-null
+/// profile — exactly how the paper found the null-or-same and
+/// array-rearrangement opportunities.
+///
+/// Run:  ./inspect_workload [jess|db|javac|mtrt|jack|jbb] [scale]
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Disassembler.h"
+#include "interp/Interpreter.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace satb;
+
+int main(int Argc, char **Argv) {
+  std::string Name = Argc > 1 ? Argv[1] : "jbb";
+  int64_t Scale = Argc > 2 ? std::atoll(Argv[2]) : 2000;
+
+  Workload W;
+  bool Found = false;
+  for (Workload &Candidate : allWorkloads())
+    if (Candidate.Name == Name) {
+      W = std::move(Candidate);
+      Found = true;
+    }
+  if (!Found) {
+    std::fprintf(stderr, "unknown workload '%s'\n", Name.c_str());
+    return 2;
+  }
+
+  CompiledProgram CP = compileProgram(*W.P, CompilerOptions{});
+  Heap H(*W.P);
+  Interpreter I(*W.P, CP, H);
+  I.run(W.Entry, {Scale});
+
+  BarrierStats::Summary S = I.stats().summarize();
+  std::printf("%s (%s), scale %lld: %llu barrier executions, %.1f%% "
+              "elided, %.1f%% potentially pre-null\n\n",
+              W.Name.c_str(), W.Mimics.c_str(), static_cast<long long>(Scale),
+              static_cast<unsigned long long>(S.TotalExecs), S.pctElided(),
+              S.pctPotentiallyPreNull());
+
+  std::printf("most frequently executed sites whose barrier was kept:\n");
+  std::printf("  %-28s %-28s %10s %9s\n", "method", "instruction", "execs",
+              "pre-null");
+  for (const BarrierStats::SiteRow &Row :
+       I.stats().topSites(12, /*OnlyKept=*/true)) {
+    const CompiledMethod &CM = CP.method(Row.M);
+    std::printf("  %-28s %-28s %10llu %8.1f%%\n", CM.Body.Name.c_str(),
+                disassemble(*W.P, CM.Body.Instructions[Row.Instr]).c_str(),
+                static_cast<unsigned long long>(Row.Stats.Execs),
+                100.0 * Row.Stats.PreNull / Row.Stats.Execs);
+  }
+  std::printf("\nSites with a high pre-null percentage are candidates for "
+              "deeper analysis;\nsites at 0%% need a different idea "
+              "entirely (null-or-same, array\nrearrangement protocols — "
+              "Section 4.3).\n");
+  return 0;
+}

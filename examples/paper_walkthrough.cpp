@@ -1,0 +1,110 @@
+//===- examples/paper_walkthrough.cpp - The paper's running examples ------===//
+///
+/// \file
+/// Replays the two worked examples from the paper with the analysis's own
+/// state dumps:
+///
+///   1. Section 2.4's W1/W2 example, motivating two abstract references
+///      per allocation site;
+///   2. Section 3.5's walkthrough of the expand loop, where the merge of
+///      Figure 1 discovers that the loop index and the null range's lower
+///      bound share a variable unknown: the fixpoint state at the loop
+///      head shows rho(i) = v0 and NR(R_id/A) = [v0..2*c0-1], exactly the
+///      invariant the paper derives.
+///
+/// Run:  ./paper_walkthrough
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Disassembler.h"
+#include "bytecode/MethodBuilder.h"
+#include "interp/Interpreter.h"
+#include "workloads/StdLib.h"
+
+#include <cstdio>
+
+using namespace satb;
+
+namespace {
+
+void dumpDecisions(const Program &P, const Method &M,
+                   const AnalysisResult &R) {
+  for (uint32_t I = 0; I != R.Decisions.size(); ++I) {
+    const BarrierDecision &D = R.Decisions[I];
+    if (!D.IsBarrierSite)
+      continue;
+    std::printf("  instr %2u %-24s -> %s\n", I,
+                disassemble(P, M.Instructions[I]).c_str(),
+                D.Elide ? "barrier ELIDED" : "barrier kept");
+  }
+}
+
+} // namespace
+
+int main() {
+  // --- Section 2.4: the W1/W2 example --------------------------------------
+  //
+  //   while (p1) { T x = new T;
+  //                x.f = o;          // W1
+  //                if (p2) x.f = o2; // W2
+  //   }
+  std::printf("== Section 2.4: two abstract references per allocation "
+              "site ==\n\n");
+  Program P1;
+  ClassId T = P1.addClass("T");
+  FieldId Ff = P1.addField(T, "f", JType::Ref);
+  MethodBuilder B1(P1, "w1w2", {JType::Int, JType::Ref}, std::nullopt);
+  Local Tv = B1.newLocal(JType::Int), X = B1.newLocal(JType::Ref);
+  Label Head = B1.newLabel(), Done = B1.newLabel(), NoW2 = B1.newLabel();
+  B1.iconst(0).istore(Tv);
+  B1.bind(Head).iload(Tv).iload(B1.arg(0)).ifICmpGe(Done);
+  B1.newInstance(T).astore(X);
+  B1.aload(X).aload(B1.arg(1)).putfield(Ff); // W1
+  B1.iload(Tv).iconst(3).irem().ifne(NoW2);
+  B1.aload(X).aload(B1.arg(1)).putfield(Ff); // W2
+  B1.bind(NoW2).iinc(Tv, 1).jump(Head);
+  B1.bind(Done).ret();
+  MethodId W1W2 = B1.finish();
+
+  for (bool TwoNames : {true, false}) {
+    AnalysisConfig Cfg;
+    Cfg.TwoNamesPerSite = TwoNames;
+    AnalysisResult R = analyzeBarriers(P1, P1.method(W1W2), Cfg);
+    std::printf("%s:\n", TwoNames
+                             ? "with R_id/A + R_id/B (the paper's scheme)"
+                             : "with one summary name per site (ablation)");
+    dumpDecisions(P1, P1.method(W1W2), R);
+    std::printf("\n");
+  }
+  std::printf("W1 writes the most recently allocated object, whose fields "
+              "strong-update;\nW2 overwrites W1's value and must keep its "
+              "barrier. With a single summary\nname, weak update would "
+              "wrongly merge W2's effect into every iteration, so\nW1 is "
+              "lost too — \"if we used strong update, we'd improperly "
+              "'prove' that no\nbarrier is necessary at W2\".\n\n");
+
+  // --- Section 3.5: the expand walkthrough ----------------------------------
+  std::printf("== Section 3.5: the expand example's inferred invariant "
+              "==\n\n");
+  Program P2;
+  MethodId Expand = addExpandMethod(P2, "expand");
+  std::printf("%s\n", disassemble(P2, P2.method(Expand)).c_str());
+
+  AnalysisConfig Cfg;
+  Cfg.CaptureStates = true;
+  AnalysisResult R = analyzeBarriers(P2, P2.method(Expand), Cfg);
+  std::printf("fixpoint in-states (the paper's rho / NL / sigma / Len / "
+              "NR):\n\n");
+  for (const std::string &Dump : R.BlockStateDumps)
+    std::printf("%s\n\n", Dump.c_str());
+  dumpDecisions(P2, P2.method(Expand), R);
+
+  std::printf("\nAt the loop head the index local and NR's lower bound "
+              "share one variable\nunknown (the Figure 1 merge), and the "
+              "range's upper bound is the array's\nlast index — so the "
+              "store is provably pre-null and its barrier is removed:\n"
+              "\"We have correctly inferred that the low bound of the "
+              "uninitialized range\nand the value of the loop variable i "
+              "are the same.\"\n");
+  return R.NumElidedArray == 1 ? 0 : 1;
+}

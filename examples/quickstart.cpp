@@ -1,0 +1,89 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library ----------===//
+///
+/// \file
+/// Builds a tiny program with the MethodBuilder DSL, compiles it with the
+/// barrier-elision pipeline, prints which SATB write barriers the analysis
+/// removed and why, then executes it with full instrumentation to confirm
+/// the elisions are dynamically sound.
+///
+/// Run:  ./quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Disassembler.h"
+#include "bytecode/MethodBuilder.h"
+#include "interp/Interpreter.h"
+
+#include <cstdio>
+
+using namespace satb;
+
+int main() {
+  // --- 1. Build a program -------------------------------------------------
+  //
+  // class Pair { Object a; Object b; }
+  // static Object sink;
+  // void main(int n) {
+  //   for (int t = 0; t < n; t++) {
+  //     Pair p = new Pair();
+  //     p.a = sink;      // pre-null: p is fresh            -> elided
+  //     p.b = p;         // pre-null: still thread-local    -> elided
+  //     sink = p;        // p escapes                       -> barrier kept
+  //     p.a = null;      // p escaped: field may be traced  -> barrier kept
+  //   }
+  // }
+  Program P;
+  ClassId Pair = P.addClass("Pair");
+  FieldId A = P.addField(Pair, "a", JType::Ref);
+  FieldId B = P.addField(Pair, "b", JType::Ref);
+  StaticFieldId Sink = P.addStaticField("sink", JType::Ref);
+
+  MethodBuilder MB(P, "main", {JType::Int}, std::nullopt);
+  Local N = MB.arg(0);
+  Local T = MB.newLocal(JType::Int), Pv = MB.newLocal(JType::Ref);
+  Label Loop = MB.newLabel(), Done = MB.newLabel();
+  MB.iconst(0).istore(T);
+  MB.bind(Loop).iload(T).iload(N).ifICmpGe(Done);
+  MB.newInstance(Pair).astore(Pv);
+  MB.aload(Pv).getstatic(Sink).putfield(A); // elided (pre-null, local)
+  MB.aload(Pv).aload(Pv).putfield(B);       // elided (pre-null, local)
+  MB.aload(Pv).putstatic(Sink);             // kept (static write)
+  MB.aload(Pv).aconstNull().putfield(A);    // kept (p escaped)
+  MB.iinc(T, 1).jump(Loop);
+  MB.bind(Done).ret();
+  MethodId Main = MB.finish();
+
+  // --- 2. Compile with the analysis ---------------------------------------
+  CompilerOptions Opts; // defaults: inline limit 100, field+array analysis
+  CompiledProgram CP = compileProgram(P, Opts);
+  const CompiledMethod &CM = CP.method(Main);
+
+  std::printf("== compiled body ==\n%s\n",
+              disassemble(P, CM.Body).c_str());
+  std::printf("== barrier decisions ==\n");
+  for (uint32_t I = 0; I != CM.Analysis.Decisions.size(); ++I) {
+    const BarrierDecision &D = CM.Analysis.Decisions[I];
+    if (!D.IsBarrierSite)
+      continue;
+    const char *Why = "barrier kept";
+    if (D.Elide)
+      Why = D.Reason == ElisionReason::PreNullField
+                ? "elided: provably overwrites null (Section 2)"
+                : "elided";
+    std::printf("  instr %3u: %-28s %s\n", I,
+                disassemble(P, CM.Body.Instructions[I]).c_str(), Why);
+  }
+  std::printf("\ncode size %u instrs (would be %u without elision)\n",
+              CM.CodeSize, CM.CodeSizeNoElision);
+
+  // --- 3. Execute with instrumentation ------------------------------------
+  Heap H(P);
+  Interpreter I(P, CP, H);
+  I.run(Main, {10000});
+  BarrierStats::Summary S = I.stats().summarize();
+  std::printf("\nexecuted %llu ref-store barrier sites: %.1f%% elided, "
+              "%llu soundness violations\n",
+              static_cast<unsigned long long>(S.TotalExecs), S.pctElided(),
+              static_cast<unsigned long long>(S.Violations));
+  return S.Violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+//===- analysis/AbstractValue.cpp -----------------------------------------===//
+
+#include "analysis/AbstractValue.h"
+
+using namespace satb;
+
+void AbstractValue::addNosTag(NosTag T) {
+  auto It = std::lower_bound(Tags.begin(), Tags.end(), T);
+  if (It != Tags.end() && It->BaseLocal == T.BaseLocal &&
+      It->Field == T.Field) {
+    It->IsEq |= T.IsEq;
+    return;
+  }
+  Tags.insert(It, T);
+}
+
+void AbstractValue::dropNosTagsForField(FieldId F) {
+  Tags.erase(std::remove_if(Tags.begin(), Tags.end(),
+                            [F](const NosTag &T) { return T.Field == F; }),
+             Tags.end());
+}
+
+void AbstractValue::dropNosTagsForBase(uint32_t Base) {
+  Tags.erase(
+      std::remove_if(Tags.begin(), Tags.end(),
+                     [Base](const NosTag &T) { return T.BaseLocal == Base; }),
+      Tags.end());
+}
+
+const NosTag *AbstractValue::findNosTag(uint32_t Base, FieldId F) const {
+  NosTag Key{Base, F, false};
+  auto It = std::lower_bound(Tags.begin(), Tags.end(), Key);
+  if (It != Tags.end() && It->BaseLocal == Base && It->Field == F)
+    return &*It;
+  return nullptr;
+}
+
+bool AbstractValue::mergeAnnotations(const AbstractValue &Incoming) {
+  bool Changed = false;
+  if (SrcLocal != Incoming.SrcLocal && SrcLocal != InvalidId) {
+    SrcLocal = InvalidId;
+    Changed = true;
+  }
+  if (!Tags.empty()) {
+    // Intersect tag sets; a tag survives only if present in both values,
+    // and its strength is the weaker of the two.
+    std::vector<NosTag> Merged;
+    Merged.reserve(Tags.size());
+    for (const NosTag &T : Tags)
+      if (const NosTag *Other = Incoming.findNosTag(T.BaseLocal, T.Field))
+        Merged.push_back(NosTag{T.BaseLocal, T.Field, T.IsEq && Other->IsEq});
+    if (Merged != Tags) {
+      Tags = std::move(Merged);
+      Changed = true;
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,8 @@
+//===- analysis/AnalysisState.cpp -----------------------------------------===//
+///
+/// \file
+/// AnalysisState is header-only; this file anchors the library.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisState.h"

@@ -1,0 +1,46 @@
+//===- analysis/IntRange.cpp ----------------------------------------------===//
+
+#include "analysis/IntRange.h"
+
+using namespace satb;
+
+IntRange IntRange::contract(const IntVal &Ind) const {
+  if (K == Kind::Empty || Ind.isTop())
+    return empty();
+  // Store at the low end: [i..x] -> [i+1..x] (losing a Full range's upper
+  // bound is free: Full ranges only exist right after allocation, where the
+  // upper bound is already the last valid index).
+  if (hasLo() && Ind == LoBound) {
+    IntVal NewLo = LoBound.addConstant(1);
+    if (K == Kind::Full) {
+      // Keep the explicit upper bound when present; it may still be needed
+      // to prove stores near the top of the range.
+      return full(NewLo, HiBound);
+    }
+    return from(NewLo);
+  }
+  // Store at the high end: [x..i] -> [x..i-1].
+  if (hasHi() && Ind == HiBound) {
+    IntVal NewHi = HiBound.addConstant(-1);
+    if (K == Kind::Full)
+      return full(LoBound, NewHi);
+    return to(NewHi);
+  }
+  // "contract loses all information unless i+1 or i-1 is the next element
+  // initialized" (Section 3.6).
+  return empty();
+}
+
+std::string IntRange::str() const {
+  switch (K) {
+  case Kind::Empty:
+    return "[]";
+  case Kind::Full:
+    return "[" + LoBound.str() + ".." + HiBound.str() + "]";
+  case Kind::From:
+    return "[" + LoBound.str() + "..]";
+  case Kind::To:
+    return "[.." + HiBound.str() + "]";
+  }
+  return "<bad-range>";
+}

@@ -1,0 +1,99 @@
+//===- analysis/IntRange.h - Uninitialized array index ranges --*- C++ -*-===//
+///
+/// \file
+/// The IntRange domain of Section 3.2, representing the subrange of an
+/// array's valid indices known to contain null:
+///
+///   - Full [lo..hi]: a closed interval, used only immediately after
+///     allocation (hi = length-1);
+///   - From [lo..]: indices i with i >= lo (up to the array length);
+///   - To [..hi]: indices i with i <= hi (down to 0);
+///   - Empty []: no information — the top of the lattice ("smaller ranges
+///     are larger in the lattice").
+///
+/// contract() implements the paper's heuristic: a store at either end of
+/// the uninitialized range shrinks it by one; anything else loses all
+/// information. That conservatism is also the overflow defense of Section
+/// 3.6 (elements must be initialized in index order, so a wrapped index
+/// traps before it can reach a previously initialized element).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_ANALYSIS_INTRANGE_H
+#define SATB_ANALYSIS_INTRANGE_H
+
+#include "analysis/IntVal.h"
+
+#include <cassert>
+
+namespace satb {
+
+class IntRange {
+public:
+  enum class Kind : uint8_t { Full, From, To, Empty };
+
+  /// Default: the empty (no information) range.
+  IntRange() : K(Kind::Empty) {}
+
+  static IntRange empty() { return IntRange(); }
+  static IntRange full(IntVal Lo, IntVal Hi) {
+    IntRange R;
+    R.K = Kind::Full;
+    R.LoBound = std::move(Lo);
+    R.HiBound = std::move(Hi);
+    return R;
+  }
+  static IntRange from(IntVal Lo) {
+    IntRange R;
+    R.K = Kind::From;
+    R.LoBound = std::move(Lo);
+    return R;
+  }
+  static IntRange to(IntVal Hi) {
+    IntRange R;
+    R.K = Kind::To;
+    R.HiBound = std::move(Hi);
+    return R;
+  }
+
+  Kind kind() const { return K; }
+  bool isEmpty() const { return K == Kind::Empty; }
+  bool hasLo() const { return K == Kind::Full || K == Kind::From; }
+  bool hasHi() const { return K == Kind::Full || K == Kind::To; }
+  const IntVal &lo() const {
+    assert(hasLo() && "range has no lower bound");
+    return LoBound;
+  }
+  const IntVal &hi() const {
+    assert(hasHi() && "range has no upper bound");
+    return HiBound;
+  }
+
+  /// The contract heuristic of Section 3.3: shrink the null range after a
+  /// store at index \p Ind; a store not provably at either end empties it.
+  /// A bound that becomes Top also empties the range.
+  IntRange contract(const IntVal &Ind) const;
+
+  bool operator==(const IntRange &O) const {
+    if (K != O.K)
+      return false;
+    if (hasLo() && LoBound != O.LoBound)
+      return false;
+    if (hasHi() && HiBound != O.HiBound)
+      return false;
+    return true;
+  }
+  bool operator!=(const IntRange &O) const { return !(*this == O); }
+
+  /// \returns a debug rendering like "[v0..]", "[0..2*c0 - 1]", "[]".
+  std::string str() const;
+
+private:
+  Kind K;
+  IntVal LoBound;
+  IntVal HiBound;
+};
+
+} // namespace satb
+
+#endif // SATB_ANALYSIS_INTRANGE_H

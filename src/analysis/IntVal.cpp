@@ -1,0 +1,145 @@
+//===- analysis/IntVal.cpp ------------------------------------------------===//
+
+#include "analysis/IntVal.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace satb;
+
+void IntVal::canonicalize() {
+  if (VarCoeff == 0)
+    Var = NoVar;
+  Unknowns.erase(std::remove_if(Unknowns.begin(), Unknowns.end(),
+                                [](const auto &T) { return T.second == 0; }),
+                 Unknowns.end());
+}
+
+IntVal satb::operator+(const IntVal &A, const IntVal &B) {
+  if (A.Top || B.Top)
+    return IntVal::top();
+  IntVal R;
+  // Variable terms: at most one variable unknown is representable.
+  if (A.VarCoeff != 0 && B.VarCoeff != 0) {
+    if (A.Var != B.Var)
+      return IntVal::top();
+    R.Var = A.Var;
+    R.VarCoeff = A.VarCoeff + B.VarCoeff;
+  } else if (A.VarCoeff != 0) {
+    R.Var = A.Var;
+    R.VarCoeff = A.VarCoeff;
+  } else if (B.VarCoeff != 0) {
+    R.Var = B.Var;
+    R.VarCoeff = B.VarCoeff;
+  }
+  // Merge sorted constant-unknown term lists.
+  size_t I = 0, J = 0;
+  while (I < A.Unknowns.size() || J < B.Unknowns.size()) {
+    if (J == B.Unknowns.size() ||
+        (I < A.Unknowns.size() && A.Unknowns[I].first < B.Unknowns[J].first))
+      R.Unknowns.push_back(A.Unknowns[I++]);
+    else if (I == A.Unknowns.size() ||
+             B.Unknowns[J].first < A.Unknowns[I].first)
+      R.Unknowns.push_back(B.Unknowns[J++]);
+    else {
+      R.Unknowns.emplace_back(A.Unknowns[I].first,
+                              A.Unknowns[I].second + B.Unknowns[J].second);
+      ++I;
+      ++J;
+    }
+  }
+  R.Const = A.Const + B.Const;
+  R.canonicalize();
+  return R;
+}
+
+IntVal satb::operator-(const IntVal &A, const IntVal &B) {
+  return A + B.negate();
+}
+
+IntVal IntVal::negate() const { return mulConstant(-1); }
+
+IntVal IntVal::addConstant(int64_t C) const {
+  if (Top)
+    return top();
+  IntVal R = *this;
+  R.Const += C;
+  return R;
+}
+
+IntVal IntVal::mulConstant(int64_t K) const {
+  if (Top)
+    return K == 0 ? constant(0) : top();
+  IntVal R = *this;
+  R.VarCoeff *= K;
+  for (auto &T : R.Unknowns)
+    T.second *= K;
+  R.Const *= K;
+  R.canonicalize();
+  return R;
+}
+
+IntVal IntVal::mul(const IntVal &A, const IntVal &B) {
+  if (A.isPureConstant())
+    return B.mulConstant(A.Const);
+  if (B.isPureConstant())
+    return A.mulConstant(B.Const);
+  return top();
+}
+
+IntVal IntVal::substituteVar(VarId V, const IntVal &Replacement) const {
+  if (Top)
+    return top();
+  if (VarCoeff == 0 || Var != V)
+    return *this;
+  IntVal WithoutVar = *this;
+  WithoutVar.Var = NoVar;
+  WithoutVar.VarCoeff = 0;
+  return WithoutVar + Replacement.mulConstant(VarCoeff);
+}
+
+std::string IntVal::str() const {
+  if (Top)
+    return "top";
+  std::string Out;
+  char Buf[48];
+  auto Term = [&](int64_t Coeff, const char *Sym, uint32_t Id) {
+    if (Coeff == 0)
+      return;
+    if (!Out.empty())
+      Out += Coeff < 0 ? " - " : " + ";
+    else if (Coeff < 0)
+      Out += "-";
+    int64_t Abs = Coeff < 0 ? -Coeff : Coeff;
+    if (Abs != 1) {
+      std::snprintf(Buf, sizeof(Buf), "%lld*", static_cast<long long>(Abs));
+      Out += Buf;
+    }
+    std::snprintf(Buf, sizeof(Buf), "%s%u", Sym, Id);
+    Out += Buf;
+  };
+  Term(VarCoeff, "v", Var);
+  for (const auto &T : Unknowns)
+    Term(T.second, "c", T.first);
+  if (Const != 0 || Out.empty()) {
+    if (!Out.empty())
+      Out += Const < 0 ? " - " : " + ";
+    int64_t Abs = (Const < 0 && !Out.empty()) ? -Const : Const;
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(Abs));
+    Out += Buf;
+  }
+  return Out;
+}
+
+bool satb::provablyNonNegative(const IntVal &V,
+                               const ConstUnknownRegistry &Reg) {
+  if (V.isTop() || V.hasVarTerm())
+    return false;
+  if (V.constTerm() < 0)
+    return false;
+  for (const auto &T : V.unknownTerms())
+    if (T.second < 0 || !Reg.isNonNegative(T.first))
+      return false;
+  return true;
+}

@@ -1,0 +1,139 @@
+//===- analysis/IntVal.h - Symbolic linear integer values ------*- C++ -*-===//
+///
+/// \file
+/// The IntVal abstract integer domain of Section 3.2: "a linear combination
+/// of integer terms ... at most one term in a variable unknown, one
+/// constant term, and zero or more terms in constant unknowns:
+/// a*u + k0*c0 + ... + kn*cn + b". Constant unknowns (c_i) have the same
+/// value in all states (created for integer parameters and argument-array
+/// lengths, Section 3.4); variable unknowns (v_i) are created by the state
+/// merge of Figure 1 and may differ between states. Symbolic arithmetic
+/// degrades to Top when it leaves the representable form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_ANALYSIS_INTVAL_H
+#define SATB_ANALYSIS_INTVAL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace satb {
+
+using VarId = uint32_t;
+using ConstUnknownId = uint32_t;
+constexpr uint32_t NoVar = ~uint32_t(0);
+
+/// A symbolic integer: Top, or VarCoeff*Var + sum(K_i * c_i) + Const.
+class IntVal {
+public:
+  /// Default-constructed IntVals are the constant 0.
+  IntVal() = default;
+
+  static IntVal top() {
+    IntVal V;
+    V.Top = true;
+    return V;
+  }
+  static IntVal constant(int64_t C) {
+    IntVal V;
+    V.Const = C;
+    return V;
+  }
+  static IntVal constUnknown(ConstUnknownId Id) {
+    IntVal V;
+    V.Unknowns.emplace_back(Id, 1);
+    return V;
+  }
+  static IntVal variable(VarId Id) {
+    IntVal V;
+    V.Var = Id;
+    V.VarCoeff = 1;
+    return V;
+  }
+
+  bool isTop() const { return Top; }
+  bool hasVarTerm() const { return !Top && VarCoeff != 0; }
+  VarId var() const { return Var; }
+  int64_t varCoeff() const { return Top ? 0 : VarCoeff; }
+  int64_t constTerm() const { return Const; }
+  const std::vector<std::pair<ConstUnknownId, int64_t>> &unknownTerms() const {
+    return Unknowns;
+  }
+
+  /// int_const(v): a literal integer with no symbolic terms at all.
+  bool isPureConstant() const {
+    return !Top && VarCoeff == 0 && Unknowns.empty();
+  }
+
+  /// \returns true if the value has no variable-unknown term (it may still
+  /// contain constant unknowns).
+  bool isVarFree() const { return !Top && VarCoeff == 0; }
+
+  friend IntVal operator+(const IntVal &A, const IntVal &B);
+  friend IntVal operator-(const IntVal &A, const IntVal &B);
+  IntVal negate() const;
+  IntVal addConstant(int64_t C) const;
+  IntVal mulConstant(int64_t K) const;
+  /// General multiply: exact when either side is a pure constant, Top
+  /// otherwise.
+  static IntVal mul(const IntVal &A, const IntVal &B);
+
+  bool operator==(const IntVal &O) const {
+    if (Top || O.Top)
+      return Top == O.Top;
+    return VarCoeff == O.VarCoeff && (VarCoeff == 0 || Var == O.Var) &&
+           Const == O.Const && Unknowns == O.Unknowns;
+  }
+  bool operator!=(const IntVal &O) const { return !(*this == O); }
+
+  /// \returns this value with \p V replaced by \p Replacement (used by the
+  /// Figure 1 merge to validate substitutions). Top if the result leaves
+  /// the representable form.
+  IntVal substituteVar(VarId V, const IntVal &Replacement) const;
+
+  /// \returns a debug rendering like "2*v1 + 3*c0 - 1" or "top".
+  std::string str() const;
+
+private:
+  void canonicalize();
+
+  bool Top = false;
+  VarId Var = NoVar;
+  int64_t VarCoeff = 0;
+  /// Sorted by ConstUnknownId; coefficients never zero.
+  std::vector<std::pair<ConstUnknownId, int64_t>> Unknowns;
+  int64_t Const = 0;
+};
+
+IntVal operator+(const IntVal &A, const IntVal &B);
+IntVal operator-(const IntVal &A, const IntVal &B);
+
+/// Registry of constant unknowns for one analysis run, remembering which
+/// are known non-negative (argument-array lengths are; plain int arguments
+/// are not).
+class ConstUnknownRegistry {
+public:
+  ConstUnknownId create(bool NonNegative) {
+    NonNeg.push_back(NonNegative);
+    return static_cast<ConstUnknownId>(NonNeg.size() - 1);
+  }
+  bool isNonNegative(ConstUnknownId Id) const {
+    return Id < NonNeg.size() && NonNeg[Id];
+  }
+
+private:
+  std::vector<bool> NonNeg;
+};
+
+/// \returns true when \p V >= 0 is provable: V is var-free, its literal
+/// constant part is >= 0, and every constant-unknown term has a
+/// non-negative coefficient on an unknown known non-negative.
+bool provablyNonNegative(const IntVal &V, const ConstUnknownRegistry &Reg);
+
+} // namespace satb
+
+#endif // SATB_ANALYSIS_INTVAL_H

@@ -1,0 +1,56 @@
+//===- analysis/NullOrSame.cpp --------------------------------------------===//
+
+#include "analysis/NullOrSame.h"
+
+using namespace satb;
+
+namespace {
+
+template <typename FnT> void forEachValue(AnalysisState &S, FnT Fn) {
+  for (AbstractValue &V : S.Locals)
+    Fn(V);
+  for (AbstractValue &V : S.Stack)
+    Fn(V);
+}
+
+} // namespace
+
+void satb::nos::applyFacts(const AnalysisState &S, AbstractValue &V) {
+  if (!V.isRefs())
+    return;
+  for (const NosFact &F : S.Facts)
+    V.addNosTag(NosTag{F.BaseLocal, F.Field, /*IsEq=*/false});
+}
+
+void satb::nos::onLocalReassigned(AnalysisState &S, uint32_t Base) {
+  S.dropFactsForBase(Base);
+  forEachValue(S, [Base](AbstractValue &V) {
+    V.dropNosTagsForBase(Base);
+    if (V.srcLocal() == Base)
+      V.clearSrcLocal();
+  });
+}
+
+void satb::nos::onFieldWritten(AnalysisState &S, FieldId F) {
+  S.dropFactsForField(F);
+  forEachValue(S, [F](AbstractValue &V) { V.dropNosTagsForField(F); });
+}
+
+void satb::nos::onCall(AnalysisState &S) {
+  S.Facts.clear();
+  forEachValue(S, [](AbstractValue &V) { V.clearNosTags(); });
+}
+
+void satb::nos::onKnownNull(AnalysisState &S, const AbstractValue &NullSide) {
+  for (const NosTag &T : NullSide.nosTags()) {
+    // Either strength implies the field is null on this edge: an Eq tag
+    // says the value equals the field's contents (which are therefore
+    // null); a Safe tag says the value equals the contents *or* the field
+    // is already null — null either way.
+    S.addFact(T.BaseLocal, T.Field);
+    forEachValue(S, [&T](AbstractValue &V) {
+      if (V.isRefs())
+        V.addNosTag(NosTag{T.BaseLocal, T.Field, /*IsEq=*/false});
+    });
+  }
+}

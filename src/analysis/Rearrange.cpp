@@ -1,0 +1,227 @@
+//===- analysis/Rearrange.cpp ---------------------------------------------===//
+
+#include "analysis/Rearrange.h"
+
+#include <algorithm>
+
+using namespace satb;
+
+namespace {
+
+/// One matched rearrangement region in the original instruction stream:
+/// either a move-down delete loop or a straight-line two-element swap.
+struct MatchedLoop {
+  enum class Kind { MoveDown, Swap };
+  Kind K = Kind::MoveDown;
+  uint32_t PreheaderIdx; ///< first instruction of the region
+  uint32_t StoreIdx;     ///< the (first) protocol aastore
+  uint32_t StoreIdx2 = InvalidId; ///< the swap's second aastore
+  uint32_t ExitIdx;      ///< first instruction after the region
+  int32_t ArrLocal;
+  /// MoveDown: the constant index the loop genuinely overwrites.
+  /// Swap: the *int local* holding the first-overwritten index (logged
+  /// dynamically; the second element stays in the array throughout).
+  int32_t DroppedIndex;
+};
+
+/// Matches the canonical 18-instruction move-down delete loop starting at
+/// \p I (see Rearrange.h).
+bool matchAt(const std::vector<Instruction> &Code, uint32_t I,
+             MatchedLoop &Out) {
+  if (I + 18 > Code.size())
+    return false;
+  auto Is = [&](uint32_t Off, Opcode Op) { return Code[I + Off].Op == Op; };
+
+  if (!Is(0, Opcode::IConst) || Code[I].A < 0)
+    return false;
+  if (!Is(1, Opcode::IStore))
+    return false;
+  int32_t J = Code[I + 1].A;
+  // Loop head: j < arr.length - 1
+  if (!Is(2, Opcode::ILoad) || Code[I + 2].A != J)
+    return false;
+  if (!Is(3, Opcode::ALoad))
+    return false;
+  int32_t Arr = Code[I + 3].A;
+  if (!Is(4, Opcode::ArrayLength))
+    return false;
+  if (!Is(5, Opcode::IConst) || Code[I + 5].A != 1)
+    return false;
+  if (!Is(6, Opcode::ISub))
+    return false;
+  if (!Is(7, Opcode::IfICmpGe) ||
+      Code[I + 7].A != static_cast<int32_t>(I + 18))
+    return false;
+  // Body: arr[j] = arr[j+1]
+  if (!Is(8, Opcode::ALoad) || Code[I + 8].A != Arr)
+    return false;
+  if (!Is(9, Opcode::ILoad) || Code[I + 9].A != J)
+    return false;
+  if (!Is(10, Opcode::ALoad) || Code[I + 10].A != Arr)
+    return false;
+  if (!Is(11, Opcode::ILoad) || Code[I + 11].A != J)
+    return false;
+  if (!Is(12, Opcode::IConst) || Code[I + 12].A != 1)
+    return false;
+  if (!Is(13, Opcode::IAdd) || !Is(14, Opcode::AALoad) ||
+      !Is(15, Opcode::AAStore))
+    return false;
+  if (!Is(16, Opcode::IInc) || Code[I + 16].A != J || Code[I + 16].B != 1)
+    return false;
+  if (!Is(17, Opcode::Goto) ||
+      Code[I + 17].A != static_cast<int32_t>(I + 2))
+    return false;
+  // The array local must not be reassigned inside the loop (it is not —
+  // the matched body contains no astore — but a paranoid check documents
+  // the requirement).
+  Out.PreheaderIdx = I;
+  Out.StoreIdx = I + 15;
+  Out.ExitIdx = I + 18;
+  Out.ArrLocal = Arr;
+  Out.DroppedIndex = Code[I].A;
+  return true;
+}
+
+/// Matches the straight-line two-element swap of db's sort idiom
+/// (20 instructions): x = arr[i]; y = arr[i+1]; arr[i] = y; arr[i+1] = x.
+/// Logging arr[i] at enter makes the region safe at every instant: y is
+/// always present in the array (it reaches arr[i] before arr[i+1] is
+/// overwritten), and x is covered by the enter log.
+bool matchSwapAt(const std::vector<Instruction> &Code, uint32_t I,
+                 MatchedLoop &Out) {
+  if (I + 20 > Code.size())
+    return false;
+  auto Is = [&](uint32_t Off, Opcode Op) { return Code[I + Off].Op == Op; };
+  auto OpA = [&](uint32_t Off) { return Code[I + Off].A; };
+
+  // x = arr[i]
+  if (!Is(0, Opcode::ALoad) || !Is(1, Opcode::ILoad) || !Is(2, Opcode::AALoad) ||
+      !Is(3, Opcode::AStore))
+    return false;
+  int32_t Arr = OpA(0), Idx = OpA(1), X = OpA(3);
+  // y = arr[i+1]
+  if (!Is(4, Opcode::ALoad) || OpA(4) != Arr || !Is(5, Opcode::ILoad) ||
+      OpA(5) != Idx || !Is(6, Opcode::IConst) || OpA(6) != 1 ||
+      !Is(7, Opcode::IAdd) || !Is(8, Opcode::AALoad) || !Is(9, Opcode::AStore))
+    return false;
+  int32_t Y = OpA(9);
+  if (X == Y || X == Arr || Y == Arr)
+    return false;
+  // arr[i] = y
+  if (!Is(10, Opcode::ALoad) || OpA(10) != Arr || !Is(11, Opcode::ILoad) ||
+      OpA(11) != Idx || !Is(12, Opcode::ALoad) || OpA(12) != Y ||
+      !Is(13, Opcode::AAStore))
+    return false;
+  // arr[i+1] = x
+  if (!Is(14, Opcode::ALoad) || OpA(14) != Arr || !Is(15, Opcode::ILoad) ||
+      OpA(15) != Idx || !Is(16, Opcode::IConst) || OpA(16) != 1 ||
+      !Is(17, Opcode::IAdd) || !Is(18, Opcode::ALoad) || OpA(18) != X ||
+      !Is(19, Opcode::AAStore))
+    return false;
+
+  Out.K = MatchedLoop::Kind::Swap;
+  Out.PreheaderIdx = I;
+  Out.StoreIdx = I + 13;
+  Out.StoreIdx2 = I + 19;
+  Out.ExitIdx = I + 20;
+  Out.ArrLocal = Arr;
+  Out.DroppedIndex = Idx; // an int local in the Swap kind
+  return true;
+}
+
+} // namespace
+
+RearrangeResult satb::recognizeMoveDownLoops(const Method &M) {
+  RearrangeResult R;
+  const std::vector<Instruction> &Code = M.Instructions;
+
+  std::vector<MatchedLoop> Loops;
+  for (uint32_t I = 0; I + 18 <= Code.size();) {
+    MatchedLoop L;
+    if (matchAt(Code, I, L) || matchSwapAt(Code, I, L)) {
+      Loops.push_back(L);
+      I = L.ExitIdx;
+      continue;
+    }
+    ++I;
+  }
+
+  if (Loops.empty()) {
+    R.Transformed = M;
+    R.ProtocolStores.assign(Code.size(), false);
+    return R;
+  }
+
+  // Insertion points: a RearrangeEnter at each preheader, a RearrangeExit
+  // at each exit. Branch targets land *on* an instruction inserted at
+  // their position (so exit branches execute the RearrangeExit, and jumps
+  // to the preheader execute the RearrangeEnter).
+  std::vector<uint32_t> InsertPos;
+  for (const MatchedLoop &L : Loops) {
+    InsertPos.push_back(L.PreheaderIdx);
+    InsertPos.push_back(L.ExitIdx);
+  }
+  std::sort(InsertPos.begin(), InsertPos.end());
+  auto ShiftTarget = [&InsertPos](uint32_t Old) {
+    return Old + static_cast<uint32_t>(
+                     std::lower_bound(InsertPos.begin(), InsertPos.end(),
+                                      Old) -
+                     InsertPos.begin());
+  };
+  // New position of the instruction originally at Old (inserts at the same
+  // position go before it).
+  auto ShiftInstr = [&InsertPos](uint32_t Old) {
+    return Old + static_cast<uint32_t>(
+                     std::upper_bound(InsertPos.begin(), InsertPos.end(),
+                                      Old) -
+                     InsertPos.begin());
+  };
+
+  Method Out = M;
+  Out.Instructions.clear();
+  Out.Instructions.reserve(Code.size() + InsertPos.size());
+  R.ProtocolStores.assign(Code.size() + InsertPos.size(), false);
+
+  std::vector<std::pair<uint32_t, uint32_t>> PendingInserts; // (pos, loop#)
+  for (size_t LI = 0; LI != Loops.size(); ++LI) {
+    PendingInserts.emplace_back(Loops[LI].PreheaderIdx,
+                                static_cast<uint32_t>(LI) * 2);
+    PendingInserts.emplace_back(Loops[LI].ExitIdx,
+                                static_cast<uint32_t>(LI) * 2 + 1);
+  }
+  std::sort(PendingInserts.begin(), PendingInserts.end());
+
+  size_t InsIt = 0;
+  for (uint32_t I = 0; I <= Code.size(); ++I) {
+    while (InsIt != PendingInserts.size() && PendingInserts[InsIt].first == I) {
+      uint32_t Tag = PendingInserts[InsIt].second;
+      const MatchedLoop &L = Loops[Tag / 2];
+      if (Tag % 2 == 0)
+        Out.Instructions.push_back(
+            Instruction{L.K == MatchedLoop::Kind::MoveDown
+                            ? Opcode::RearrangeEnter
+                            : Opcode::RearrangeEnterDyn,
+                        L.ArrLocal, L.DroppedIndex});
+      else
+        Out.Instructions.push_back(
+            Instruction{Opcode::RearrangeExit, L.ArrLocal, 0});
+      ++InsIt;
+    }
+    if (I == Code.size())
+      break;
+    Instruction Ins = Code[I];
+    if (isBranch(Ins.Op))
+      Ins.A = static_cast<int32_t>(ShiftTarget(static_cast<uint32_t>(Ins.A)));
+    Out.Instructions.push_back(Ins);
+  }
+
+  for (const MatchedLoop &L : Loops) {
+    R.ProtocolStores[ShiftInstr(L.StoreIdx)] = true;
+    if (L.StoreIdx2 != InvalidId)
+      R.ProtocolStores[ShiftInstr(L.StoreIdx2)] = true;
+  }
+
+  R.Transformed = std::move(Out);
+  R.LoopsTransformed = static_cast<uint32_t>(Loops.size());
+  return R;
+}

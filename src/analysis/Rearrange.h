@@ -1,0 +1,76 @@
+//===- analysis/Rearrange.h - Section 4.3 array rearrangement --*- C++ -*-===//
+///
+/// \file
+/// The optimistic array-rearrangement protocol the paper proposes in
+/// Section 4.3: loops that permute the elements of an object array —
+/// jbb's "delete a single element of an object array by moving all higher
+/// elements down by one index" is the target idiom here — overwrite only
+/// one reference value when taken as a whole. If the loop ran atomically
+/// with respect to the collector's tracing of the array, only that value
+/// would need to be logged.
+///
+/// The paper's proposal: "devote bits in the header of an object array to
+/// indicate the tracing state of the array (untraced, tracing, traced)
+/// ... generate code to log the overwritten a[index] value and read the
+/// tracing state before and after the loop. If the states indicate that
+/// the marker may have done any tracing of the array concurrently with
+/// the loop, then the mutator places the entire array on a special
+/// retrace list."
+///
+/// We implement exactly that: recognizeMoveDownLoops() pattern-matches the
+/// post-inlining bytecode for canonical move-down delete loops
+///
+///   for (j = K; j < arr.length - 1; j++)  arr[j] = arr[j+1];
+///
+/// and rewrites them to
+///
+///   rearrange_enter arr, K      // log arr[K] (the dropped value), read
+///                               // the tracing state
+///   for (...) arr[j] = arr[j+1] // stores skip the SATB log
+///   rearrange_exit arr          // re-read the state; retrace on overlap
+///
+/// The transformed stores are sound because every other pre-value remains
+/// reachable through the array itself (the move-down copies arr[j] into
+/// arr[j-1] before arr[j] is overwritten); the runtime protocol in
+/// SatbMarker/Interpreter handles marker overlap and cycles that begin
+/// mid-loop (stores fall back to normal logging unless an enter was seen
+/// in the current cycle).
+///
+/// Like the null-or-same extension, unsynchronized mutator/mutator writes
+/// invalidate the reasoning (Section 4.3's closing caveat), so the
+/// transformation is gated behind EnableArrayRearrange and documented as
+/// single-mutator / lock-disciplined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_ANALYSIS_REARRANGE_H
+#define SATB_ANALYSIS_REARRANGE_H
+
+#include "bytecode/Program.h"
+
+#include <vector>
+
+namespace satb {
+
+struct RearrangeResult {
+  Method Transformed;
+  uint32_t LoopsTransformed = 0;
+  /// Per transformed-body instruction: true for aastores that use the
+  /// rearrangement protocol instead of the SATB log.
+  std::vector<bool> ProtocolStores;
+};
+
+/// Recognizes canonical move-down delete loops *and* the straight-line
+/// two-element swap idiom (db's sort: "part of an idiom that swaps two
+/// elements in an array ... we could eliminate both barriers in the swap
+/// idiom with this approach") and inserts the enter/exit protocol
+/// instructions. For a swap, enter logs the first-overwritten element
+/// dynamically (RearrangeEnterDyn): the second element reaches its new
+/// slot before its old slot is overwritten, so it is present in the array
+/// at every instant, and the first is covered by the log. \returns the
+/// rewritten body (the original body, untouched, when nothing matches).
+RearrangeResult recognizeMoveDownLoops(const Method &M);
+
+} // namespace satb
+
+#endif // SATB_ANALYSIS_REARRANGE_H

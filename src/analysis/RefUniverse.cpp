@@ -1,0 +1,70 @@
+//===- analysis/RefUniverse.cpp -------------------------------------------===//
+
+#include "analysis/RefUniverse.h"
+
+#include <cstdio>
+
+using namespace satb;
+
+RefUniverse::RefUniverse(const Method &M, bool TwoNamesPerSite)
+    : TwoNames(TwoNamesPerSite) {
+  // RefId 0 is GlobalRef.
+  uint32_t Next = 1;
+  ArgRefs.reserve(M.numArgs());
+  for (uint32_t A = 0, E = M.numArgs(); A != E; ++A)
+    ArgRefs.push_back(M.ArgTypes[A] == JType::Ref ? Next++ : InvalidId);
+
+  FirstSiteRef = Next;
+  InstrToSite.assign(M.Instructions.size(), InvalidId);
+  for (uint32_t I = 0, E = static_cast<uint32_t>(M.Instructions.size());
+       I != E; ++I) {
+    const Instruction &Ins = M.Instructions[I];
+    if (Ins.Op != Opcode::NewInstance && Ins.Op != Opcode::NewRefArray &&
+        Ins.Op != Opcode::NewIntArray)
+      continue;
+    InstrToSite[I] = static_cast<uint32_t>(Sites.size());
+    AllocSite S;
+    S.InstrIdx = I;
+    S.Kind = Ins.Op;
+    if (Ins.Op == Opcode::NewInstance)
+      S.Class = static_cast<ClassId>(Ins.A);
+    Sites.push_back(S);
+  }
+  NumRefs = FirstSiteRef + numSites() * (TwoNames ? 2 : 1);
+}
+
+bool RefUniverse::isRefArrayRef(RefId R) const {
+  uint32_t Site = siteOfRef(R);
+  if (Site == InvalidId) {
+    // GlobalRef and argument refs may denote anything, including arrays.
+    return true;
+  }
+  return Sites[Site].Kind == Opcode::NewRefArray;
+}
+
+bool RefUniverse::isArrayRef(RefId R) const {
+  uint32_t Site = siteOfRef(R);
+  if (Site == InvalidId)
+    return true;
+  return Sites[Site].Kind == Opcode::NewRefArray ||
+         Sites[Site].Kind == Opcode::NewIntArray;
+}
+
+std::string RefUniverse::refName(RefId R) const {
+  if (R == GlobalRef)
+    return "Global";
+  if (R < FirstSiteRef) {
+    for (uint32_t A = 0; A != ArgRefs.size(); ++A)
+      if (ArgRefs[A] == R) {
+        char Buf[16];
+        std::snprintf(Buf, sizeof(Buf), "Arg%u", A);
+        return Buf;
+      }
+    return "<bad-arg-ref>";
+  }
+  uint32_t Site = siteOfRef(R);
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "Site%u/%s", Site,
+                !TwoNames ? "AB" : (isSiteA(R) ? "A" : "B"));
+  return Buf;
+}

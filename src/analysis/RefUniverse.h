@@ -1,0 +1,127 @@
+//===- analysis/RefUniverse.h - Abstract reference values ------*- C++ -*-===//
+///
+/// \file
+/// The abstract reference value space of Section 2.1. For a method under
+/// analysis we create:
+///
+///   - GlobalRef: all objects allocated outside the method and not passed
+///     as arguments (RefId 0);
+///   - R_arg(i): the initial value of each reference-typed argument,
+///     non-unique and (except a constructor's `this`) non-thread-local;
+///   - R_id/A and R_id/B per allocation site: the object most recently
+///     allocated at the site, and the summary of all earlier ones. Only
+///     R_id/A (and a constructor's `this`) satisfy unique(), enabling
+///     strong update (Section 2.4).
+///
+/// The TwoNamesPerSite knob exists for the ablation bench: with it off, a
+/// site gets a single non-unique summary name, reproducing the imprecision
+/// the paper's W1/W2 example motivates against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_ANALYSIS_REFUNIVERSE_H
+#define SATB_ANALYSIS_REFUNIVERSE_H
+
+#include "bytecode/Program.h"
+
+#include <vector>
+
+namespace satb {
+
+using RefId = uint32_t;
+
+/// One allocation site in the (post-inlining) method body.
+struct AllocSite {
+  uint32_t InstrIdx = 0;
+  Opcode Kind = Opcode::NewInstance; ///< NewInstance/NewRefArray/NewIntArray
+  ClassId Class = InvalidId;         ///< for NewInstance
+};
+
+/// The finite set of abstract references for one method, fixed before the
+/// fixpoint iteration starts (the lattice must be finite, Section 2.4).
+class RefUniverse {
+public:
+  /// Scans \p M (after inlining) for allocation sites and reference
+  /// arguments.
+  RefUniverse(const Method &M, bool TwoNamesPerSite);
+
+  static constexpr RefId GlobalRef = 0;
+
+  uint32_t numRefs() const { return NumRefs; }
+  uint32_t numSites() const { return static_cast<uint32_t>(Sites.size()); }
+  const AllocSite &site(uint32_t SiteIdx) const { return Sites[SiteIdx]; }
+
+  /// \returns the R_arg(i) id for argument \p ArgIdx, or InvalidId for an
+  /// int-typed argument.
+  RefId argRef(uint32_t ArgIdx) const {
+    assert(ArgIdx < ArgRefs.size() && "argument index out of range");
+    return ArgRefs[ArgIdx];
+  }
+
+  /// \returns the allocation-site index of the allocation instruction at
+  /// \p InstrIdx, or InvalidId if that instruction is not an allocation.
+  uint32_t siteOfInstr(uint32_t InstrIdx) const {
+    assert(InstrIdx < InstrToSite.size() && "instruction out of range");
+    return InstrToSite[InstrIdx];
+  }
+
+  /// R_id/A: the most recently allocated object of site \p SiteIdx.
+  RefId siteA(uint32_t SiteIdx) const {
+    assert(SiteIdx < Sites.size() && "site index out of range");
+    return FirstSiteRef + SiteIdx * (TwoNames ? 2 : 1);
+  }
+
+  /// R_id/B: the summary of previously allocated objects of the site. With
+  /// TwoNamesPerSite off this is the same id as siteA.
+  RefId siteB(uint32_t SiteIdx) const {
+    assert(SiteIdx < Sites.size() && "site index out of range");
+    return siteA(SiteIdx) + (TwoNames ? 1 : 0);
+  }
+
+  /// unique(r): r denotes a single concrete reference (Section 2.1). True
+  /// for R_id/A names; additionally true for a constructor's R_arg(0),
+  /// which callers handle via uniqueInContext.
+  bool isSiteA(RefId R) const {
+    if (!TwoNames || R < FirstSiteRef)
+      return false;
+    return (R - FirstSiteRef) % 2 == 0;
+  }
+
+  /// \returns the unique() predicate for \p R when analyzing a method where
+  /// \p IsConstructor indicates a constructor body.
+  bool uniqueInContext(RefId R, bool IsConstructor) const {
+    if (isSiteA(R))
+      return true;
+    return IsConstructor && !ArgRefs.empty() && R == ArgRefs[0] &&
+           R != InvalidId;
+  }
+
+  /// \returns the site index of an allocation-site ref, or InvalidId for
+  /// GlobalRef/argument refs.
+  uint32_t siteOfRef(RefId R) const {
+    if (R < FirstSiteRef)
+      return InvalidId;
+    return (R - FirstSiteRef) / (TwoNames ? 2 : 1);
+  }
+
+  /// \returns true if \p R can denote a reference array (and so has
+  /// f_elems contents and a null range).
+  bool isRefArrayRef(RefId R) const;
+  /// \returns true if \p R can denote any array (for Len tracking).
+  bool isArrayRef(RefId R) const;
+
+  /// \returns a debug name like "Global", "Arg0", "Site3/A".
+  std::string refName(RefId R) const;
+
+private:
+  bool TwoNames;
+  uint32_t NumRefs = 0;
+  uint32_t FirstSiteRef = 0;
+  std::vector<RefId> ArgRefs;        ///< per method argument
+  std::vector<AllocSite> Sites;
+  std::vector<uint32_t> InstrToSite; ///< per instruction, or InvalidId
+};
+
+} // namespace satb
+
+#endif // SATB_ANALYSIS_REFUNIVERSE_H

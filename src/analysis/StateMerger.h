@@ -1,0 +1,88 @@
+//===- analysis/StateMerger.h - State merging incl. Figure 1 ---*- C++ -*-===//
+///
+/// \file
+/// Merging of abstract program states at control-flow joins (Sections 2.2
+/// and 3.5). Reference sets merge by union, NL by union, sigma/Len/NR
+/// pointwise with absent keys acting as Bottom, and null-or-same facts by
+/// intersection.
+///
+/// Integer state components — integer-valued locals and stack slots, and
+/// the bounds of uninitialized ranges — merge through the merge_intvals
+/// procedure of Figure 1: when two components differ by the same constant
+/// stride, a shared variable unknown is created (or reused) so the merged
+/// state can express that they vary together. The U / mu1 / mu2 maps live
+/// for the duration of one state merge.
+///
+/// Erroneous fixed-stride assumptions are harmless: the fixpoint iteration
+/// validates them and degrades the offending component to Top (Section
+/// 3.5). A per-merge widening flag disables variable creation so the
+/// driver can force convergence after a visit budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_ANALYSIS_STATEMERGER_H
+#define SATB_ANALYSIS_STATEMERGER_H
+
+#include "analysis/AnalysisState.h"
+
+#include <map>
+
+namespace satb {
+
+/// Allocates variable unknowns for one analysis run, with a hard cap as a
+/// termination backstop (past the cap merges degrade to Top).
+class VarAllocator {
+public:
+  explicit VarAllocator(uint32_t Cap = 512) : Cap(Cap) {}
+
+  /// \returns a fresh VarId, or NoVar if the cap is exhausted.
+  VarId allocate() { return Next < Cap ? Next++ : NoVar; }
+
+private:
+  uint32_t Next = 0;
+  uint32_t Cap;
+};
+
+/// Merges one incoming state into a stored block in-state. Construct one
+/// merger per merge operation: it owns the per-merge U / mu maps.
+class StateMerger {
+public:
+  /// \p Widen forces differing integer components to Top instead of
+  /// creating variable unknowns (used past the block-visit budget).
+  StateMerger(VarAllocator &Vars, bool Widen) : Vars(Vars), Widen(Widen) {}
+
+  /// Merges \p Incoming into \p Stored. \returns true if \p Stored changed.
+  /// Stack shapes must agree (the verifier guarantees this).
+  bool merge(AnalysisState &Stored, const AnalysisState &Incoming);
+
+  /// The merge_intvals procedure of Figure 1. Public for direct unit
+  /// testing. \p I1 is the stored state's component, \p I2 the incoming
+  /// state's.
+  IntVal mergeIntVals(const IntVal &I1, const IntVal &I2);
+
+private:
+  using Subst = std::map<VarId, IntVal>;
+
+  /// Figure 1 with explicit substitution maps; \p M1/\p M2 follow any swap
+  /// of i1/i2.
+  IntVal mergeIntValsImpl(IntVal I1, IntVal I2, Subst &M1, Subst &M2);
+
+  /// match(i1, i2): i1 has variable term a1*v1; succeeds when i2 has a
+  /// variable term with the same coefficient a1, returning the IntVal that
+  /// expresses v1 in terms of i2's variable plus a constant expression.
+  static std::optional<IntVal> match(const IntVal &I1, const IntVal &I2);
+
+  /// Merges two null ranges; bound merging goes through mergeIntVals so
+  /// range bounds participate in common-stride inference.
+  IntRange mergeRanges(const IntRange &R1, const IntRange &R2);
+
+  VarAllocator &Vars;
+  bool Widen;
+  /// U: stride -> variable unknown (keyed by the pure-constant delta).
+  std::map<int64_t, VarId> StrideVars;
+  Subst Mu1, Mu2;
+};
+
+} // namespace satb
+
+#endif // SATB_ANALYSIS_STATEMERGER_H

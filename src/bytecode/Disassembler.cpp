@@ -1,0 +1,91 @@
+//===- bytecode/Disassembler.cpp ------------------------------------------===//
+
+#include "bytecode/Disassembler.h"
+
+#include <cstdio>
+
+using namespace satb;
+
+std::string satb::disassemble(const Program &P, const Instruction &I) {
+  std::string Out = opcodeName(I.Op);
+  auto AppendInt = [&Out](int64_t V) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), " %lld", static_cast<long long>(V));
+    Out += Buf;
+  };
+  switch (I.Op) {
+  case Opcode::IConst:
+  case Opcode::ILoad:
+  case Opcode::IStore:
+  case Opcode::ALoad:
+  case Opcode::AStore:
+    AppendInt(I.A);
+    break;
+  case Opcode::IInc:
+    AppendInt(I.A);
+    AppendInt(I.B);
+    break;
+  case Opcode::GetField:
+  case Opcode::PutField: {
+    const FieldDecl &F = P.fieldDecl(static_cast<FieldId>(I.A));
+    Out += " ";
+    if (F.Owner != InvalidId) {
+      Out += P.classDecl(F.Owner).Name;
+      Out += ".";
+    }
+    Out += F.Name;
+    break;
+  }
+  case Opcode::GetStatic:
+  case Opcode::PutStatic:
+    Out += " ";
+    Out += P.staticDecl(static_cast<StaticFieldId>(I.A)).Name;
+    break;
+  case Opcode::NewInstance:
+    Out += " ";
+    Out += P.classDecl(static_cast<ClassId>(I.A)).Name;
+    break;
+  case Opcode::Invoke:
+    Out += " ";
+    Out += P.method(static_cast<MethodId>(I.A)).Name;
+    break;
+  case Opcode::Goto:
+  case Opcode::IfEq:
+  case Opcode::IfNe:
+  case Opcode::IfLt:
+  case Opcode::IfGe:
+  case Opcode::IfGt:
+  case Opcode::IfLe:
+  case Opcode::IfICmpEq:
+  case Opcode::IfICmpNe:
+  case Opcode::IfICmpLt:
+  case Opcode::IfICmpGe:
+  case Opcode::IfICmpGt:
+  case Opcode::IfICmpLe:
+  case Opcode::IfNull:
+  case Opcode::IfNonNull:
+  case Opcode::IfACmpEq:
+  case Opcode::IfACmpNe:
+    Out += " ->";
+    AppendInt(I.A);
+    break;
+  default:
+    break;
+  }
+  return Out;
+}
+
+std::string satb::disassemble(const Program &P, const Method &M) {
+  std::string Out;
+  Out += M.Name;
+  Out += M.IsConstructor ? " (constructor)" : "";
+  Out += ":\n";
+  for (size_t I = 0, E = M.Instructions.size(); I != E; ++I) {
+    char Buf[16];
+    std::snprintf(Buf, sizeof(Buf), "  %4u: ", static_cast<unsigned>(I));
+    Out += Buf;
+    Out += disassemble(P, M.Instructions[I]);
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,26 @@
+//===- bytecode/Disassembler.h - Human readable bytecode dumps -*- C++ -*-===//
+///
+/// \file
+/// Renders methods and programs as text for tests, examples, and debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_BYTECODE_DISASSEMBLER_H
+#define SATB_BYTECODE_DISASSEMBLER_H
+
+#include "bytecode/Program.h"
+
+#include <string>
+
+namespace satb {
+
+/// \returns a one-line rendering of \p I, resolving field/method/class names
+/// against \p P, e.g. "putfield Node.next".
+std::string disassemble(const Program &P, const Instruction &I);
+
+/// \returns a multi-line listing of \p M with instruction indices.
+std::string disassemble(const Program &P, const Method &M);
+
+} // namespace satb
+
+#endif // SATB_BYTECODE_DISASSEMBLER_H

@@ -1,0 +1,73 @@
+//===- bytecode/MethodBuilder.cpp -----------------------------------------===//
+
+#include "bytecode/MethodBuilder.h"
+
+using namespace satb;
+
+MethodBuilder::MethodBuilder(Program &P, std::string Name,
+                             std::vector<JType> ArgTypes,
+                             std::optional<JType> ReturnType)
+    : P(P) {
+  M.Name = std::move(Name);
+  M.IsStatic = true;
+  M.ArgTypes = std::move(ArgTypes);
+  M.ReturnType = ReturnType;
+  M.NumLocals = M.numArgs();
+}
+
+MethodBuilder::MethodBuilder(Program &P, std::string Name, ClassId Owner,
+                             std::vector<JType> ArgTypes,
+                             std::optional<JType> ReturnType,
+                             bool IsConstructor)
+    : P(P) {
+  M.Name = std::move(Name);
+  M.Owner = Owner;
+  M.IsStatic = false;
+  M.IsConstructor = IsConstructor;
+  M.ArgTypes.push_back(JType::Ref); // implicit `this`
+  for (JType T : ArgTypes)
+    M.ArgTypes.push_back(T);
+  M.ReturnType = ReturnType;
+  M.NumLocals = M.numArgs();
+}
+
+Local MethodBuilder::newLocal(JType) {
+  assert(!Finished && "builder already finished");
+  return Local{M.NumLocals++};
+}
+
+Label MethodBuilder::newLabel() {
+  LabelTargets.push_back(InvalidId);
+  return Label{static_cast<uint32_t>(LabelTargets.size() - 1)};
+}
+
+MethodBuilder &MethodBuilder::bind(Label L) {
+  assert(L.Id < LabelTargets.size() && "bind of unknown label");
+  assert(LabelTargets[L.Id] == InvalidId && "label bound twice");
+  LabelTargets[L.Id] = nextIndex();
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::emit(Opcode Op, int32_t A, int32_t B) {
+  assert(!Finished && "builder already finished");
+  M.Instructions.push_back(Instruction{Op, A, B});
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::emitBranch(Opcode Op, Label L) {
+  assert(L.Id < LabelTargets.size() && "branch to unknown label");
+  Fixups.emplace_back(nextIndex(), L.Id);
+  return emit(Op, /*A=*/-1);
+}
+
+MethodId MethodBuilder::finish() {
+  assert(!Finished && "finish called twice");
+  Finished = true;
+  for (auto [InstrIdx, LabelId] : Fixups) {
+    uint32_t Target = LabelTargets[LabelId];
+    assert(Target != InvalidId && "branch to unbound label");
+    assert(Target <= M.Instructions.size() && "label past end of method");
+    M.Instructions[InstrIdx].A = static_cast<int32_t>(Target);
+  }
+  return P.addMethod(std::move(M));
+}

@@ -1,0 +1,173 @@
+//===- bytecode/MethodBuilder.h - Fluent bytecode assembler ----*- C++ -*-===//
+///
+/// \file
+/// A fluent assembler for Method bodies with forward-reference labels.
+/// All workloads and most tests build their bytecode through this class.
+///
+/// \code
+///   MethodBuilder B(P, "sum", {JType::Int});
+///   Local N = B.arg(0), I = B.newLocal(JType::Int);
+///   Label Loop = B.newLabel(), Done = B.newLabel();
+///   B.iconst(0).istore(I);
+///   B.bind(Loop).iload(I).iload(N).ifICmpGe(Done);
+///   B.iinc(I, 1).jump(Loop);
+///   B.bind(Done).iload(I).ireturn();
+///   MethodId Id = B.finish();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_BYTECODE_METHODBUILDER_H
+#define SATB_BYTECODE_METHODBUILDER_H
+
+#include "bytecode/Program.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace satb {
+
+/// Opaque handle to a local variable slot.
+struct Local {
+  uint32_t Index = InvalidId;
+};
+
+/// Opaque handle to a code position that may be referenced before bound.
+struct Label {
+  uint32_t Id = InvalidId;
+};
+
+/// Builds one Method and registers it with a Program on finish().
+class MethodBuilder {
+public:
+  /// Creates a builder for a static method.
+  MethodBuilder(Program &P, std::string Name, std::vector<JType> ArgTypes,
+                std::optional<JType> ReturnType = std::nullopt);
+
+  /// Creates a builder for an instance method or constructor of \p Owner;
+  /// `this` is implicitly prepended as Ref arg 0.
+  MethodBuilder(Program &P, std::string Name, ClassId Owner,
+                std::vector<JType> ArgTypes,
+                std::optional<JType> ReturnType, bool IsConstructor);
+
+  /// \returns the local holding argument \p I (0-based; includes `this`).
+  Local arg(uint32_t I) const {
+    assert(I < M.numArgs() && "argument index out of range");
+    return Local{I};
+  }
+
+  /// Allocates a fresh local slot. \p Type is advisory (the verifier infers
+  /// types from use); it exists so builders document intent.
+  Local newLocal(JType Type);
+
+  Label newLabel();
+
+  /// Binds \p L to the next emitted instruction.
+  MethodBuilder &bind(Label L);
+
+  // Constants and locals.
+  MethodBuilder &iconst(int32_t V) { return emit(Opcode::IConst, V); }
+  MethodBuilder &aconstNull() { return emit(Opcode::AConstNull); }
+  MethodBuilder &iload(Local L) { return emit(Opcode::ILoad, idx(L)); }
+  MethodBuilder &istore(Local L) { return emit(Opcode::IStore, idx(L)); }
+  MethodBuilder &aload(Local L) { return emit(Opcode::ALoad, idx(L)); }
+  MethodBuilder &astore(Local L) { return emit(Opcode::AStore, idx(L)); }
+  MethodBuilder &iinc(Local L, int32_t Delta) {
+    return emit(Opcode::IInc, idx(L), Delta);
+  }
+
+  // Stack manipulation.
+  MethodBuilder &dup() { return emit(Opcode::Dup); }
+  MethodBuilder &pop() { return emit(Opcode::Pop); }
+  MethodBuilder &swap() { return emit(Opcode::Swap); }
+
+  // Arithmetic.
+  MethodBuilder &iadd() { return emit(Opcode::IAdd); }
+  MethodBuilder &isub() { return emit(Opcode::ISub); }
+  MethodBuilder &imul() { return emit(Opcode::IMul); }
+  MethodBuilder &idiv() { return emit(Opcode::IDiv); }
+  MethodBuilder &irem() { return emit(Opcode::IRem); }
+  MethodBuilder &ineg() { return emit(Opcode::INeg); }
+
+  // Fields, statics, arrays, allocation, calls.
+  MethodBuilder &getfield(FieldId F) {
+    return emit(Opcode::GetField, static_cast<int32_t>(F));
+  }
+  MethodBuilder &putfield(FieldId F) {
+    return emit(Opcode::PutField, static_cast<int32_t>(F));
+  }
+  MethodBuilder &getstatic(StaticFieldId F) {
+    return emit(Opcode::GetStatic, static_cast<int32_t>(F));
+  }
+  MethodBuilder &putstatic(StaticFieldId F) {
+    return emit(Opcode::PutStatic, static_cast<int32_t>(F));
+  }
+  MethodBuilder &newInstance(ClassId C) {
+    return emit(Opcode::NewInstance, static_cast<int32_t>(C));
+  }
+  MethodBuilder &newRefArray() { return emit(Opcode::NewRefArray); }
+  MethodBuilder &newIntArray() { return emit(Opcode::NewIntArray); }
+  MethodBuilder &aaload() { return emit(Opcode::AALoad); }
+  MethodBuilder &aastore() { return emit(Opcode::AAStore); }
+  MethodBuilder &iaload() { return emit(Opcode::IALoad); }
+  MethodBuilder &iastore() { return emit(Opcode::IAStore); }
+  MethodBuilder &arraylength() { return emit(Opcode::ArrayLength); }
+  MethodBuilder &invoke(MethodId Callee) {
+    return emit(Opcode::Invoke, static_cast<int32_t>(Callee));
+  }
+
+  // Control flow. Branch operands are labels, patched in finish().
+  MethodBuilder &jump(Label L) { return emitBranch(Opcode::Goto, L); }
+  MethodBuilder &ifeq(Label L) { return emitBranch(Opcode::IfEq, L); }
+  MethodBuilder &ifne(Label L) { return emitBranch(Opcode::IfNe, L); }
+  MethodBuilder &iflt(Label L) { return emitBranch(Opcode::IfLt, L); }
+  MethodBuilder &ifge(Label L) { return emitBranch(Opcode::IfGe, L); }
+  MethodBuilder &ifgt(Label L) { return emitBranch(Opcode::IfGt, L); }
+  MethodBuilder &ifle(Label L) { return emitBranch(Opcode::IfLe, L); }
+  MethodBuilder &ifICmpEq(Label L) { return emitBranch(Opcode::IfICmpEq, L); }
+  MethodBuilder &ifICmpNe(Label L) { return emitBranch(Opcode::IfICmpNe, L); }
+  MethodBuilder &ifICmpLt(Label L) { return emitBranch(Opcode::IfICmpLt, L); }
+  MethodBuilder &ifICmpGe(Label L) { return emitBranch(Opcode::IfICmpGe, L); }
+  MethodBuilder &ifICmpGt(Label L) { return emitBranch(Opcode::IfICmpGt, L); }
+  MethodBuilder &ifICmpLe(Label L) { return emitBranch(Opcode::IfICmpLe, L); }
+  MethodBuilder &ifnull(Label L) { return emitBranch(Opcode::IfNull, L); }
+  MethodBuilder &ifnonnull(Label L) {
+    return emitBranch(Opcode::IfNonNull, L);
+  }
+  MethodBuilder &ifACmpEq(Label L) { return emitBranch(Opcode::IfACmpEq, L); }
+  MethodBuilder &ifACmpNe(Label L) { return emitBranch(Opcode::IfACmpNe, L); }
+
+  MethodBuilder &ret() { return emit(Opcode::Ret); }
+  MethodBuilder &ireturn() { return emit(Opcode::IReturn); }
+  MethodBuilder &areturn() { return emit(Opcode::AReturn); }
+
+  /// Appends a raw instruction (for tests that need exotic shapes).
+  MethodBuilder &emit(Opcode Op, int32_t A = 0, int32_t B = 0);
+
+  /// \returns the index the next emitted instruction will have.
+  uint32_t nextIndex() const {
+    return static_cast<uint32_t>(M.Instructions.size());
+  }
+
+  /// Patches labels, finalizes the Method, registers it with the Program,
+  /// and returns its id. The builder must not be used afterwards.
+  MethodId finish();
+
+private:
+  static int32_t idx(Local L) {
+    assert(L.Index != InvalidId && "use of invalid local");
+    return static_cast<int32_t>(L.Index);
+  }
+  MethodBuilder &emitBranch(Opcode Op, Label L);
+
+  Program &P;
+  Method M;
+  std::vector<uint32_t> LabelTargets; ///< per label: bound index or InvalidId
+  /// (instruction index, label id) pairs awaiting patching.
+  std::vector<std::pair<uint32_t, uint32_t>> Fixups;
+  bool Finished = false;
+};
+
+} // namespace satb
+
+#endif // SATB_BYTECODE_METHODBUILDER_H

@@ -1,0 +1,150 @@
+//===- bytecode/Opcode.cpp ------------------------------------------------===//
+
+#include "bytecode/Opcode.h"
+
+#include <cassert>
+
+using namespace satb;
+
+const char *satb::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::IConst:
+    return "iconst";
+  case Opcode::AConstNull:
+    return "aconst_null";
+  case Opcode::ILoad:
+    return "iload";
+  case Opcode::IStore:
+    return "istore";
+  case Opcode::ALoad:
+    return "aload";
+  case Opcode::AStore:
+    return "astore";
+  case Opcode::IInc:
+    return "iinc";
+  case Opcode::Dup:
+    return "dup";
+  case Opcode::Pop:
+    return "pop";
+  case Opcode::Swap:
+    return "swap";
+  case Opcode::IAdd:
+    return "iadd";
+  case Opcode::ISub:
+    return "isub";
+  case Opcode::IMul:
+    return "imul";
+  case Opcode::IDiv:
+    return "idiv";
+  case Opcode::IRem:
+    return "irem";
+  case Opcode::INeg:
+    return "ineg";
+  case Opcode::GetField:
+    return "getfield";
+  case Opcode::PutField:
+    return "putfield";
+  case Opcode::GetStatic:
+    return "getstatic";
+  case Opcode::PutStatic:
+    return "putstatic";
+  case Opcode::NewInstance:
+    return "newinstance";
+  case Opcode::NewRefArray:
+    return "newrefarray";
+  case Opcode::NewIntArray:
+    return "newintarray";
+  case Opcode::AALoad:
+    return "aaload";
+  case Opcode::AAStore:
+    return "aastore";
+  case Opcode::IALoad:
+    return "iaload";
+  case Opcode::IAStore:
+    return "iastore";
+  case Opcode::ArrayLength:
+    return "arraylength";
+  case Opcode::Invoke:
+    return "invoke";
+  case Opcode::Goto:
+    return "goto";
+  case Opcode::IfEq:
+    return "ifeq";
+  case Opcode::IfNe:
+    return "ifne";
+  case Opcode::IfLt:
+    return "iflt";
+  case Opcode::IfGe:
+    return "ifge";
+  case Opcode::IfGt:
+    return "ifgt";
+  case Opcode::IfLe:
+    return "ifle";
+  case Opcode::IfICmpEq:
+    return "if_icmpeq";
+  case Opcode::IfICmpNe:
+    return "if_icmpne";
+  case Opcode::IfICmpLt:
+    return "if_icmplt";
+  case Opcode::IfICmpGe:
+    return "if_icmpge";
+  case Opcode::IfICmpGt:
+    return "if_icmpgt";
+  case Opcode::IfICmpLe:
+    return "if_icmple";
+  case Opcode::IfNull:
+    return "ifnull";
+  case Opcode::IfNonNull:
+    return "ifnonnull";
+  case Opcode::IfACmpEq:
+    return "if_acmpeq";
+  case Opcode::IfACmpNe:
+    return "if_acmpne";
+  case Opcode::Ret:
+    return "return";
+  case Opcode::IReturn:
+    return "ireturn";
+  case Opcode::AReturn:
+    return "areturn";
+  case Opcode::RearrangeEnter:
+    return "rearrange_enter";
+  case Opcode::RearrangeExit:
+    return "rearrange_exit";
+  case Opcode::RearrangeEnterDyn:
+    return "rearrange_enter_dyn";
+  }
+  assert(false && "unknown opcode");
+  return "<bad>";
+}
+
+bool satb::isBranch(Opcode Op) {
+  return Op == Opcode::Goto || isConditionalBranch(Op);
+}
+
+bool satb::isConditionalBranch(Opcode Op) {
+  switch (Op) {
+  case Opcode::IfEq:
+  case Opcode::IfNe:
+  case Opcode::IfLt:
+  case Opcode::IfGe:
+  case Opcode::IfGt:
+  case Opcode::IfLe:
+  case Opcode::IfICmpEq:
+  case Opcode::IfICmpNe:
+  case Opcode::IfICmpLt:
+  case Opcode::IfICmpGe:
+  case Opcode::IfICmpGt:
+  case Opcode::IfICmpLe:
+  case Opcode::IfNull:
+  case Opcode::IfNonNull:
+  case Opcode::IfACmpEq:
+  case Opcode::IfACmpNe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool satb::isReturn(Opcode Op) {
+  return Op == Opcode::Ret || Op == Opcode::IReturn || Op == Opcode::AReturn;
+}

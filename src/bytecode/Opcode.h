@@ -1,0 +1,127 @@
+//===- bytecode/Opcode.h - Instruction set definition ----------*- C++ -*-===//
+///
+/// \file
+/// The stack-machine instruction set the analyses of Nandivada & Detlefs
+/// (CGO 2005) are defined over. This is the JVM bytecode subset that appears
+/// in the paper's transfer functions (Sections 2.4 and 3.3) plus the integer
+/// arithmetic and control flow needed to write realistic programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_BYTECODE_OPCODE_H
+#define SATB_BYTECODE_OPCODE_H
+
+#include <cstdint>
+
+namespace satb {
+
+/// The instruction opcodes. Operand meanings are documented per opcode; `A`
+/// and `B` refer to the two immediate operands of Instruction.
+enum class Opcode : uint8_t {
+  // Constants.
+  IConst,     ///< push int A
+  AConstNull, ///< push null reference
+
+  // Local variable access. A = local index.
+  ILoad,  ///< push int local A
+  IStore, ///< pop int into local A
+  ALoad,  ///< push ref local A
+  AStore, ///< pop ref into local A
+  IInc,   ///< local A += B (no stack effect)
+
+  // Operand stack manipulation (single-slot values only).
+  Dup,  ///< duplicate top of stack
+  Pop,  ///< discard top of stack
+  Swap, ///< exchange the two top slots
+
+  // Integer arithmetic. Pop two, push one (INeg pops one).
+  IAdd,
+  ISub,
+  IMul,
+  IDiv, ///< traps on division by zero
+  IRem, ///< traps on division by zero
+  INeg,
+
+  // Object field access. A = FieldId.
+  GetField, ///< pop objref, push field value; traps on null
+  PutField, ///< pop value, pop objref, store; traps on null.
+            ///< Ref-typed PutField is a SATB write-barrier site.
+
+  // Static field access. A = StaticFieldId.
+  GetStatic,
+  PutStatic, ///< Ref-typed PutStatic is a SATB write-barrier site.
+
+  // Object and array allocation.
+  NewInstance, ///< A = ClassId; push ref to zero-initialized object
+  NewRefArray, ///< pop length, push ref array (elements null); A = site tag
+  NewIntArray, ///< pop length, push int array (elements 0)
+
+  // Array access.
+  AALoad,      ///< pop index, pop arrayref, push element; traps null/bounds
+  AAStore,     ///< pop value, index, arrayref; store. SATB barrier site.
+  IALoad,      ///< int-array load
+  IAStore,     ///< int-array store (never a barrier site)
+  ArrayLength, ///< pop arrayref, push length; traps on null
+
+  // Method invocation. A = MethodId (statically resolved; the analysis
+  // treats every call maximally conservatively per Section 2.4).
+  Invoke,
+
+  // Control flow. A = instruction index of the branch target.
+  Goto,
+  IfEq, ///< pop int, branch if == 0
+  IfNe,
+  IfLt,
+  IfGe,
+  IfGt,
+  IfLe,
+  IfICmpEq, ///< pop two ints v1, v2 (v2 on top), branch if v1 cmp v2
+  IfICmpNe,
+  IfICmpLt,
+  IfICmpGe,
+  IfICmpGt,
+  IfICmpLe,
+  IfNull,    ///< pop ref, branch if null
+  IfNonNull, ///< pop ref, branch if non-null
+  IfACmpEq,  ///< pop two refs, branch if identical
+  IfACmpNe,
+
+  // Returns.
+  Ret,     ///< return void
+  IReturn, ///< return int on top of stack
+  AReturn, ///< return ref on top of stack
+
+  // Synthetic instructions inserted by the Section 4.3 array-rearrangement
+  // transformation (analysis/Rearrange.h). No operand-stack effect.
+  RearrangeEnter, ///< A = ref local holding the array, B = dropped index.
+                  ///< Logs array[B]'s pre-value and snapshots the array's
+                  ///< tracing state when marking is active.
+  RearrangeExit,  ///< A = ref local. Re-reads the tracing state; if the
+                  ///< marker may have traced concurrently, queues the
+                  ///< array for retracing.
+  RearrangeEnterDyn, ///< Like RearrangeEnter, but B names the *int local*
+                     ///< holding the index of the first-overwritten
+                     ///< element (the swap idiom's dynamic index).
+};
+
+/// \returns a stable mnemonic for \p Op, e.g. "putfield".
+const char *opcodeName(Opcode Op);
+
+/// \returns true if \p Op unconditionally or conditionally transfers control.
+bool isBranch(Opcode Op);
+
+/// \returns true if \p Op is a conditional branch (falls through when the
+/// condition does not hold).
+bool isConditionalBranch(Opcode Op);
+
+/// \returns true if \p Op ends the method (any return).
+bool isReturn(Opcode Op);
+
+/// \returns true if \p Op never falls through to the next instruction.
+inline bool isTerminator(Opcode Op) {
+  return Op == Opcode::Goto || isReturn(Op);
+}
+
+} // namespace satb
+
+#endif // SATB_BYTECODE_OPCODE_H

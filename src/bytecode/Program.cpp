@@ -1,0 +1,12 @@
+//===- bytecode/Program.cpp -----------------------------------------------===//
+
+#include "bytecode/Program.h"
+
+using namespace satb;
+
+MethodId Program::findMethod(const std::string &Name) const {
+  for (uint32_t I = 0, E = numMethods(); I != E; ++I)
+    if (Methods[I].Name == Name)
+      return I;
+  return InvalidId;
+}

@@ -1,0 +1,151 @@
+//===- bytecode/Program.h - Classes, fields, methods, programs -*- C++ -*-===//
+///
+/// \file
+/// The class/field/method model. Classes are flat (no inheritance) and
+/// fields are typed Int or Ref; this is the minimum the paper's analyses
+/// need: the field analysis tracks abstract reference contents of fields
+/// (Section 2) and the array analysis tracks integer values (Section 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_BYTECODE_PROGRAM_H
+#define SATB_BYTECODE_PROGRAM_H
+
+#include "bytecode/Opcode.h"
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace satb {
+
+using ClassId = uint32_t;
+using FieldId = uint32_t;
+using StaticFieldId = uint32_t;
+using MethodId = uint32_t;
+
+constexpr uint32_t InvalidId = ~uint32_t(0);
+
+/// Slot types. The JVM distinguishes many primitive types; the analyses only
+/// care about reference vs. non-reference, so we model a single Int type.
+enum class JType : uint8_t { Int, Ref };
+
+/// One bytecode instruction. `A` and `B` are immediate operands whose
+/// meaning depends on the opcode (see Opcode.h).
+struct Instruction {
+  Opcode Op;
+  int32_t A = 0;
+  int32_t B = 0;
+};
+
+/// A field declared by a class. FieldIds are program-global.
+struct FieldDecl {
+  std::string Name;
+  ClassId Owner = InvalidId;
+  JType Type = JType::Ref;
+};
+
+/// A static (global) field. Ref-typed statics are GC roots and writes to
+/// them are escape points for the analysis (putstatic, Section 2.4).
+struct StaticFieldDecl {
+  std::string Name;
+  JType Type = JType::Ref;
+};
+
+/// A class: a name plus the FieldIds it declares, partitioned by type when
+/// laid out in the heap (see heap/Heap.h).
+struct ClassDecl {
+  std::string Name;
+  std::vector<FieldId> Fields;
+};
+
+/// A method body. Args occupy locals [0, NumArgs); instance methods and
+/// constructors receive `this` in local 0.
+struct Method {
+  std::string Name;
+  ClassId Owner = InvalidId; ///< InvalidId for free/static-utility methods.
+  bool IsConstructor = false;
+  bool IsStatic = true;
+  std::vector<JType> ArgTypes;          ///< includes `this` when !IsStatic
+  std::optional<JType> ReturnType;      ///< nullopt = void
+  uint32_t NumLocals = 0;               ///< >= ArgTypes.size()
+  std::vector<Instruction> Instructions;
+
+  uint32_t numArgs() const { return static_cast<uint32_t>(ArgTypes.size()); }
+
+  /// Size in "bytecodes" for inlining decisions, matching the paper's
+  /// "inline limit parameter determines the maximum bytecode size of an
+  /// inlined method" (Section 4.4).
+  uint32_t byteCodeSize() const {
+    return static_cast<uint32_t>(Instructions.size());
+  }
+};
+
+/// A whole program: the unit the compiler, interpreter, and workloads share.
+class Program {
+public:
+  ClassId addClass(std::string Name) {
+    Classes.push_back(ClassDecl{std::move(Name), {}});
+    return static_cast<ClassId>(Classes.size() - 1);
+  }
+
+  FieldId addField(ClassId Owner, std::string Name, JType Type) {
+    assert(Owner < Classes.size() && "field owner out of range");
+    Fields.push_back(FieldDecl{std::move(Name), Owner, Type});
+    FieldId Id = static_cast<FieldId>(Fields.size() - 1);
+    Classes[Owner].Fields.push_back(Id);
+    return Id;
+  }
+
+  StaticFieldId addStaticField(std::string Name, JType Type) {
+    Statics.push_back(StaticFieldDecl{std::move(Name), Type});
+    return static_cast<StaticFieldId>(Statics.size() - 1);
+  }
+
+  MethodId addMethod(Method M) {
+    Methods.push_back(std::move(M));
+    return static_cast<MethodId>(Methods.size() - 1);
+  }
+
+  const ClassDecl &classDecl(ClassId Id) const {
+    assert(Id < Classes.size() && "class id out of range");
+    return Classes[Id];
+  }
+  const FieldDecl &fieldDecl(FieldId Id) const {
+    assert(Id < Fields.size() && "field id out of range");
+    return Fields[Id];
+  }
+  const StaticFieldDecl &staticDecl(StaticFieldId Id) const {
+    assert(Id < Statics.size() && "static field id out of range");
+    return Statics[Id];
+  }
+  const Method &method(MethodId Id) const {
+    assert(Id < Methods.size() && "method id out of range");
+    return Methods[Id];
+  }
+  Method &method(MethodId Id) {
+    assert(Id < Methods.size() && "method id out of range");
+    return Methods[Id];
+  }
+
+  uint32_t numClasses() const { return static_cast<uint32_t>(Classes.size()); }
+  uint32_t numFields() const { return static_cast<uint32_t>(Fields.size()); }
+  uint32_t numStatics() const { return static_cast<uint32_t>(Statics.size()); }
+  uint32_t numMethods() const { return static_cast<uint32_t>(Methods.size()); }
+
+  /// Finds a method by name; returns InvalidId if absent. Linear scan —
+  /// intended for tests and tools, not hot paths.
+  MethodId findMethod(const std::string &Name) const;
+
+private:
+  std::vector<ClassDecl> Classes;
+  std::vector<FieldDecl> Fields;
+  std::vector<StaticFieldDecl> Statics;
+  std::vector<Method> Methods;
+};
+
+} // namespace satb
+
+#endif // SATB_BYTECODE_PROGRAM_H

@@ -1,0 +1,131 @@
+//===- gc/IncrementalUpdateMarker.cpp -------------------------------------===//
+
+#include "gc/IncrementalUpdateMarker.h"
+
+using namespace satb;
+
+void IncrementalUpdateMarker::beginMarking(
+    const std::vector<ObjRef> &MutatorRoots) {
+  assert(!Active && "marking already in progress");
+  Active = true;
+  MarkStack.clear();
+  size_t Work = 0;
+  for (ObjRef R : MutatorRoots)
+    pushIfUnmarked(R, Work);
+  for (ObjRef R : H.staticRefs())
+    pushIfUnmarked(R, Work);
+}
+
+void IncrementalUpdateMarker::pushIfUnmarked(ObjRef R, size_t &Work) {
+  if (R == NullRef)
+    return;
+  HeapObject *Obj = H.objectOrNull(R);
+  if (!Obj || Obj->Marked)
+    return;
+  Obj->Marked = true;
+  ++Stats.MarkedObjects;
+  ++Work;
+  MarkStack.push_back(R);
+}
+
+void IncrementalUpdateMarker::scanObject(ObjRef R, size_t &Work) {
+  HeapObject &Obj = H.object(R);
+  for (ObjRef Child : Obj.RefSlots)
+    pushIfUnmarked(Child, Work);
+  ++Work;
+}
+
+void IncrementalUpdateMarker::rescanCard(uint32_t Card, size_t &Work) {
+  Cards.clean(Card);
+  ObjRef Begin = Card << CardTable::CardShift;
+  ObjRef End = Begin + (1u << CardTable::CardShift);
+  for (ObjRef R = Begin == 0 ? 1 : Begin; R < End && R <= H.maxRef(); ++R) {
+    HeapObject *Obj = H.objectOrNull(R);
+    if (!Obj)
+      continue;
+    // Re-examine every marked object on the card: its fields may have been
+    // updated to point at unmarked objects. (Unmarked objects need no
+    // examination: if they become reachable, the write that made them so
+    // dirtied a card holding a marked object.)
+    if (Obj->Marked) {
+      for (ObjRef Child : Obj->RefSlots)
+        pushIfUnmarked(Child, Work);
+    }
+    ++Work;
+  }
+}
+
+bool IncrementalUpdateMarker::markStep(size_t Budget) {
+  assert(Active && "markStep outside a marking cycle");
+  size_t Work = 0;
+  while (Work < Budget) {
+    if (!MarkStack.empty()) {
+      ObjRef R = MarkStack.back();
+      MarkStack.pop_back();
+      scanObject(R, Work);
+      continue;
+    }
+    // Refill from one dirty card, if any.
+    bool Found = false;
+    for (uint32_t Card = 0, E = Cards.numCards(); Card != E; ++Card) {
+      if (Cards.isDirty(Card)) {
+        rescanCard(Card, Work);
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      break;
+  }
+  Stats.ConcurrentWork += Work;
+  return MarkStack.empty() && !Cards.anyDirty();
+}
+
+size_t IncrementalUpdateMarker::finishMarking(
+    const std::vector<ObjRef> &MutatorRoots) {
+  assert(Active && "finishMarking outside a marking cycle");
+  size_t Pause = 0;
+  // Roots must be re-scanned: the mutator may have stored the only
+  // reference to an object into a root after the concurrent phase visited
+  // it.
+  for (ObjRef R : MutatorRoots)
+    pushIfUnmarked(R, Pause);
+  for (ObjRef R : H.staticRefs())
+    pushIfUnmarked(R, Pause);
+  // Iterate to a clean card table with the world stopped.
+  bool Progress = true;
+  while (Progress) {
+    ++Stats.FinalPausePasses;
+    Progress = false;
+    while (!MarkStack.empty()) {
+      ObjRef R = MarkStack.back();
+      MarkStack.pop_back();
+      scanObject(R, Pause);
+      Progress = true;
+    }
+    for (uint32_t Card = 0, E = Cards.numCards(); Card != E; ++Card) {
+      if (Cards.isDirty(Card)) {
+        rescanCard(Card, Pause);
+        Progress = true;
+      }
+    }
+  }
+  Stats.FinalPauseWork += Pause;
+  Active = false;
+  return Pause;
+}
+
+size_t IncrementalUpdateMarker::sweep() {
+  assert(!Active && "sweep during marking");
+  size_t Freed = 0;
+  for (ObjRef R = 1, E = H.maxRef(); R <= E; ++R) {
+    HeapObject *Obj = H.objectOrNull(R);
+    if (Obj && !Obj->Marked) {
+      H.free(R);
+      ++Freed;
+    }
+  }
+  Stats.SweptObjects += Freed;
+  H.clearMarks();
+  return Freed;
+}

@@ -1,0 +1,106 @@
+//===- gc/IncrementalUpdateMarker.h - Mostly-parallel marking --*- C++ -*-===//
+///
+/// \file
+/// The comparison collector of Section 1: incremental-update concurrent
+/// marking in the mostly-parallel style of Boehm, Demers, and Shenker [6].
+/// The mutator's card-marking barrier records *where* pointers were
+/// written; the collector re-examines dirty locations. Unlike SATB,
+/// objects allocated during marking must be examined (their cards are
+/// dirtied at birth), and the final stop-the-world pause must re-scan
+/// roots and iterate over dirty cards until clean — which is why the paper
+/// reports SATB termination pauses "sometimes more than an order of
+/// magnitude smaller" (bench S1 reproduces the asymmetry).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_GC_INCREMENTALUPDATEMARKER_H
+#define SATB_GC_INCREMENTALUPDATEMARKER_H
+
+#include "heap/Heap.h"
+
+namespace satb {
+
+/// A card table over ObjRefs: CardShift objects per card.
+class CardTable {
+public:
+  static constexpr uint32_t CardShift = 7; ///< 128 objects per card
+
+  void dirty(ObjRef R) {
+    uint32_t Card = R >> CardShift;
+    if (Card >= Dirty.size())
+      Dirty.resize(Card + 1, false);
+    Dirty[Card] = true;
+  }
+  bool isDirty(uint32_t Card) const {
+    return Card < Dirty.size() && Dirty[Card];
+  }
+  void clean(uint32_t Card) {
+    if (Card < Dirty.size())
+      Dirty[Card] = false;
+  }
+  uint32_t numCards() const { return static_cast<uint32_t>(Dirty.size()); }
+  bool anyDirty() const {
+    for (bool B : Dirty)
+      if (B)
+        return true;
+    return false;
+  }
+
+private:
+  std::vector<bool> Dirty;
+};
+
+struct IncUpdateStats {
+  uint64_t CardsDirtied = 0;    ///< barrier executions
+  uint64_t ConcurrentWork = 0;
+  uint64_t FinalPauseWork = 0;  ///< slots re-examined inside the pause
+  uint64_t FinalPausePasses = 0;
+  uint64_t MarkedObjects = 0;
+  uint64_t SweptObjects = 0;
+};
+
+class IncrementalUpdateMarker {
+public:
+  explicit IncrementalUpdateMarker(Heap &H) : H(H) {}
+
+  bool isActive() const { return Active; }
+
+  void beginMarking(const std::vector<ObjRef> &MutatorRoots);
+
+  /// Mutator barrier: the card of the written object goes dirty. Also
+  /// called for objects allocated during marking.
+  void recordWrite(ObjRef Obj) {
+    if (!Active)
+      return;
+    Cards.dirty(Obj);
+    ++Stats.CardsDirtied;
+  }
+
+  /// Concurrent work: trace from the mark stack, refilling it from dirty
+  /// cards when it empties. \returns true when no work appears to remain.
+  bool markStep(size_t Budget);
+
+  /// Final stop-the-world pause: re-scan roots and iterate dirty-card
+  /// scanning to a clean table. \returns the pause work.
+  size_t finishMarking(const std::vector<ObjRef> &MutatorRoots);
+
+  size_t sweep();
+
+  const IncUpdateStats &stats() const { return Stats; }
+
+private:
+  void pushIfUnmarked(ObjRef R, size_t &Work);
+  void scanObject(ObjRef R, size_t &Work);
+  /// Rescans one dirty card: every live object on it is re-examined.
+  void rescanCard(uint32_t Card, size_t &Work);
+
+  Heap &H;
+  CardTable Cards;
+  bool Active = false;
+  std::vector<ObjRef> MarkStack;
+  IncUpdateStats Stats;
+};
+
+} // namespace satb
+
+#endif // SATB_GC_INCREMENTALUPDATEMARKER_H

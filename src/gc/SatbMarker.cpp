@@ -1,0 +1,178 @@
+//===- gc/SatbMarker.cpp --------------------------------------------------===//
+
+#include "gc/SatbMarker.h"
+
+using namespace satb;
+
+void SatbMarker::beginMarking(const std::vector<ObjRef> &MutatorRoots) {
+  assert(!Active && "marking already in progress");
+  Active = true;
+  H.setAllocateMarked(true);
+  MarkStack.clear();
+  // Root snapshot: mutator stacks + statics. Roots are marked immediately
+  // (they are trivially part of the snapshot).
+  size_t Work = 0;
+  for (ObjRef R : MutatorRoots)
+    pushIfUnmarked(R, Work);
+  for (ObjRef R : H.staticRefs())
+    pushIfUnmarked(R, Work);
+}
+
+void SatbMarker::pushIfUnmarked(ObjRef R, size_t &Work) {
+  if (R == NullRef)
+    return;
+  HeapObject *Obj = H.objectOrNull(R);
+  if (!Obj || Obj->Marked)
+    return;
+  Obj->Marked = true;
+  ++Stats.MarkedObjects;
+  ++Work;
+  MarkStack.push_back(R);
+}
+
+void SatbMarker::scanObject(ObjRef R, size_t &Work) {
+  HeapObject &Obj = H.object(R);
+  Obj.Tracing = TraceState::Tracing;
+  for (ObjRef Child : Obj.RefSlots)
+    pushIfUnmarked(Child, Work);
+  Obj.Tracing = TraceState::Traced;
+  ++Work;
+}
+
+void SatbMarker::logPreValue(ObjRef Pre) {
+  assert(Pre != NullRef && "inline barrier filters null pre-values");
+  ++Stats.LoggedPreValues;
+  CurrentBuffer.push_back(Pre);
+  if (CurrentBuffer.size() >= BufferCapacity)
+    flushCurrentBuffer();
+}
+
+void SatbMarker::flushCurrentBuffer() {
+  if (CurrentBuffer.empty())
+    return;
+  if (Active) {
+    ++Stats.BuffersFlushed;
+    CompletedBuffers.push_back(std::move(CurrentBuffer));
+  } else {
+    // Always-log mode outside a cycle: recycle the buffer unread.
+    ++Stats.BuffersDiscarded;
+  }
+  CurrentBuffer.clear();
+}
+
+bool SatbMarker::markStep(size_t Budget) {
+  assert(Active && "markStep outside a marking cycle");
+  size_t Work = 0;
+  while (Work < Budget) {
+    if (!MarkStack.empty()) {
+      ObjRef R = MarkStack.back();
+      MarkStack.pop_back();
+      scanObject(R, Work);
+      continue;
+    }
+    if (!CompletedBuffers.empty()) {
+      std::vector<ObjRef> Buf = std::move(CompletedBuffers.back());
+      CompletedBuffers.pop_back();
+      for (ObjRef Pre : Buf)
+        pushIfUnmarked(Pre, Work);
+      ++Work;
+      continue;
+    }
+    break;
+  }
+  Stats.ConcurrentWork += Work;
+  return MarkStack.empty() && CompletedBuffers.empty();
+}
+
+bool SatbMarker::enterRearrange(ObjRef Arr) {
+  if (!Active || Arr == NullRef)
+    return false;
+  HeapObject *Obj = H.objectOrNull(Arr);
+  if (!Obj)
+    return false;
+  ++Stats.RearrangesEntered;
+  ActiveRearranges[Arr] = Obj->Tracing;
+  return true;
+}
+
+void SatbMarker::exitRearrange(ObjRef Arr) {
+  auto It = ActiveRearranges.find(Arr);
+  if (It == ActiveRearranges.end())
+    return;
+  TraceState AtEnter = It->second;
+  ActiveRearranges.erase(It);
+  if (!Active)
+    return; // finishMarking already retraced the still-active set
+  HeapObject *Obj = H.objectOrNull(Arr);
+  TraceState Now = Obj ? Obj->Tracing : TraceState::Traced;
+  // Safe cases: the marker finished with the array before the loop ran
+  // (Traced -> Traced: it saw the pre-loop contents), or it never started
+  // (Untraced -> Untraced: it will see the post-loop contents, plus the
+  // dropped element logged at enter). Anything else may have interleaved.
+  bool Clean = (AtEnter == TraceState::Traced && Now == TraceState::Traced) ||
+               (AtEnter == TraceState::Untraced &&
+                Now == TraceState::Untraced);
+  if (Clean) {
+    ++Stats.RearrangesClean;
+    return;
+  }
+  ++Stats.RearrangeRetraces;
+  RetraceList.push_back(Arr);
+}
+
+size_t SatbMarker::finishMarking() {
+  assert(Active && "finishMarking outside a marking cycle");
+  // The pause: stop the mutator (implicit — the caller is sequential),
+  // flush its in-flight buffer, and drain to completion.
+  size_t Pause = 0;
+  flushCurrentBuffer();
+  // Rearrangement loops still in flight, plus every array whose loop
+  // overlapped the marker, are rescanned conservatively inside the pause.
+  for (const auto &[Arr, State] : ActiveRearranges) {
+    (void)State;
+    ++Stats.RearrangeRetraces;
+    RetraceList.push_back(Arr);
+  }
+  ActiveRearranges.clear();
+  for (ObjRef Arr : RetraceList) {
+    HeapObject *Obj = H.objectOrNull(Arr);
+    if (!Obj)
+      continue;
+    for (ObjRef Child : Obj->RefSlots)
+      pushIfUnmarked(Child, Pause);
+    ++Pause;
+  }
+  RetraceList.clear();
+  while (!MarkStack.empty() || !CompletedBuffers.empty()) {
+    if (!MarkStack.empty()) {
+      ObjRef R = MarkStack.back();
+      MarkStack.pop_back();
+      scanObject(R, Pause);
+      continue;
+    }
+    std::vector<ObjRef> Buf = std::move(CompletedBuffers.back());
+    CompletedBuffers.pop_back();
+    for (ObjRef Pre : Buf)
+      pushIfUnmarked(Pre, Pause);
+    ++Pause;
+  }
+  Stats.FinalPauseWork += Pause;
+  Active = false;
+  H.setAllocateMarked(false);
+  return Pause;
+}
+
+size_t SatbMarker::sweep() {
+  assert(!Active && "sweep during marking");
+  size_t Freed = 0;
+  for (ObjRef R = 1, E = H.maxRef(); R <= E; ++R) {
+    HeapObject *Obj = H.objectOrNull(R);
+    if (Obj && !Obj->Marked) {
+      H.free(R);
+      ++Freed;
+    }
+  }
+  Stats.SweptObjects += Freed;
+  H.clearMarks();
+  return Freed;
+}

@@ -1,0 +1,118 @@
+//===- gc/SatbMarker.h - Snapshot-at-the-beginning marking -----*- C++ -*-===//
+///
+/// \file
+/// A snapshot-at-the-beginning (Yuasa-style) concurrent marker in the
+/// style of the Garbage-First collector the paper used [10]. The collector
+/// "marks the objects reachable in a logical snapshot of the object graph
+/// taken at the start of marking"; the mutator preserves the snapshot by
+/// logging the pre-write value of every reference store into thread-local
+/// SATB buffers, which the marker drains concurrently. Objects allocated
+/// during marking are born marked and never examined.
+///
+/// The marker is step-driven so a deterministic scheduler can interleave
+/// it with the interpreter at instruction granularity (the property tests
+/// exercise adversarial interleavings); see interp/Interpreter.h.
+///
+/// The SATB guarantee — everything reachable in the start-of-marking
+/// snapshot is marked at the end — is the correctness oracle for barrier
+/// elision: an elided barrier is sound exactly when its store can never
+/// unlink part of the snapshot, which pre-null stores cannot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_GC_SATBMARKER_H
+#define SATB_GC_SATBMARKER_H
+
+#include "heap/Heap.h"
+
+#include <map>
+
+namespace satb {
+
+struct SatbStats {
+  uint64_t LoggedPreValues = 0;   ///< barrier slow-path executions
+  uint64_t BuffersFlushed = 0;    ///< completed buffers handed to marker
+  uint64_t BuffersDiscarded = 0;  ///< always-log buffers outside marking
+  uint64_t ConcurrentWork = 0;    ///< objects scanned concurrently
+  uint64_t FinalPauseWork = 0;    ///< objects + slots processed in the pause
+  uint64_t MarkedObjects = 0;
+  uint64_t SweptObjects = 0;
+  // Section 4.3 array-rearrangement protocol counters.
+  uint64_t RearrangesEntered = 0;
+  uint64_t RearrangesClean = 0;    ///< exits with no marker overlap
+  uint64_t RearrangeRetraces = 0;  ///< arrays queued for retracing
+};
+
+class SatbMarker {
+public:
+  explicit SatbMarker(Heap &H, size_t BufferCapacity = 256)
+      : H(H), BufferCapacity(BufferCapacity) {}
+
+  bool isActive() const { return Active; }
+
+  /// Starts a marking cycle: snapshots the roots (mutator stacks passed in;
+  /// statics read from the heap), arms allocate-black, and activates the
+  /// mutator barrier.
+  void beginMarking(const std::vector<ObjRef> &MutatorRoots);
+
+  /// Mutator barrier slow path: record the non-null pre-value of an
+  /// overwritten reference slot. Works even when marking is inactive (the
+  /// Table 2 "always-log" mode); such buffers are recycled unread.
+  void logPreValue(ObjRef Pre);
+
+  /// Runs up to \p Budget units of concurrent marking (one unit = one
+  /// object scanned or one buffer entry consumed). \returns true when no
+  /// work appears to remain.
+  bool markStep(size_t Budget);
+
+  /// The final termination pause: flush the mutator's current buffer,
+  /// drain everything to completion, deactivate the barrier. \returns the
+  /// work done inside the pause (the pause-time proxy of bench S1).
+  size_t finishMarking();
+
+  /// Frees unmarked objects; clears marks. Call only after finishMarking.
+  /// \returns the number of objects freed.
+  size_t sweep();
+
+  // --- Section 4.3 array-rearrangement protocol ---------------------------
+  //
+  // A rearrangement loop (see analysis/Rearrange.h) brackets itself with
+  // enterRearrange / exitRearrange; while an array is in the active set,
+  // its permutation stores may skip the SATB log (the one genuinely
+  // overwritten value was logged at enter). exitRearrange compares the
+  // array's tracing state against the state at enter: any possible marker
+  // overlap queues the array on the retrace list, which finishMarking
+  // rescans conservatively. Cycles that end with rearrangements still
+  // active retrace those arrays too.
+
+  /// \returns true if the cycle is active and the array joined the active
+  /// set (the caller must have logged the dropped element first).
+  bool enterRearrange(ObjRef Arr);
+  /// \returns true if a protocol store on \p Arr may skip logging.
+  bool inActiveRearrange(ObjRef Arr) const {
+    return Active && ActiveRearranges.count(Arr) != 0;
+  }
+  void exitRearrange(ObjRef Arr);
+
+  const SatbStats &stats() const { return Stats; }
+
+private:
+  void pushIfUnmarked(ObjRef R, size_t &Work);
+  /// Scans one gray object (marks children).
+  void scanObject(ObjRef R, size_t &Work);
+  void flushCurrentBuffer();
+
+  Heap &H;
+  size_t BufferCapacity;
+  bool Active = false;
+  std::vector<ObjRef> MarkStack;
+  std::vector<ObjRef> CurrentBuffer;
+  std::vector<std::vector<ObjRef>> CompletedBuffers;
+  std::map<ObjRef, TraceState> ActiveRearranges;
+  std::vector<ObjRef> RetraceList;
+  SatbStats Stats;
+};
+
+} // namespace satb
+
+#endif // SATB_GC_SATBMARKER_H

@@ -1,0 +1,106 @@
+//===- heap/Heap.cpp ------------------------------------------------------===//
+
+#include "heap/Heap.h"
+
+using namespace satb;
+
+Heap::Heap(const Program &P) : P(P) {
+  // Precompute field layout: per class, ref fields and int fields each get
+  // consecutive slots in declaration order.
+  FieldSlots.resize(P.numFields());
+  for (ClassId C = 0, E = P.numClasses(); C != E; ++C) {
+    uint32_t NextRef = 0, NextInt = 0;
+    for (FieldId F : P.classDecl(C).Fields) {
+      const FieldDecl &FD = P.fieldDecl(F);
+      FieldSlots[F].Type = FD.Type;
+      FieldSlots[F].Slot = FD.Type == JType::Ref ? NextRef++ : NextInt++;
+    }
+  }
+  StaticRefs.assign(P.numStatics(), NullRef);
+  StaticInts.assign(P.numStatics(), 0);
+}
+
+ObjRef Heap::install(std::unique_ptr<HeapObject> Obj) {
+  Obj->Marked = AllocateMarked;
+  ++NumAllocated;
+  ++NumLive;
+  BytesAllocated += 16 + Obj->RefSlots.size() * 8 + Obj->IntSlots.size() * 8;
+  if (!FreeList.empty()) {
+    ObjRef R = FreeList.back();
+    FreeList.pop_back();
+    Objects[R - 1] = std::move(Obj);
+    return R;
+  }
+  Objects.push_back(std::move(Obj));
+  return static_cast<ObjRef>(Objects.size());
+}
+
+ObjRef Heap::allocateObject(ClassId C) {
+  auto Obj = std::make_unique<HeapObject>();
+  Obj->Kind = ObjectKind::Object;
+  Obj->Class = C;
+  uint32_t NumRef = 0, NumInt = 0;
+  for (FieldId F : P.classDecl(C).Fields) {
+    if (P.fieldDecl(F).Type == JType::Ref)
+      ++NumRef;
+    else
+      ++NumInt;
+  }
+  Obj->RefSlots.assign(NumRef, NullRef); // the allocator zeroes fields
+  Obj->IntSlots.assign(NumInt, 0);
+  return install(std::move(Obj));
+}
+
+ObjRef Heap::allocateRefArray(uint32_t Length) {
+  auto Obj = std::make_unique<HeapObject>();
+  Obj->Kind = ObjectKind::RefArray;
+  Obj->RefSlots.assign(Length, NullRef); // all elements set to null
+  return install(std::move(Obj));
+}
+
+ObjRef Heap::allocateIntArray(uint32_t Length) {
+  auto Obj = std::make_unique<HeapObject>();
+  Obj->Kind = ObjectKind::IntArray;
+  Obj->IntSlots.assign(Length, 0);
+  return install(std::move(Obj));
+}
+
+void Heap::free(ObjRef R) {
+  assert(R != NullRef && R <= Objects.size() && Objects[R - 1] &&
+         "freeing a bad reference");
+  Objects[R - 1].reset();
+  FreeList.push_back(R);
+  --NumLive;
+}
+
+void Heap::clearMarks() {
+  for (auto &Obj : Objects)
+    if (Obj) {
+      Obj->Marked = false;
+      Obj->Tracing = TraceState::Untraced;
+    }
+}
+
+std::vector<bool> satb::computeReachable(const Heap &H,
+                                         const std::vector<ObjRef> &Roots) {
+  std::vector<bool> Reached(H.maxRef() + 1, false);
+  std::vector<ObjRef> Work;
+  auto Visit = [&](ObjRef R) {
+    if (R != NullRef && !Reached[R]) {
+      Reached[R] = true;
+      Work.push_back(R);
+    }
+  };
+  for (ObjRef R : Roots)
+    Visit(R);
+  for (ObjRef R : H.staticRefs())
+    Visit(R);
+  while (!Work.empty()) {
+    ObjRef R = Work.back();
+    Work.pop_back();
+    const HeapObject &Obj = H.object(R);
+    for (ObjRef Child : Obj.RefSlots)
+      Visit(Child);
+  }
+  return Reached;
+}

@@ -1,0 +1,139 @@
+//===- heap/Heap.h - Simulated managed heap --------------------*- C++ -*-===//
+///
+/// \file
+/// The managed heap the mutator and collectors share. The allocator zeroes
+/// every field and array element — the language invariant both analyses
+/// rest on: "the field is null because the object has been recently
+/// allocated, and the allocator zeros fields" (Section 2); "a newly
+/// allocated array of an object type has all elements set to null"
+/// (Section 3).
+///
+/// Objects carry a mark bit (concurrent marking) and a tracing state
+/// (untraced/tracing/traced, the array header protocol sketched in Section
+/// 4.3). ObjRef 0 is null.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_HEAP_HEAP_H
+#define SATB_HEAP_HEAP_H
+
+#include "bytecode/Program.h"
+
+#include <memory>
+#include <vector>
+
+namespace satb {
+
+using ObjRef = uint32_t;
+constexpr ObjRef NullRef = 0;
+
+enum class ObjectKind : uint8_t { Object, RefArray, IntArray };
+
+/// Array tracing states for the Section 4.3 optimistic protocol.
+enum class TraceState : uint8_t { Untraced, Tracing, Traced };
+
+struct HeapObject {
+  ObjectKind Kind = ObjectKind::Object;
+  ClassId Class = InvalidId; ///< for Kind == Object
+  bool Marked = false;
+  TraceState Tracing = TraceState::Untraced;
+  std::vector<ObjRef> RefSlots;  ///< ref fields / ref elements
+  std::vector<int64_t> IntSlots; ///< int fields / int elements
+
+  uint32_t arrayLength() const {
+    assert(Kind != ObjectKind::Object && "arrayLength of non-array");
+    return static_cast<uint32_t>(Kind == ObjectKind::RefArray
+                                     ? RefSlots.size()
+                                     : IntSlots.size());
+  }
+};
+
+/// Where a FieldId lives inside an object of its owning class.
+struct FieldSlot {
+  JType Type = JType::Ref;
+  uint32_t Slot = 0; ///< index into RefSlots or IntSlots
+};
+
+class Heap {
+public:
+  explicit Heap(const Program &P);
+
+  // --- Allocation (always zeroed) ----------------------------------------
+
+  ObjRef allocateObject(ClassId C);
+  ObjRef allocateRefArray(uint32_t Length);
+  ObjRef allocateIntArray(uint32_t Length);
+
+  /// While set, freshly allocated objects are born marked ("objects
+  /// allocated during marking, while implicitly marked, are not part of
+  /// the snapshot", Section 1). The SATB marker sets this during marking.
+  void setAllocateMarked(bool V) { AllocateMarked = V; }
+
+  // --- Access -------------------------------------------------------------
+
+  HeapObject &object(ObjRef R) {
+    assert(R != NullRef && R <= Objects.size() && Objects[R - 1] &&
+           "bad object reference");
+    return *Objects[R - 1];
+  }
+  const HeapObject &object(ObjRef R) const {
+    assert(R != NullRef && R <= Objects.size() && Objects[R - 1] &&
+           "bad object reference");
+    return *Objects[R - 1];
+  }
+  /// \returns the object or null if freed/never allocated (for GC sweeps
+  /// and oracles).
+  HeapObject *objectOrNull(ObjRef R) {
+    if (R == NullRef || R > Objects.size())
+      return nullptr;
+    return Objects[R - 1].get();
+  }
+
+  const FieldSlot &fieldSlot(FieldId F) const {
+    assert(F < FieldSlots.size() && "field id out of range");
+    return FieldSlots[F];
+  }
+
+  // --- Statics (GC roots) --------------------------------------------------
+
+  ObjRef getStaticRef(StaticFieldId F) const { return StaticRefs[F]; }
+  void setStaticRef(StaticFieldId F, ObjRef V) { StaticRefs[F] = V; }
+  int64_t getStaticInt(StaticFieldId F) const { return StaticInts[F]; }
+  void setStaticInt(StaticFieldId F, int64_t V) { StaticInts[F] = V; }
+  const std::vector<ObjRef> &staticRefs() const { return StaticRefs; }
+
+  // --- GC support -----------------------------------------------------------
+
+  /// Highest ObjRef ever handed out (iteration bound for sweeps).
+  ObjRef maxRef() const { return static_cast<ObjRef>(Objects.size()); }
+  void free(ObjRef R);
+  void clearMarks();
+
+  uint64_t numAllocated() const { return NumAllocated; }
+  uint64_t numLive() const { return NumLive; }
+  uint64_t bytesAllocatedApprox() const { return BytesAllocated; }
+
+private:
+  ObjRef install(std::unique_ptr<HeapObject> Obj);
+
+  const Program &P;
+  std::vector<std::unique_ptr<HeapObject>> Objects;
+  std::vector<ObjRef> FreeList;
+  std::vector<FieldSlot> FieldSlots; ///< indexed by FieldId
+  std::vector<ObjRef> StaticRefs;    ///< indexed by StaticFieldId (refs)
+  std::vector<int64_t> StaticInts;
+  bool AllocateMarked = false;
+  uint64_t NumAllocated = 0;
+  uint64_t NumLive = 0;
+  uint64_t BytesAllocated = 0;
+};
+
+/// Stop-the-world reachability (the snapshot oracle): a bit per ObjRef
+/// (index R, size maxRef()+1) reachable from \p Roots and the heap's
+/// static refs.
+std::vector<bool> computeReachable(const Heap &H,
+                                   const std::vector<ObjRef> &Roots);
+
+} // namespace satb
+
+#endif // SATB_HEAP_HEAP_H

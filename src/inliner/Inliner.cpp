@@ -1,0 +1,151 @@
+//===- inliner/Inliner.cpp ------------------------------------------------===//
+
+#include "inliner/Inliner.h"
+
+#include <set>
+
+using namespace satb;
+
+namespace {
+
+/// Rewrites local indices in \p Ins by adding \p LocalBase.
+void remapLocals(Instruction &Ins, uint32_t LocalBase) {
+  switch (Ins.Op) {
+  case Opcode::ILoad:
+  case Opcode::IStore:
+  case Opcode::ALoad:
+  case Opcode::AStore:
+  case Opcode::IInc:
+    Ins.A += static_cast<int32_t>(LocalBase);
+    break;
+  default:
+    break;
+  }
+}
+
+class InlinerImpl {
+public:
+  InlinerImpl(const Program &P, const InlineOptions &Opts, InlineStats *Stats)
+      : P(P), Opts(Opts), Stats(Stats) {}
+
+  Method expand(const Method &M, MethodId SelfId) {
+    ActiveChain.clear();
+    return expandRec(M, SelfId, /*Depth=*/0);
+  }
+
+  /// Expands \p M, which is method \p SelfId (InvalidId if unknown/root).
+  Method expandRec(const Method &M, MethodId SelfId, uint32_t Depth);
+
+private:
+  bool shouldInline(MethodId CalleeId, const Method &Callee, uint32_t Depth,
+                    size_t CurrentSize) const {
+    if (Opts.InlineLimit == 0 || Depth >= Opts.MaxDepth)
+      return false;
+    if (Callee.byteCodeSize() > Opts.InlineLimit)
+      return false;
+    if (CurrentSize + Callee.byteCodeSize() > Opts.MaxExpandedSize)
+      return false;
+    return !ActiveChain.count(CalleeId);
+  }
+
+  const Program &P;
+  const InlineOptions &Opts;
+  InlineStats *Stats;
+  std::set<MethodId> ActiveChain;
+};
+
+Method InlinerImpl::expandRec(const Method &M, MethodId SelfId,
+                              uint32_t Depth) {
+  Method Out;
+  Out.Name = M.Name;
+  Out.Owner = M.Owner;
+  Out.IsConstructor = M.IsConstructor;
+  Out.IsStatic = M.IsStatic;
+  Out.ArgTypes = M.ArgTypes;
+  Out.ReturnType = M.ReturnType;
+  Out.NumLocals = M.NumLocals;
+
+  if (SelfId != InvalidId)
+    ActiveChain.insert(SelfId);
+
+  const uint32_t N = static_cast<uint32_t>(M.Instructions.size());
+  // Maps caller instruction index -> index of its first emitted instruction.
+  std::vector<uint32_t> IndexMap(N + 1, 0);
+  // Caller branches needing target remapping: (emitted index, old target).
+  std::vector<std::pair<uint32_t, uint32_t>> BranchFixups;
+
+  for (uint32_t I = 0; I != N; ++I) {
+    IndexMap[I] = static_cast<uint32_t>(Out.Instructions.size());
+    const Instruction &Ins = M.Instructions[I];
+
+    if (Ins.Op == Opcode::Invoke) {
+      MethodId CalleeId = static_cast<MethodId>(Ins.A);
+      const Method &Callee = P.method(CalleeId);
+      if (shouldInline(CalleeId, Callee, Depth, Out.Instructions.size())) {
+        if (Stats)
+          ++Stats->CallSitesInlined;
+        Method Body = expandRec(Callee, CalleeId, Depth + 1);
+
+        // Callee locals live after the caller's current locals.
+        uint32_t LocalBase = Out.NumLocals;
+        Out.NumLocals += Body.NumLocals;
+
+        // Pop arguments into the callee's parameter locals. Arguments were
+        // pushed left to right, so the last argument is on top.
+        for (uint32_t AI = Body.numArgs(); AI-- > 0;) {
+          Opcode Store = Body.ArgTypes[AI] == JType::Int ? Opcode::IStore
+                                                         : Opcode::AStore;
+          Out.Instructions.push_back(
+              Instruction{Store, static_cast<int32_t>(LocalBase + AI), 0});
+        }
+
+        uint32_t CalleeBase = static_cast<uint32_t>(Out.Instructions.size());
+        uint32_t CalleeEnd =
+            CalleeBase + static_cast<uint32_t>(Body.Instructions.size());
+        for (Instruction BodyIns : Body.Instructions) {
+          if (isReturn(BodyIns.Op)) {
+            // A value return leaves its result on the stack; all returns
+            // jump past the inlined body. The jump target is the caller's
+            // next instruction, which is emitted right after because
+            // returns are replaced one for one.
+            BodyIns =
+                Instruction{Opcode::Goto, static_cast<int32_t>(CalleeEnd), 0};
+          } else if (isBranch(BodyIns.Op)) {
+            BodyIns.A += static_cast<int32_t>(CalleeBase);
+          } else {
+            remapLocals(BodyIns, LocalBase);
+          }
+          Out.Instructions.push_back(BodyIns);
+        }
+        continue;
+      }
+      if (Stats)
+        ++Stats->CallSitesKept;
+      Out.Instructions.push_back(Ins);
+      continue;
+    }
+
+    if (isBranch(Ins.Op))
+      BranchFixups.emplace_back(
+          static_cast<uint32_t>(Out.Instructions.size()),
+          static_cast<uint32_t>(Ins.A));
+    Out.Instructions.push_back(Ins);
+  }
+  IndexMap[N] = static_cast<uint32_t>(Out.Instructions.size());
+
+  for (auto [EmittedIdx, OldTarget] : BranchFixups)
+    Out.Instructions[EmittedIdx].A = static_cast<int32_t>(IndexMap[OldTarget]);
+
+  if (SelfId != InvalidId)
+    ActiveChain.erase(SelfId);
+  return Out;
+}
+
+} // namespace
+
+Method satb::inlineMethod(const Program &P, const Method &M,
+                          const InlineOptions &Opts, InlineStats *Stats,
+                          MethodId SelfId) {
+  InlinerImpl Impl(P, Opts, Stats);
+  return Impl.expand(M, SelfId);
+}

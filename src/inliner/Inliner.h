@@ -1,0 +1,47 @@
+//===- inliner/Inliner.h - Size-bounded method inlining --------*- C++ -*-===//
+///
+/// \file
+/// Recursive, size-bounded inlining of statically resolved calls. The
+/// paper's analyses run "after inlined method bodies are expanded"
+/// (Section 2.4): without inlining, every allocation escapes immediately at
+/// the constructor invocation. The InlineLimit knob is the paper's "inline
+/// limit parameter [that] determines the maximum bytecode size of an
+/// inlined method" (Section 4.4, Figure 2's x-axis).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_INLINER_INLINER_H
+#define SATB_INLINER_INLINER_H
+
+#include "bytecode/Program.h"
+
+namespace satb {
+
+struct InlineOptions {
+  /// Maximum pre-inlining bytecode size of a callee to inline. 0 disables
+  /// inlining entirely.
+  uint32_t InlineLimit = 100;
+  /// Maximum nesting depth of inlined bodies.
+  uint32_t MaxDepth = 6;
+  /// Hard cap on the size of the expanded method, to bound blowup.
+  uint32_t MaxExpandedSize = 20000;
+};
+
+struct InlineStats {
+  uint32_t CallSitesInlined = 0;
+  uint32_t CallSitesKept = 0;
+};
+
+/// \returns a copy of \p M with eligible call sites expanded. Inlined
+/// callee locals are appended after the caller's locals; callee returns
+/// become jumps past the inlined body (value returns leave the result on
+/// the operand stack). Direct and mutual recursion is detected and kept as
+/// calls. Pass \p SelfId (the id of \p M within \p P) when known so direct
+/// self-recursion is recognized at the root.
+Method inlineMethod(const Program &P, const Method &M,
+                    const InlineOptions &Opts, InlineStats *Stats = nullptr,
+                    MethodId SelfId = InvalidId);
+
+} // namespace satb
+
+#endif // SATB_INLINER_INLINER_H

@@ -1,0 +1,76 @@
+//===- interp/BarrierStats.cpp --------------------------------------------===//
+
+#include "interp/BarrierStats.h"
+
+#include <algorithm>
+
+using namespace satb;
+
+void BarrierStats::init(const CompiledProgram &CP) {
+  PerMethod.clear();
+  PerMethod.resize(CP.Methods.size());
+  for (size_t M = 0; M != CP.Methods.size(); ++M) {
+    const CompiledMethod &CM = CP.Methods[M];
+    PerMethod[M].resize(CM.Body.Instructions.size());
+    for (size_t I = 0; I != CM.Analysis.Decisions.size(); ++I) {
+      const BarrierDecision &D = CM.Analysis.Decisions[I];
+      if (!D.IsBarrierSite)
+        continue;
+      SiteStats &SS = PerMethod[M][I];
+      SS.IsArray = D.IsArraySite;
+      SS.ElideDecision = D.Elide && CP.Options.ApplyElision;
+      SS.RearrangeDecision =
+          I < CM.RearrangeStores.size() && CM.RearrangeStores[I];
+      SS.Reason = D.Reason;
+    }
+  }
+}
+
+BarrierStats::Summary BarrierStats::summarize() const {
+  Summary S;
+  for (const auto &Sites : PerMethod) {
+    for (const SiteStats &SS : Sites) {
+      if (SS.Execs == 0)
+        continue;
+      S.TotalExecs += SS.Execs;
+      S.ElidedExecs += SS.Elided;
+      S.RearrangedExecs += SS.Rearranged;
+      S.PreNullExecs += SS.PreNull;
+      S.Violations += SS.Violations;
+      if (SS.IsArray) {
+        S.ArrayExecs += SS.Execs;
+        S.ArrayElided += SS.Elided;
+      } else {
+        S.FieldExecs += SS.Execs;
+        S.FieldElided += SS.Elided;
+      }
+      if (SS.PreNull == SS.Execs)
+        S.PotentiallyPreNullExecs += SS.Execs;
+    }
+  }
+  return S;
+}
+
+std::vector<BarrierStats::SiteRow> BarrierStats::topSites(size_t N,
+                                                          bool OnlyKept) const {
+  std::vector<SiteRow> Rows;
+  for (MethodId M = 0; M != PerMethod.size(); ++M)
+    for (uint32_t I = 0; I != PerMethod[M].size(); ++I) {
+      const SiteStats &SS = PerMethod[M][I];
+      if (SS.Execs == 0)
+        continue;
+      if (OnlyKept && SS.ElideDecision)
+        continue;
+      Rows.push_back(SiteRow{M, I, SS});
+    }
+  std::sort(Rows.begin(), Rows.end(), [](const SiteRow &A, const SiteRow &B) {
+    if (A.Stats.Execs != B.Stats.Execs)
+      return A.Stats.Execs > B.Stats.Execs;
+    if (A.M != B.M)
+      return A.M < B.M;
+    return A.Instr < B.Instr;
+  });
+  if (Rows.size() > N)
+    Rows.resize(N);
+  return Rows;
+}

@@ -1,0 +1,99 @@
+//===- interp/BarrierStats.h - Dynamic barrier instrumentation -*- C++ -*-===//
+///
+/// \file
+/// Per-store-site execution counters, reproducing the paper's
+/// instrumentation (Section 4.2): "we also counted, for each compiled
+/// store, the number of associated barrier executions in which the
+/// pre-value of the updated location was null. We call a store site whose
+/// pre-value is never (dynamically) non-null *potentially pre-null*.
+/// Counting potentially pre-null sites is both a useful correctness check
+/// (our analysis should only eliminate barriers at potentially pre-null
+/// store sites!) and also provides an upper bound on the possible
+/// effectiveness of the pre-null technique."
+///
+/// The Violations counter is that correctness check, generalized for the
+/// null-or-same extension: an elided execution must overwrite null (or,
+/// for a null-or-same elision, null-or-the-same-value). Tests assert it
+/// stays zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_INTERP_BARRIERSTATS_H
+#define SATB_INTERP_BARRIERSTATS_H
+
+#include "jit/Compiler.h"
+
+#include <string>
+
+namespace satb {
+
+struct SiteStats {
+  uint64_t Execs = 0;
+  uint64_t PreNull = 0;    ///< executions whose pre-value was null
+  uint64_t Elided = 0;     ///< executions that skipped the barrier
+  uint64_t Rearranged = 0; ///< executions that skipped the log under the
+                           ///< Section 4.3 rearrangement protocol
+  uint64_t Violations = 0; ///< elided executions breaking the justification
+  bool IsArray = false;
+  bool ElideDecision = false;
+  bool RearrangeDecision = false;
+  ElisionReason Reason = ElisionReason::None;
+};
+
+class BarrierStats {
+public:
+  /// Prepares per-site slots from the compiled program's decisions.
+  void init(const CompiledProgram &CP);
+
+  SiteStats &site(MethodId M, uint32_t Instr) {
+    assert(M < PerMethod.size() && Instr < PerMethod[M].size() &&
+           "unknown site");
+    return PerMethod[M][Instr];
+  }
+
+  struct Summary {
+    uint64_t TotalExecs = 0;
+    uint64_t ElidedExecs = 0;
+    uint64_t FieldExecs = 0;
+    uint64_t ArrayExecs = 0;
+    uint64_t FieldElided = 0;
+    uint64_t ArrayElided = 0;
+    uint64_t RearrangedExecs = 0;
+    uint64_t PreNullExecs = 0;
+    /// Executions at sites whose pre-value was never non-null (the paper's
+    /// upper bound on pre-null elimination).
+    uint64_t PotentiallyPreNullExecs = 0;
+    uint64_t Violations = 0;
+
+    double pctElided() const {
+      return TotalExecs ? 100.0 * ElidedExecs / TotalExecs : 0.0;
+    }
+    double pctPotentiallyPreNull() const {
+      return TotalExecs ? 100.0 * PotentiallyPreNullExecs / TotalExecs : 0.0;
+    }
+    double pctFieldElided() const {
+      return FieldExecs ? 100.0 * FieldElided / FieldExecs : 0.0;
+    }
+    double pctArrayElided() const {
+      return ArrayExecs ? 100.0 * ArrayElided / ArrayExecs : 0.0;
+    }
+  };
+
+  Summary summarize() const;
+
+  /// One row per executed site, sorted by descending execution count —
+  /// the "most-frequently-executed store sites" listing of Section 4.3.
+  struct SiteRow {
+    MethodId M;
+    uint32_t Instr;
+    SiteStats Stats;
+  };
+  std::vector<SiteRow> topSites(size_t N, bool OnlyKept) const;
+
+private:
+  std::vector<std::vector<SiteStats>> PerMethod;
+};
+
+} // namespace satb
+
+#endif // SATB_INTERP_BARRIERSTATS_H

@@ -1,0 +1,79 @@
+//===- interp/ThreadedCycle.cpp -------------------------------------------===//
+
+#include "interp/ThreadedCycle.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+using namespace satb;
+
+ConcurrentRunResult
+satb::runWithThreadedSatb(Interpreter &I, SatbMarker &M, Heap &H,
+                          MethodId Entry,
+                          const std::vector<int64_t> &IntArgs,
+                          const ThreadedRunConfig &Cfg) {
+  ConcurrentRunResult R;
+  I.start(Entry, IntArgs);
+  I.step(Cfg.WarmupSteps);
+
+  std::vector<ObjRef> Roots = I.collectRoots();
+  std::vector<bool> Snapshot = computeReachable(H, Roots);
+  for (bool B : Snapshot)
+    R.OracleLive += B;
+  M.beginMarking(Roots);
+
+  std::mutex HeapLock;
+  std::atomic<bool> MarkerDone{false};
+  std::atomic<bool> MutatorStopped{false};
+
+  std::thread Marker([&] {
+    while (!MutatorStopped.load(std::memory_order_acquire)) {
+      bool Done;
+      {
+        std::lock_guard<std::mutex> Guard(HeapLock);
+        Done = M.markStep(Cfg.MarkerQuantum);
+      }
+      if (Done) {
+        MarkerDone.store(true, std::memory_order_release);
+        return;
+      }
+      std::this_thread::yield();
+    }
+    MarkerDone.store(true, std::memory_order_release);
+  });
+
+  uint64_t Remaining = Cfg.StepLimit;
+  while (I.status() == RunStatus::Running && Remaining > 0 &&
+         !MarkerDone.load(std::memory_order_acquire)) {
+    uint64_t Quantum = std::min<uint64_t>(Cfg.MutatorQuantum, Remaining);
+    {
+      std::lock_guard<std::mutex> Guard(HeapLock);
+      I.step(Quantum);
+    }
+    Remaining -= Quantum;
+    std::this_thread::yield();
+  }
+  MutatorStopped.store(true, std::memory_order_release);
+  Marker.join();
+
+  // The final pause: the marker thread has exited, the mutator is parked.
+  R.FinalPauseWork = M.finishMarking();
+
+  R.OracleHolds = true;
+  for (ObjRef Ref = 1; Ref < Snapshot.size(); ++Ref) {
+    if (!Snapshot[Ref])
+      continue;
+    HeapObject *Obj = H.objectOrNull(Ref);
+    if (!Obj || !Obj->Marked)
+      R.OracleHolds = false;
+  }
+  R.Marked = M.stats().MarkedObjects;
+  R.Swept = M.sweep();
+
+  if (I.status() == RunStatus::Running && Remaining > 0)
+    I.step(Remaining);
+  R.Status = I.status();
+  R.Trap = I.trap();
+  return R;
+}

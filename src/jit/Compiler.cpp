@@ -1,0 +1,127 @@
+//===- jit/Compiler.cpp ---------------------------------------------------===//
+
+#include "jit/Compiler.h"
+
+#include "analysis/Rearrange.h"
+
+#include "support/Stopwatch.h"
+#include "verifier/Verifier.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace satb;
+
+CompiledMethod satb::compileMethod(const Program &P, MethodId Id,
+                                   const CompilerOptions &Opts) {
+  Stopwatch Timer;
+  CompiledMethod CM;
+  CM.Id = Id;
+  CM.Body = inlineMethod(P, P.method(Id), Opts.Inline, &CM.Inlining, Id);
+
+  if (Opts.EnableArrayRearrange) {
+    RearrangeResult RR = recognizeMoveDownLoops(CM.Body);
+    CM.Body = std::move(RR.Transformed);
+    CM.RearrangeStores = std::move(RR.ProtocolStores);
+    CM.RearrangeLoops = RR.LoopsTransformed;
+  }
+
+  VerifyResult VR = verifyMethod(P, CM.Body);
+  if (!VR.Ok) {
+    // The analyses are only sound on verified input; an unverifiable body
+    // here is a builder or inliner bug, not a user error.
+    std::fprintf(stderr, "satb-elide: post-inline verification failed: %s\n",
+                 VR.Error.c_str());
+    std::abort();
+  }
+
+  CM.Analysis = analyzeBarriers(P, CM.Body, Opts.Analysis);
+
+  const bool NoBarriers = Opts.Barrier == BarrierMode::None;
+  CM.BarrierKept.assign(CM.Body.Instructions.size(), false);
+  std::vector<bool> AllKept(CM.Body.Instructions.size(), false);
+  for (size_t I = 0, E = CM.Body.Instructions.size(); I != E; ++I) {
+    const BarrierDecision &D = CM.Analysis.Decisions[I];
+    if (!D.IsBarrierSite)
+      continue;
+    AllKept[I] = !NoBarriers;
+    CM.BarrierKept[I] =
+        !NoBarriers && !(Opts.ApplyElision && D.Elide);
+  }
+
+  uint32_t BarrierCost = 0;
+  switch (Opts.Barrier) {
+  case BarrierMode::None:
+    break;
+  case BarrierMode::Satb:
+    BarrierCost = CodeSizeModel::SatbBarrierCost;
+    break;
+  case BarrierMode::SatbAlwaysLog:
+    BarrierCost = CodeSizeModel::SatbBarrierCost - 2; // no marking check
+    break;
+  case BarrierMode::CardMarking:
+    BarrierCost = CodeSizeModel::CardBarrierCost;
+    break;
+  }
+  CM.CodeSize =
+      CodeSizeModel::bodyCost(CM.Body.Instructions, CM.BarrierKept,
+                              BarrierCost);
+  CM.CodeSizeNoElision =
+      CodeSizeModel::bodyCost(CM.Body.Instructions, AllKept, BarrierCost);
+  if (CM.RearrangeStores.empty())
+    CM.RearrangeStores.assign(CM.Body.Instructions.size(), false);
+  CM.CompileTimeUs = Timer.elapsedUs();
+  return CM;
+}
+
+CompiledProgram satb::compileProgram(const Program &P,
+                                     const CompilerOptions &Opts) {
+  CompiledProgram CP;
+  CP.Options = Opts;
+  CP.Methods.reserve(P.numMethods());
+  for (MethodId Id = 0, E = P.numMethods(); Id != E; ++Id)
+    CP.Methods.push_back(compileMethod(P, Id, Opts));
+  return CP;
+}
+
+uint32_t CompiledProgram::totalCodeSize() const {
+  uint32_t Total = 0;
+  for (const CompiledMethod &M : Methods)
+    Total += M.CodeSize;
+  return Total;
+}
+
+uint32_t CompiledProgram::totalCodeSizeNoElision() const {
+  uint32_t Total = 0;
+  for (const CompiledMethod &M : Methods)
+    Total += M.CodeSizeNoElision;
+  return Total;
+}
+
+double CompiledProgram::totalCompileTimeUs() const {
+  double Total = 0;
+  for (const CompiledMethod &M : Methods)
+    Total += M.CompileTimeUs;
+  return Total;
+}
+
+double CompiledProgram::totalAnalysisTimeUs() const {
+  double Total = 0;
+  for (const CompiledMethod &M : Methods)
+    Total += M.Analysis.AnalysisTimeUs;
+  return Total;
+}
+
+uint32_t CompiledProgram::totalBarrierSites() const {
+  uint32_t Total = 0;
+  for (const CompiledMethod &M : Methods)
+    Total += M.Analysis.NumSites;
+  return Total;
+}
+
+uint32_t CompiledProgram::totalElidedSites() const {
+  uint32_t Total = 0;
+  for (const CompiledMethod &M : Methods)
+    Total += M.Analysis.NumElided;
+  return Total;
+}

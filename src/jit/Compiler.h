@@ -1,0 +1,89 @@
+//===- jit/Compiler.h - The compilation pipeline ---------------*- C++ -*-===//
+///
+/// \file
+/// The stand-in for the HotSpot client ("C1") JIT the paper modified:
+/// inline -> verify -> analyze -> size. Each method of a program is
+/// compiled to a CompiledMethod carrying its expanded body, per-site
+/// barrier decisions, and a modeled code size; the interpreter executes
+/// CompiledMethods and fires barriers per the recorded decisions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_JIT_COMPILER_H
+#define SATB_JIT_COMPILER_H
+
+#include "analysis/BarrierAnalysis.h"
+#include "inliner/Inliner.h"
+#include "jit/CodeSizeModel.h"
+
+namespace satb {
+
+/// Which write barrier flavor the generated code carries at kept sites.
+enum class BarrierMode : uint8_t {
+  None,          ///< Table 2 "no-barrier": every barrier removed
+  Satb,          ///< standard SATB: check marking, log non-null pre-values
+  SatbAlwaysLog, ///< Table 2 "always-log": skip the marking check
+  CardMarking    ///< incremental-update comparison collector
+};
+
+struct CompilerOptions {
+  InlineOptions Inline;
+  AnalysisConfig Analysis;
+  BarrierMode Barrier = BarrierMode::Satb;
+  /// Apply analysis verdicts to code generation. Off = analyze (and pay
+  /// for it) but keep every barrier; used by instrumentation runs.
+  bool ApplyElision = true;
+  /// Section 4.3 array-rearrangement protocol: recognize move-down delete
+  /// loops and replace their SATB logs with the optimistic tracing-state
+  /// protocol (see analysis/Rearrange.h). Single-mutator / lock-
+  /// disciplined code only, per the paper's closing caveat.
+  bool EnableArrayRearrange = false;
+};
+
+struct CompiledMethod {
+  MethodId Id = InvalidId;
+  Method Body; ///< post-inlining body actually executed
+  AnalysisResult Analysis;
+  InlineStats Inlining;
+  /// Per-instruction: a barrier must be executed at this store. Empty in
+  /// BarrierMode::None.
+  std::vector<bool> BarrierKept;
+  /// Per-instruction: this aastore uses the Section 4.3 rearrangement
+  /// protocol (skips the SATB log while its array is in an active
+  /// rearrangement). Set only with EnableArrayRearrange.
+  std::vector<bool> RearrangeStores;
+  uint32_t RearrangeLoops = 0;
+  uint32_t CodeSize = 0;
+  uint32_t CodeSizeNoElision = 0; ///< same body, every barrier kept
+  double CompileTimeUs = 0.0;
+};
+
+struct CompiledProgram {
+  CompilerOptions Options;
+  std::vector<CompiledMethod> Methods; ///< indexed by MethodId
+
+  const CompiledMethod &method(MethodId Id) const {
+    assert(Id < Methods.size() && "method id out of range");
+    return Methods[Id];
+  }
+
+  uint32_t totalCodeSize() const;
+  uint32_t totalCodeSizeNoElision() const;
+  double totalCompileTimeUs() const;
+  double totalAnalysisTimeUs() const;
+  uint32_t totalBarrierSites() const;
+  uint32_t totalElidedSites() const;
+};
+
+/// Compiles one method. \p M must be a member of \p P (given by id).
+/// Asserts that the expanded body verifies; the analyses assume verified
+/// input (Section 2.2).
+CompiledMethod compileMethod(const Program &P, MethodId Id,
+                             const CompilerOptions &Opts);
+
+/// Compiles every method of \p P.
+CompiledProgram compileProgram(const Program &P, const CompilerOptions &Opts);
+
+} // namespace satb
+
+#endif // SATB_JIT_COMPILER_H

@@ -1,0 +1,8 @@
+//===- support/BitSet.cpp -------------------------------------------------===//
+///
+/// \file
+/// BitSet is header-only; this file anchors the library.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/BitSet.h"

@@ -1,0 +1,137 @@
+//===- support/BitSet.h - Dynamically sized bit set ------------*- C++ -*-===//
+///
+/// \file
+/// A small dynamically sized bit set used to represent sets of abstract
+/// references (RefSet) and other dense index sets. Unlike std::vector<bool>
+/// it supports whole-set union/intersection and deterministic iteration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_SUPPORT_BITSET_H
+#define SATB_SUPPORT_BITSET_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace satb {
+
+/// Dynamically sized bit set with value semantics.
+///
+/// All mutating binary operations require both operands to have the same
+/// size; callers size their universes up front.
+class BitSet {
+public:
+  BitSet() = default;
+  explicit BitSet(size_t NumBits) { resize(NumBits); }
+
+  size_t size() const { return NumBits; }
+
+  void resize(size_t NewNumBits) {
+    NumBits = NewNumBits;
+    Words.assign((NumBits + 63) / 64, 0);
+  }
+
+  void set(size_t I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] |= (uint64_t(1) << (I % 64));
+  }
+
+  void reset(size_t I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] &= ~(uint64_t(1) << (I % 64));
+  }
+
+  bool test(size_t I) const {
+    assert(I < NumBits && "bit index out of range");
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  bool empty() const {
+    for (uint64_t W : Words)
+      if (W != 0)
+        return false;
+    return true;
+  }
+
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+  /// Set union: *this |= Other.
+  BitSet &operator|=(const BitSet &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch in BitSet union");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] |= Other.Words[I];
+    return *this;
+  }
+
+  /// Set intersection: *this &= Other.
+  BitSet &operator&=(const BitSet &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch in BitSet intersect");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= Other.Words[I];
+    return *this;
+  }
+
+  /// \returns true if the two sets share any element.
+  bool intersects(const BitSet &Other) const {
+    assert(NumBits == Other.NumBits && "size mismatch in BitSet intersects");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I] & Other.Words[I])
+        return true;
+    return false;
+  }
+
+  /// \returns true if every element of *this is also in Other.
+  bool isSubsetOf(const BitSet &Other) const {
+    assert(NumBits == Other.NumBits && "size mismatch in BitSet subset");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I] & ~Other.Words[I])
+        return false;
+    return true;
+  }
+
+  bool operator==(const BitSet &Other) const {
+    return NumBits == Other.NumBits && Words == Other.Words;
+  }
+  bool operator!=(const BitSet &Other) const { return !(*this == Other); }
+
+  /// Invoke \p Fn(index) for every set bit, in increasing index order.
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (size_t WI = 0, WE = Words.size(); WI != WE; ++WI) {
+      uint64_t W = Words[WI];
+      while (W) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+        Fn(WI * 64 + Bit);
+        W &= W - 1;
+      }
+    }
+  }
+
+  /// \returns the index of the lowest set bit; the set must be non-empty.
+  size_t firstSetBit() const {
+    for (size_t WI = 0, WE = Words.size(); WI != WE; ++WI)
+      if (Words[WI])
+        return WI * 64 + static_cast<unsigned>(__builtin_ctzll(Words[WI]));
+    assert(false && "firstSetBit on empty BitSet");
+    return 0;
+  }
+
+private:
+  std::vector<uint64_t> Words;
+  size_t NumBits = 0;
+};
+
+} // namespace satb
+
+#endif // SATB_SUPPORT_BITSET_H

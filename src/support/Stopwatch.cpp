@@ -1,0 +1,8 @@
+//===- support/Stopwatch.cpp ----------------------------------------------===//
+///
+/// \file
+/// Stopwatch is header-only; this file anchors the library.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Stopwatch.h"

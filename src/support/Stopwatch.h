@@ -1,0 +1,60 @@
+//===- support/Stopwatch.h - Wall clock timing helper ----------*- C++ -*-===//
+///
+/// \file
+/// A minimal wall-clock stopwatch used to time compilation and analysis for
+/// the Figure 2 experiment and the analysis-scaling bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_SUPPORT_STOPWATCH_H
+#define SATB_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+#include <ctime>
+
+namespace satb {
+
+/// Measures elapsed wall time in microseconds from construction or the last
+/// reset().
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// \returns elapsed time since construction/reset in microseconds.
+  double elapsedUs() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - Start)
+        .count();
+  }
+
+  /// \returns elapsed time since construction/reset in milliseconds.
+  double elapsedMs() const { return elapsedUs() / 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Measures process CPU time — immune to scheduler noise from other
+/// processes, which matters for the throughput benches on shared machines.
+class CpuStopwatch {
+public:
+  CpuStopwatch() : Start(now()) {}
+
+  void reset() { Start = now(); }
+
+  double elapsedUs() const { return (now() - Start) / 1e3; }
+
+private:
+  static double now() {
+    timespec Ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &Ts);
+    return Ts.tv_sec * 1e9 + Ts.tv_nsec;
+  }
+  double Start;
+};
+
+} // namespace satb
+
+#endif // SATB_SUPPORT_STOPWATCH_H

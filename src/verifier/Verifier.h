@@ -1,0 +1,40 @@
+//===- verifier/Verifier.h - Stack-shape bytecode verifier -----*- C++ -*-===//
+///
+/// \file
+/// An abstract-interpretation bytecode verifier. The paper's analysis
+/// relies on verifier guarantees: "bytecode verification ensures that
+/// operand stacks agree at join points, so two parts of the local state may
+/// be merged elementwise" (Section 2.2). We enforce exactly that: stack
+/// shapes (depth and Int/Ref kinds) must agree at every join, every
+/// instruction receives operands of the right kind, and locals may only be
+/// loaded when every path to the load stored the same kind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_VERIFIER_VERIFIER_H
+#define SATB_VERIFIER_VERIFIER_H
+
+#include "bytecode/Program.h"
+
+#include <string>
+
+namespace satb {
+
+/// Result of verifying one method.
+struct VerifyResult {
+  bool Ok = false;
+  std::string Error;     ///< empty when Ok
+  uint32_t MaxStack = 0; ///< maximum operand stack depth
+};
+
+/// Verifies \p M against \p P (field/method references must resolve and
+/// type-check). \returns a failed result with a diagnostic on the first
+/// error found.
+VerifyResult verifyMethod(const Program &P, const Method &M);
+
+/// Verifies every method in \p P; \returns the first failure, or Ok.
+VerifyResult verifyProgram(const Program &P);
+
+} // namespace satb
+
+#endif // SATB_VERIFIER_VERIFIER_H

@@ -1,0 +1,138 @@
+//===- workloads/DbLike.cpp - In-memory database workload -----------------===//
+///
+/// \file
+/// Mimics SPECjvm98 db (Table 1 row: 10/90 field/array split, only 10.2%
+/// eliminated, 28.2% potentially pre-null, 99.4% of field barriers
+/// eliminated, 0% of array barriers). The paper singles db out in Section
+/// 4.3: "the top two stores in db, together accounting for more than 70%
+/// of stores ... occur in a sorting routine, and are part of an idiom that
+/// swaps two elements in an array" — never pre-null, so pre-null analysis
+/// cannot touch them. Shape drivers:
+///
+///   - a shell-sort-style swap loop over a shared record table dominates
+///     (array barriers, never pre-null);
+///   - records are allocated and initialized through a small constructor
+///     (the few field barriers, elided);
+///   - periodic index rebuilds copy into a freshly allocated table that
+///     escaped first (dynamically pre-null array stores, kept — the
+///     potential/actual gap).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "bytecode/MethodBuilder.h"
+#include "workloads/StdLib.h"
+
+using namespace satb;
+
+namespace {
+void emitRand(MethodBuilder &B, Local Seed, int32_t Mod, Local Dest) {
+  B.iload(Seed).iconst(75).imul().iconst(74).iadd().iconst(65537).irem()
+      .istore(Seed);
+  B.iload(Seed).iconst(Mod).irem().istore(Dest);
+}
+} // namespace
+
+Workload satb::makeDbLike() {
+  Workload W;
+  W.Name = "db";
+  W.Mimics = "SPECjvm98 _209_db";
+  W.Description = "database: swap-heavy sort over a shared record table";
+  W.P = std::make_shared<Program>();
+  Program &P = *W.P;
+
+  constexpr int32_t TableSize = 128;
+
+  ClassId Record = P.addClass("Record");
+  FieldId Payload = P.addField(Record, "payload", JType::Ref);
+  FieldId Key = P.addField(Record, "key", JType::Int);
+  StaticFieldId TableSt = P.addStaticField("db.table", JType::Ref);
+
+  // Record(this, payload, key)
+  MethodId RecordCtor;
+  {
+    MethodBuilder B(P, "Record.<init>", Record, {JType::Ref, JType::Int},
+                    std::nullopt, /*IsConstructor=*/true);
+    Local This = B.arg(0), Pl = B.arg(1), K = B.arg(2);
+    B.aload(This).aload(Pl).putfield(Payload);
+    B.aload(This).iload(K).putfield(Key);
+    B.ret();
+    RecordCtor = B.finish();
+  }
+
+  // fillTable(table, seed) -> seed: stores fresh records into an
+  // already-escaped table (dynamically pre-null array stores, unprovable).
+  MethodId FillTable;
+  {
+    MethodBuilder B(P, "db.fillTable", {JType::Ref, JType::Int}, JType::Int);
+    Local Table = B.arg(0), Seed = B.arg(1);
+    Local J = B.newLocal(JType::Int);
+    Label Loop = B.newLabel(), Done = B.newLabel();
+    B.iconst(0).istore(J);
+    B.bind(Loop);
+    B.iload(J).aload(Table).arraylength().ifICmpGe(Done);
+    B.aload(Table).iload(J);
+    B.newInstance(Record).dup().aconstNull().iload(Seed).invoke(RecordCtor);
+    B.aastore();
+    B.iload(Seed).iconst(75).imul().iconst(74).iadd().iconst(65537).irem()
+        .istore(Seed);
+    B.iinc(J, 1).jump(Loop);
+    B.bind(Done);
+    B.iload(Seed).ireturn();
+    FillTable = B.finish();
+  }
+
+  {
+    MethodBuilder B(P, "db.main", {JType::Int}, JType::Int);
+    Local N = B.arg(0);
+    Local T = B.newLocal(JType::Int), Seed = B.newLocal(JType::Int);
+    Local I = B.newLocal(JType::Int), Table = B.newLocal(JType::Ref);
+    Local A = B.newLocal(JType::Ref), Bv = B.newLocal(JType::Ref);
+    Label Loop = B.newLabel(), Done = B.newLabel();
+    Label NoRecord = B.newLabel(), NoRebuild = B.newLabel();
+
+    // table = new Record[TableSize]; publish; fill (escaped, so kept).
+    B.iconst(TableSize).newRefArray().astore(Table);
+    B.aload(Table).putstatic(TableSt);
+    B.iconst(1).istore(Seed);
+    B.aload(Table).iload(Seed).invoke(FillTable).istore(Seed);
+    B.iconst(0).istore(T);
+
+    B.bind(Loop);
+    B.iload(T).iload(N).ifICmpGe(Done);
+
+    // The dominant idiom: swap table[i] and table[i+1]. A permutation of
+    // the array elements; neither store ever overwrites null.
+    emitRand(B, Seed, TableSize - 1, I);
+    B.aload(Table).iload(I).aaload().astore(A);
+    B.aload(Table).iload(I).iconst(1).iadd().aaload().astore(Bv);
+    B.aload(Table).iload(I).aload(Bv).aastore();
+    B.aload(Table).iload(I).iconst(1).iadd().aload(A).aastore();
+
+    // Every 8th transaction: a new record replaces a random slot (the
+    // initializing field stores are the elided minority).
+    B.iload(T).iconst(8).irem().ifne(NoRecord);
+    emitRand(B, Seed, TableSize, I);
+    B.aload(Table).iload(I);
+    B.newInstance(Record).dup().aload(A).iload(T).invoke(RecordCtor);
+    B.aastore();
+    B.bind(NoRecord);
+
+    // Every 512th transaction: rebuild the index into a fresh table that
+    // escapes before it is filled.
+    B.iload(T).iconst(512).irem().ifne(NoRebuild);
+    B.iconst(TableSize).newRefArray().astore(Table);
+    B.aload(Table).putstatic(TableSt);
+    B.aload(Table).iload(Seed).invoke(FillTable).istore(Seed);
+    B.bind(NoRebuild);
+
+    B.iinc(T, 1).jump(Loop);
+    B.bind(Done);
+    B.iload(Seed).ireturn();
+    W.Entry = B.finish();
+  }
+
+  W.DefaultScale = 4000;
+  return W;
+}

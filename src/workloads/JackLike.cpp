@@ -1,0 +1,111 @@
+//===- workloads/JackLike.cpp - Parser-generator workload -----------------===//
+///
+/// \file
+/// Mimics SPECjvm98 jack (Table 1 row: 74/26 field/array split, 41%
+/// eliminated, 54% potentially pre-null, 55.5% of field barriers and 0% of
+/// array barriers eliminated). Shape drivers:
+///
+///   - token objects are allocated and initialized through a constructor
+///     (elided field stores, a bit over half);
+///   - fresh tokens are linked into the escaped token stream after
+///     escaping (kept, dynamically pre-null — the potential gap);
+///   - the token ring buffer and rule stack recycle slots of shared
+///     arrays (kept array stores, never pre-null).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "bytecode/MethodBuilder.h"
+#include "workloads/StdLib.h"
+
+using namespace satb;
+
+namespace {
+void emitRand(MethodBuilder &B, Local Seed, int32_t Mod, Local Dest) {
+  B.iload(Seed).iconst(75).imul().iconst(74).iadd().iconst(65537).irem()
+      .istore(Seed);
+  B.iload(Seed).iconst(Mod).irem().istore(Dest);
+}
+} // namespace
+
+Workload satb::makeJackLike() {
+  Workload W;
+  W.Name = "jack";
+  W.Mimics = "SPECjvm98 _228_jack";
+  W.Description = "parser generator: token stream + ring buffers";
+  W.P = std::make_shared<Program>();
+  Program &P = *W.P;
+
+  constexpr int32_t RingSize = 48;
+
+  ClassId Token = P.addClass("Token");
+  FieldId Text = P.addField(Token, "text", JType::Ref);
+  FieldId NextTok = P.addField(Token, "next", JType::Ref);
+  FieldId Kind = P.addField(Token, "kind", JType::Int);
+  StaticFieldId RingSt = P.addStaticField("jack.ring", JType::Ref);
+  StaticFieldId StreamSt = P.addStaticField("jack.stream", JType::Ref);
+
+  MethodId TokenCtor;
+  {
+    MethodBuilder B(P, "Token.<init>", Token, {JType::Ref, JType::Int},
+                    std::nullopt, /*IsConstructor=*/true);
+    B.aload(B.arg(0)).aload(B.arg(1)).putfield(Text);
+    B.aload(B.arg(0)).aconstNull().putfield(NextTok);
+    B.aload(B.arg(0)).iload(B.arg(2)).putfield(Kind);
+    B.ret();
+    TokenCtor = B.finish();
+  }
+
+  {
+    MethodBuilder B(P, "jack.main", {JType::Int}, JType::Int);
+    Local N = B.arg(0);
+    Local T = B.newLocal(JType::Int), Seed = B.newLocal(JType::Int);
+    Local Idx = B.newLocal(JType::Int);
+    Local Ring = B.newLocal(JType::Ref), Tok = B.newLocal(JType::Ref);
+    Local Tok2 = B.newLocal(JType::Ref), Tail = B.newLocal(JType::Ref);
+    Label Loop = B.newLabel(), Done = B.newLabel(), TailNull = B.newLabel();
+
+    B.iconst(RingSize).newRefArray().astore(Ring);
+    B.aload(Ring).putstatic(RingSt);
+    B.iconst(1).istore(Seed);
+    B.iconst(0).istore(T);
+    B.aconstNull().astore(Tail);
+
+    B.bind(Loop);
+    B.iload(T).iload(N).ifICmpGe(Done);
+
+    // Lex two tokens (3 + 3 elided field stores counting kind as int —
+    // two ref stores per constructor).
+    B.newInstance(Token).dup().aload(Tail).iload(T).invoke(TokenCtor)
+        .astore(Tok);
+    B.newInstance(Token).dup().aload(Tok).iload(T).invoke(TokenCtor)
+        .astore(Tok2);
+
+    // Publish tok2 (escapes), then link the stream: tok2.next is written
+    // exactly once after escape — kept but dynamically pre-null.
+    B.aload(Tok2).putstatic(StreamSt);
+    B.aload(Tok2).aload(Tok).putfield(NextTok);
+
+    // Rewrite the previous tail's link — kept, not pre-null.
+    B.aload(Tail).ifnull(TailNull);
+    B.aload(Tail).aload(Tok).putfield(NextTok);
+    B.aload(Tail).aload(Tok2).putfield(Text);
+    B.bind(TailNull);
+    B.aload(Tok2).astore(Tail);
+
+    // Ring-buffer recycling: two kept array stores per token pair.
+    emitRand(B, Seed, RingSize, Idx);
+    B.aload(Ring).iload(Idx).aload(Tok).aastore();
+    emitRand(B, Seed, RingSize, Idx);
+    B.aload(Ring).iload(Idx).aload(Tok2).aastore();
+
+    B.iinc(T, 1).jump(Loop);
+    B.bind(Done);
+    B.iload(Seed).ireturn();
+    W.Entry = B.finish();
+  }
+
+  W.DefaultScale = 3000;
+  return W;
+}

@@ -1,0 +1,154 @@
+//===- workloads/JavacLike.cpp - Compiler workload ------------------------===//
+///
+/// \file
+/// Mimics SPECjvm98 javac (Table 1 row: 92/8 field/array split, 32.8%
+/// eliminated, 38.5% potentially pre-null, 33.9% of field barriers and
+/// 20.5% of array barriers eliminated). Shape drivers:
+///
+///   - parsing builds small AST fragments whose constructor and
+///     caller-side initializations are elided (the ~1/3 of field stores);
+///   - attribution/lowering passes rewrite symbol and parent links on
+///     nodes reached through the global tree (kept, not pre-null);
+///   - child arrays: small constant-size arrays filled right after
+///     allocation are elided (the 20.5% array elimination); symbol-table
+///     slot updates are kept.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "bytecode/MethodBuilder.h"
+#include "workloads/StdLib.h"
+
+using namespace satb;
+
+namespace {
+void emitRand(MethodBuilder &B, Local Seed, int32_t Mod, Local Dest) {
+  B.iload(Seed).iconst(75).imul().iconst(74).iadd().iconst(65537).irem()
+      .istore(Seed);
+  B.iload(Seed).iconst(Mod).irem().istore(Dest);
+}
+} // namespace
+
+Workload satb::makeJavacLike() {
+  Workload W;
+  W.Name = "javac";
+  W.Mimics = "SPECjvm98 _213_javac";
+  W.Description = "compiler: AST building + attribution rewrites";
+  W.P = std::make_shared<Program>();
+  Program &P = *W.P;
+
+  constexpr int32_t RingSize = 64;
+  constexpr int32_t SymTabSize = 32;
+
+  ClassId Ast = P.addClass("AstNode");
+  FieldId Left = P.addField(Ast, "left", JType::Ref);
+  FieldId Right = P.addField(Ast, "right", JType::Ref);
+  FieldId Parent = P.addField(Ast, "parent", JType::Ref);
+  FieldId Sym = P.addField(Ast, "sym", JType::Ref);
+  FieldId Kind = P.addField(Ast, "kind", JType::Int);
+
+  StaticFieldId RingSt = P.addStaticField("javac.ring", JType::Ref);
+  StaticFieldId SymTabSt = P.addStaticField("javac.symtab", JType::Ref);
+
+  // AstNode(this, left, right) { this.left = left; this.right = right; }
+  MethodId AstCtor;
+  {
+    MethodBuilder B(P, "AstNode.<init>", Ast, {JType::Ref, JType::Ref},
+                    std::nullopt, /*IsConstructor=*/true);
+    Local This = B.arg(0), L = B.arg(1), R = B.arg(2);
+    B.aload(This).aload(L).putfield(Left);
+    B.aload(This).aload(R).putfield(Right);
+    B.aload(This).iconst(7).putfield(Kind);
+    B.ret();
+    AstCtor = B.finish();
+  }
+
+  // parseExpr() -> AstNode: two leaves + an operator node, parent links
+  // set caller-side while the nodes are still thread-local. ~40 bytecodes.
+  MethodId ParseExpr;
+  {
+    MethodBuilder B(P, "javac.parseExpr", {}, JType::Ref);
+    Local L1 = B.newLocal(JType::Ref), L2 = B.newLocal(JType::Ref);
+    Local Op = B.newLocal(JType::Ref);
+    B.newInstance(Ast).dup().aconstNull().aconstNull().invoke(AstCtor)
+        .astore(L1);
+    B.newInstance(Ast).dup().aconstNull().aconstNull().invoke(AstCtor)
+        .astore(L2);
+    B.newInstance(Ast).dup().aload(L1).aload(L2).invoke(AstCtor).astore(Op);
+    B.aload(L1).aload(Op).putfield(Parent); // still thread-local: elided
+    B.aload(L2).aload(Op).putfield(Parent);
+    B.aload(Op).areturn();
+    ParseExpr = B.finish();
+  }
+
+  {
+    MethodBuilder B(P, "javac.main", {JType::Int}, JType::Int);
+    Local N = B.arg(0);
+    Local T = B.newLocal(JType::Int), Seed = B.newLocal(JType::Int);
+    Local Idx = B.newLocal(JType::Int), K = B.newLocal(JType::Int);
+    Local Ring = B.newLocal(JType::Ref), SymTab = B.newLocal(JType::Ref);
+    Local Op = B.newLocal(JType::Ref), Old = B.newLocal(JType::Ref);
+    Local Children = B.newLocal(JType::Ref);
+    Label Loop = B.newLabel(), Done = B.newLabel();
+    Label Attr = B.newLabel(), AttrDone = B.newLabel();
+    Label OldNull = B.newLabel(), NoChild = B.newLabel();
+
+    // Shared structures.
+    B.iconst(RingSize).newRefArray().astore(Ring);
+    B.aload(Ring).putstatic(RingSt);
+    B.iconst(SymTabSize).newRefArray().astore(SymTab);
+    B.aload(SymTab).putstatic(SymTabSt);
+    B.iconst(1).istore(Seed);
+    B.iconst(0).istore(T);
+
+    B.bind(Loop);
+    B.iload(T).iload(N).ifICmpGe(Done);
+
+    // Parse: 11 elided field stores (3 ctors x 3 ref stores counting the
+    // nulls, + 2 parent links).
+    B.invoke(ParseExpr).astore(Op);
+
+    // Publish into the ring (kept array store, non-pre-null after lap 1).
+    emitRand(B, Seed, RingSize, Idx);
+    B.aload(Ring).iload(Idx).aload(Op).aastore();
+
+    // Attribution: rewrite sym/parent links of older nodes reached through
+    // the shared ring — kept field barriers, not pre-null.
+    B.iconst(0).istore(K);
+    B.bind(Attr);
+    B.iload(K).iconst(6).ifICmpGe(AttrDone);
+    emitRand(B, Seed, RingSize, Idx);
+    B.aload(Ring).iload(Idx).aaload().astore(Old);
+    B.aload(Old).ifnull(OldNull);
+    B.aload(Old).aload(Op).putfield(Sym);    // kept: escaped, non-pre-null
+    B.aload(Old).aload(Old).putfield(Parent); // kept rewrite
+    B.aload(Old).getfield(Left).ifnull(OldNull);
+    B.aload(Old).getfield(Left).aload(Op).putfield(Sym);
+    B.bind(OldNull);
+    B.iinc(K, 1).jump(Attr);
+    B.bind(AttrDone);
+
+    // Child array: every 4th statement a fresh 2-element array is filled
+    // while thread-local (array-analysis elisions), then escapes.
+    B.iload(T).iconst(4).irem().ifne(NoChild);
+    B.iconst(2).newRefArray().astore(Children);
+    B.aload(Children).iconst(0).aload(Op).getfield(Left).aastore();
+    B.aload(Children).iconst(1).aload(Op).getfield(Right).aastore();
+    emitRand(B, Seed, SymTabSize, Idx);
+    B.aload(SymTab).iload(Idx).aload(Children).aastore();
+    B.bind(NoChild);
+
+    // Symbol-table slot update (kept array store).
+    emitRand(B, Seed, SymTabSize, Idx);
+    B.aload(SymTab).iload(Idx).aload(Op).aastore();
+
+    B.iinc(T, 1).jump(Loop);
+    B.bind(Done);
+    B.iload(Seed).ireturn();
+    W.Entry = B.finish();
+  }
+
+  W.DefaultScale = 2000;
+  return W;
+}

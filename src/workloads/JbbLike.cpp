@@ -1,0 +1,177 @@
+//===- workloads/JbbLike.cpp - Warehouse-transaction workload -------------===//
+///
+/// \file
+/// Mimics SPECjbb2000 (Table 1 row: 69/31 field/array split, 25.6%
+/// eliminated, 53.4% potentially pre-null, 37% of field barriers and 0% of
+/// array barriers eliminated). Includes both Section 4.3 idioms the paper
+/// attributes to jbb:
+///
+///   - "some of the most frequently-executed store sites are in loops that
+///     delete a single element of an object array, by moving all higher
+///     elements down by one index" — the order-table delete loop (kept,
+///     never pre-null);
+///   - the Hashtable.hasMoreElements null-or-same store (4% of jbb's
+///     barriers), elidable only by the Section 4.3 extension (bench S4).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "bytecode/MethodBuilder.h"
+#include "workloads/StdLib.h"
+
+using namespace satb;
+
+namespace {
+void emitRand(MethodBuilder &B, Local Seed, int32_t Mod, Local Dest) {
+  B.iload(Seed).iconst(75).imul().iconst(74).iadd().iconst(65537).irem()
+      .istore(Seed);
+  B.iload(Seed).iconst(Mod).irem().istore(Dest);
+}
+} // namespace
+
+Workload satb::makeJbbLike(int32_t PadIterations) {
+  Workload W;
+  W.Name = "jbb";
+  W.Mimics = "SPECjbb2000, 8 warehouses";
+  W.Description = "warehouse transactions: orders, delete loops, hashtable";
+  W.P = std::make_shared<Program>();
+  Program &P = *W.P;
+
+  constexpr int32_t OrderTableSize = 8;
+
+  ClassId Order = P.addClass("Order");
+  FieldId Cust = P.addField(Order, "customer", JType::Ref);
+  FieldId Item = P.addField(Order, "item", JType::Ref);
+  FieldId Status = P.addField(Order, "status", JType::Ref);
+  // (a district-side cache pointer, rewritten every transaction)
+  ClassId District = P.addClass("District");
+  FieldId LastOrder = P.addField(District, "lastOrder", JType::Ref);
+  FieldId DCache = P.addField(District, "cache", JType::Ref);
+  FieldId NextFree = P.addField(District, "nextFree", JType::Int);
+
+  StaticFieldId DistrictSt = P.addStaticField("jbb.district", JType::Ref);
+  StaticFieldId OrdersSt = P.addStaticField("jbb.orders", JType::Ref);
+  StaticFieldId TableSt = P.addStaticField("jbb.table", JType::Ref);
+
+  HashtableParts HT = addHashtableClass(P, "jbb.");
+
+  MethodId OrderCtor;
+  {
+    MethodBuilder B(P, "Order.<init>", Order, {JType::Ref, JType::Ref},
+                    std::nullopt, /*IsConstructor=*/true);
+    B.aload(B.arg(0)).aload(B.arg(1)).putfield(Cust);
+    B.aload(B.arg(0)).aload(B.arg(2)).putfield(Item);
+    B.ret();
+    OrderCtor = B.finish();
+  }
+  MethodId DistrictCtor;
+  {
+    MethodBuilder B(P, "District.<init>", District, {}, std::nullopt, true);
+    B.aload(B.arg(0)).aconstNull().putfield(LastOrder);
+    B.aload(B.arg(0)).iconst(0).putfield(NextFree);
+    B.ret();
+    DistrictCtor = B.finish();
+  }
+
+  // deleteOrder(orders): the Section 4.3 move-down idiom — removes
+  // element 0 by shifting every higher element down one index. Never
+  // pre-null; a whole-array permutation minus one element.
+  MethodId DeleteOrder;
+  {
+    MethodBuilder B(P, "jbb.deleteOrder", {JType::Ref}, std::nullopt);
+    Local Orders = B.arg(0);
+    Local J = B.newLocal(JType::Int);
+    Label Loop = B.newLabel(), Done = B.newLabel();
+    B.iconst(0).istore(J);
+    B.bind(Loop);
+    B.iload(J).aload(Orders).arraylength().iconst(1).isub().ifICmpGe(Done);
+    B.aload(Orders).iload(J);
+    B.aload(Orders).iload(J).iconst(1).iadd().aaload();
+    B.aastore();
+    B.iinc(J, 1).jump(Loop);
+    B.bind(Done);
+    // Clear the vacated last slot (this one IS dynamically pre-null only
+    // on an empty table; normally it overwrites the moved element).
+    B.aload(Orders).aload(Orders).arraylength().iconst(1).isub()
+        .aconstNull().aastore();
+    B.ret();
+    DeleteOrder = B.finish();
+  }
+
+  {
+    MethodBuilder B(P, "jbb.main", {JType::Int}, JType::Int);
+    Local N = B.arg(0);
+    Local T = B.newLocal(JType::Int), Seed = B.newLocal(JType::Int);
+    Local Idx = B.newLocal(JType::Int);
+    Local Dist = B.newLocal(JType::Ref), Orders = B.newLocal(JType::Ref);
+    Local Table = B.newLocal(JType::Ref), Ord = B.newLocal(JType::Ref);
+    Label Loop = B.newLabel(), Done = B.newLabel(), NoDelete = B.newLabel();
+    Label NoScan = B.newLabel(), NoPut = B.newLabel();
+    Local Pad = B.newLocal(JType::Int);
+    Label PadLoop = B.newLabel(), PadDone = B.newLabel();
+
+    // District + order table + hashtable, all escaped at startup.
+    B.newInstance(District).dup().invoke(DistrictCtor).astore(Dist);
+    B.aload(Dist).putstatic(DistrictSt);
+    B.iconst(OrderTableSize).newRefArray().astore(Orders);
+    B.aload(Orders).putstatic(OrdersSt);
+    B.newInstance(HT.Table).dup().iconst(16).invoke(HT.Ctor).astore(Table);
+    B.aload(Table).putstatic(TableSt);
+    B.iconst(1).istore(Seed);
+    B.iconst(0).istore(T);
+    B.aconstNull().astore(Ord);
+
+    B.bind(Loop);
+    B.iload(T).iload(N).ifICmpGe(Done);
+
+    // New order: constructor stores elided; the district/status updates on
+    // escaped objects are kept.
+    B.newInstance(Order).dup().aload(Dist).aload(Ord).invoke(OrderCtor)
+        .astore(Ord);
+    B.aload(Dist).aload(Ord).putfield(LastOrder); // kept, non-pre-null
+    // The order escapes into the order table, then its status is written
+    // once — kept but dynamically pre-null (the potential gap).
+    emitRand(B, Seed, OrderTableSize, Idx);
+    B.aload(Orders).iload(Idx).aload(Ord).aastore(); // kept array store
+    B.aload(Ord).aload(Dist).putfield(Status);       // kept, pre-null
+
+    // Another district rewrite (payment transaction stand-in).
+    B.aload(Dist).aload(Ord).putfield(LastOrder);
+    B.aload(Dist).aload(Ord).putfield(DCache);
+
+    // Delivery: every 6th transaction runs the move-down delete loop.
+    B.iload(T).iconst(6).irem().ifne(NoDelete);
+    B.aload(Orders).invoke(DeleteOrder);
+    B.bind(NoDelete);
+
+    // Customer lookup: hashtable put (every other transaction) + the
+    // null-or-same scan idiom.
+    B.iload(T).iconst(2).irem().ifne(NoPut);
+    emitRand(B, Seed, 16, Idx);
+    B.aload(Table).iload(Idx).aload(Ord).invoke(HT.Put);
+    B.bind(NoPut);
+    B.iload(T).iconst(3).irem().iconst(1).ifICmpNe(NoScan);
+    B.aload(Table).invoke(HT.Scan);
+    B.bind(NoScan);
+
+    // Application work stand-in: pricing/report computation with no
+    // reference stores (see makeJbbLike's doc comment).
+    if (PadIterations > 0) {
+      B.iconst(PadIterations).istore(Pad);
+      B.bind(PadLoop).iload(Pad).ifle(PadDone);
+      B.iload(Seed).iconst(3).imul().iconst(1).iadd().iconst(65537).irem()
+          .istore(Seed);
+      B.iinc(Pad, -1).jump(PadLoop);
+      B.bind(PadDone);
+    }
+
+    B.iinc(T, 1).jump(Loop);
+    B.bind(Done);
+    B.iload(Seed).ireturn();
+    W.Entry = B.finish();
+  }
+
+  W.DefaultScale = 3000;
+  return W;
+}

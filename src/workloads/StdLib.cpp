@@ -1,0 +1,139 @@
+//===- workloads/StdLib.cpp -----------------------------------------------===//
+
+#include "workloads/StdLib.h"
+
+#include "bytecode/MethodBuilder.h"
+
+using namespace satb;
+
+ListParts satb::addListClass(Program &P, const std::string &Prefix) {
+  ListParts L;
+  L.Node = P.addClass(Prefix + "Node");
+  L.Next = P.addField(L.Node, "next", JType::Ref);
+  L.Val = P.addField(L.Node, "val", JType::Ref);
+
+  // Node(this, next, val) { this.next = next; this.val = val; }
+  MethodBuilder B(P, Prefix + "Node.<init>", L.Node, {JType::Ref, JType::Ref},
+                  std::nullopt, /*IsConstructor=*/true);
+  Local This = B.arg(0), Next = B.arg(1), Val = B.arg(2);
+  B.aload(This).aload(Next).putfield(L.Next);
+  B.aload(This).aload(Val).putfield(L.Val);
+  B.ret();
+  L.Ctor = B.finish();
+  return L;
+}
+
+MethodId satb::addExpandMethod(Program &P, const std::string &Name) {
+  // static T[] expand(T[] ta) — Section 3.1, verbatim.
+  MethodBuilder B(P, Name, {JType::Ref}, JType::Ref);
+  Local Ta = B.arg(0);
+  Local NewTa = B.newLocal(JType::Ref);
+  Local I = B.newLocal(JType::Int);
+  Label Loop = B.newLabel(), Done = B.newLabel();
+
+  // T[] new_ta = new T[ta.length * 2];
+  B.aload(Ta).arraylength().iconst(2).imul().newRefArray().astore(NewTa);
+  // for (int i = 0; i < ta.length; i++)
+  B.iconst(0).istore(I);
+  B.bind(Loop);
+  B.iload(I).aload(Ta).arraylength().ifICmpGe(Done);
+  //   new_ta[i] = ta[i];   <- initializing store, barrier elided by mode A
+  B.aload(NewTa).iload(I).aload(Ta).iload(I).aaload().aastore();
+  B.iinc(I, 1).jump(Loop);
+  B.bind(Done);
+  B.aload(NewTa).areturn();
+  return B.finish();
+}
+
+VectorParts satb::addVectorClass(Program &P, const std::string &Prefix) {
+  VectorParts V;
+  V.Vec = P.addClass(Prefix + "Vector");
+  V.Data = P.addField(V.Vec, "data", JType::Ref);
+  V.Size = P.addField(V.Vec, "size", JType::Int);
+  V.Expand = addExpandMethod(P, Prefix + "Vector.expand");
+
+  {
+    // Vector(this, capacity) { this.data = new Object[capacity]; }
+    MethodBuilder B(P, Prefix + "Vector.<init>", V.Vec, {JType::Int},
+                    std::nullopt, /*IsConstructor=*/true);
+    Local This = B.arg(0), Cap = B.arg(1);
+    B.aload(This).iload(Cap).newRefArray().putfield(V.Data);
+    B.aload(This).iconst(0).putfield(V.Size);
+    B.ret();
+    V.Ctor = B.finish();
+  }
+  {
+    // add(this, val) { if (size == data.length) data = expand(data);
+    //                  data[size++] = val; }
+    MethodBuilder B(P, Prefix + "Vector.add", V.Vec, {JType::Ref},
+                    std::nullopt, /*IsConstructor=*/false);
+    Local This = B.arg(0), Val = B.arg(1);
+    Local S = B.newLocal(JType::Int), D = B.newLocal(JType::Ref);
+    Label NoGrow = B.newLabel();
+    B.aload(This).getfield(V.Size).istore(S);
+    B.aload(This).getfield(V.Data).astore(D);
+    B.iload(S).aload(D).arraylength().ifICmpLt(NoGrow);
+    B.aload(This).aload(D).invoke(V.Expand).putfield(V.Data);
+    B.aload(This).getfield(V.Data).astore(D);
+    B.bind(NoGrow);
+    B.aload(D).iload(S).aload(Val).aastore();
+    B.aload(This).iload(S).iconst(1).iadd().putfield(V.Size);
+    B.ret();
+    V.Add = B.finish();
+  }
+  return V;
+}
+
+HashtableParts satb::addHashtableClass(Program &P, const std::string &Prefix) {
+  HashtableParts H;
+  H.Table = P.addClass(Prefix + "Table");
+  H.Buckets = P.addField(H.Table, "buckets", JType::Ref);
+  H.Entry = P.addField(H.Table, "entry", JType::Ref);
+  H.Index = P.addField(H.Table, "index", JType::Int);
+
+  {
+    // Table(this, capacity) { buckets = new Object[capacity];
+    //                         index = capacity; }
+    MethodBuilder B(P, Prefix + "Table.<init>", H.Table, {JType::Int},
+                    std::nullopt, /*IsConstructor=*/true);
+    Local This = B.arg(0), Cap = B.arg(1);
+    B.aload(This).iload(Cap).newRefArray().putfield(H.Buckets);
+    B.aload(This).iload(Cap).putfield(H.Index);
+    B.ret();
+    H.Ctor = B.finish();
+  }
+  {
+    // put(this, slot, val) { buckets[slot] = val; }
+    MethodBuilder B(P, Prefix + "Table.put", H.Table,
+                    {JType::Int, JType::Ref}, std::nullopt, false);
+    Local This = B.arg(0), SlotL = B.arg(1), Val = B.arg(2);
+    B.aload(This).getfield(H.Buckets).iload(SlotL).aload(Val).aastore();
+    B.ret();
+  H.Put = B.finish();
+  }
+  {
+    // scan(this) — the Section 4.3 Hashtable.hasMoreElements idiom:
+    //   Entry e = entry; int i = index;
+    //   while (e == null && i > 0) { e = buckets[--i]; }
+    //   index = i; entry = e;    // "frequently executed", null-or-same
+    MethodBuilder B(P, Prefix + "Table.scan", H.Table, {}, std::nullopt,
+                    false);
+    Local This = B.arg(0);
+    Local E = B.newLocal(JType::Ref), I = B.newLocal(JType::Int);
+    Label Loop = B.newLabel(), Done = B.newLabel();
+    B.aload(This).getfield(H.Entry).astore(E);
+    B.aload(This).getfield(H.Index).istore(I);
+    B.bind(Loop);
+    B.aload(E).ifnonnull(Done);
+    B.iload(I).ifle(Done);
+    B.iinc(I, -1);
+    B.aload(This).getfield(H.Buckets).iload(I).aaload().astore(E);
+    B.jump(Loop);
+    B.bind(Done);
+    B.aload(This).iload(I).putfield(H.Index);
+    B.aload(This).aload(E).putfield(H.Entry); // null-or-same site
+    B.ret();
+    H.Scan = B.finish();
+  }
+  return H;
+}

@@ -1,0 +1,67 @@
+//===- workloads/StdLib.h - Shared class-library fragments -----*- C++ -*-===//
+///
+/// \file
+/// Small reusable class-library fragments the workloads share: a linked
+/// list node, a growable object vector whose growth path is the paper's
+/// Section 3.1 `expand` example verbatim, and a hashtable whose traversal
+/// method contains the Section 4.3 null-or-same idiom from
+/// Hashtable.hasMoreElements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_WORKLOADS_STDLIB_H
+#define SATB_WORKLOADS_STDLIB_H
+
+#include "bytecode/Program.h"
+
+namespace satb {
+
+/// Node { Node next; Object val; } with constructor Node(next, val).
+struct ListParts {
+  ClassId Node = InvalidId;
+  FieldId Next = InvalidId;
+  FieldId Val = InvalidId;
+  MethodId Ctor = InvalidId; ///< Node(this, next, val)
+};
+ListParts addListClass(Program &P, const std::string &Prefix);
+
+/// The paper's Section 3.1 motivating example:
+///   static T[] expand(T[] ta) {
+///     T[] new_ta = new T[ta.length*2];
+///     for (int i = 0; i < ta.length; i++) new_ta[i] = ta[i];
+///     return new_ta;
+///   }
+/// All loop stores are initializing; the array analysis elides them.
+MethodId addExpandMethod(Program &P, const std::string &Name);
+
+/// Vector { Object[] data; int size; } with Vector(cap), add(v, x) growing
+/// through expand().
+struct VectorParts {
+  ClassId Vec = InvalidId;
+  FieldId Data = InvalidId;
+  FieldId Size = InvalidId;
+  MethodId Ctor = InvalidId;   ///< Vector(this, capacity)
+  MethodId Add = InvalidId;    ///< add(this, val)
+  MethodId Expand = InvalidId; ///< the Section 3.1 example
+};
+VectorParts addVectorClass(Program &P, const std::string &Prefix);
+
+/// Hashtable-like table whose scan method ends in the Section 4.3
+/// null-or-same store:
+///   Entry e = entry;
+///   while (e == null && i > 0) { e = t[--i]; }
+///   entry = e;   // frequently executed, no barrier required
+struct HashtableParts {
+  ClassId Table = InvalidId;
+  FieldId Buckets = InvalidId; ///< Object[] t
+  FieldId Entry = InvalidId;   ///< cached traversal position
+  FieldId Index = InvalidId;   ///< int i
+  MethodId Ctor = InvalidId;   ///< Table(this, capacity)
+  MethodId Put = InvalidId;    ///< put(this, slot, val): buckets[slot] = val
+  MethodId Scan = InvalidId;   ///< the hasMoreElements-like idiom
+};
+HashtableParts addHashtableClass(Program &P, const std::string &Prefix);
+
+} // namespace satb
+
+#endif // SATB_WORKLOADS_STDLIB_H

@@ -1,0 +1,16 @@
+//===- workloads/Workload.cpp ---------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+using namespace satb;
+
+std::vector<Workload> satb::allWorkloads() {
+  std::vector<Workload> W;
+  W.push_back(makeJessLike());
+  W.push_back(makeDbLike());
+  W.push_back(makeJavacLike());
+  W.push_back(makeMtrtLike());
+  W.push_back(makeJackLike());
+  W.push_back(makeJbbLike());
+  return W;
+}

@@ -1,0 +1,224 @@
+//===- tests/RandomProgram.h - Seeded random program generator -*- C++ -*-===//
+///
+/// \file
+/// Generates random but verifiable programs for the property tests. Every
+/// program has two classes whose reference fields point at the opposite
+/// class (so field loads stay class-correct), a pool of reference and
+/// array locals kept non-null by guard sequences, shared statics, and a
+/// helper method — enough variety to exercise allocation, strong/weak
+/// update, escape, array ranges, loops, and conditionals.
+///
+/// The properties checked downstream:
+///   - the verifier accepts the program;
+///   - execution under any analysis mode/inline limit finishes identically
+///     (same allocation count, no trap) with zero elision violations —
+///     i.e. every statically elided barrier is dynamically pre-null;
+///   - concurrent SATB marking preserves the snapshot oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_TESTS_RANDOMPROGRAM_H
+#define SATB_TESTS_RANDOMPROGRAM_H
+
+#include "bytecode/MethodBuilder.h"
+
+#include <memory>
+#include <random>
+
+namespace satb {
+namespace testutil {
+
+struct GeneratedProgram {
+  std::shared_ptr<Program> P;
+  MethodId Entry = InvalidId;
+};
+
+class RandomProgramGenerator {
+public:
+  explicit RandomProgramGenerator(uint32_t Seed) : Rng(Seed) {}
+
+  GeneratedProgram generate() {
+    GeneratedProgram G;
+    G.P = std::make_shared<Program>();
+    Program &P = *G.P;
+
+    // Two classes; reference fields of each hold the *other* class.
+    for (int I = 0; I != 2; ++I) {
+      Cls[I] = P.addClass(I == 0 ? "A" : "B");
+      FieldA[I] = P.addField(Cls[I], "fa", JType::Ref);
+      FieldB[I] = P.addField(Cls[I], "fb", JType::Ref);
+      P.addField(Cls[I], "fi", JType::Int);
+    }
+    Statics[0] = P.addStaticField("s0", JType::Ref);
+    Statics[1] = P.addStaticField("s1", JType::Ref);
+
+    // A constructor for class A (so ctor-inlining paths are exercised).
+    {
+      MethodBuilder B(P, "A.<init>", Cls[0], {JType::Ref}, std::nullopt,
+                      /*IsConstructor=*/true);
+      B.aload(B.arg(0)).aload(B.arg(1)).putfield(FieldA[0]);
+      B.ret();
+      Ctor = B.finish();
+    }
+    // A helper the generator may call (escape point).
+    {
+      MethodBuilder B(P, "helper", {JType::Ref}, std::nullopt);
+      B.aload(B.arg(0)).putstatic(Statics[1]);
+      B.ret();
+      Helper = B.finish();
+    }
+
+    MethodBuilder B(P, "main", {JType::Int}, JType::Int);
+    Local N = B.arg(0);
+    Local T = B.newLocal(JType::Int);
+    for (int I = 0; I != NumRefLocals; ++I)
+      Refs[I] = B.newLocal(JType::Ref);
+    for (int I = 0; I != NumArrLocals; ++I)
+      Arrs[I] = B.newLocal(JType::Ref);
+
+    // Pre-loop setup: every pool local starts non-null.
+    for (int I = 0; I != NumRefLocals; ++I)
+      B.newInstance(Cls[classOf(I)]).astore(Refs[I]);
+    for (int I = 0; I != NumArrLocals; ++I)
+      B.iconst(ArrLen).newRefArray().astore(Arrs[I]);
+
+    Label Head = B.newLabel(), Done = B.newLabel();
+    B.iconst(0).istore(T);
+    B.bind(Head).iload(T).iload(N).ifICmpGe(Done);
+
+    unsigned Actions = 6 + Rng() % 14;
+    for (unsigned I = 0; I != Actions; ++I)
+      emitAction(B, T);
+
+    B.iinc(T, 1).jump(Head);
+    B.bind(Done).iload(T).ireturn();
+    G.Entry = B.finish();
+    return G;
+  }
+
+private:
+  static constexpr int NumRefLocals = 5;
+  static constexpr int NumArrLocals = 2;
+  static constexpr int32_t ArrLen = 8;
+
+  /// Even-indexed locals hold class A, odd hold class B.
+  static int classOf(int RefLocal) { return RefLocal % 2; }
+
+  unsigned pick(unsigned N) { return Rng() % N; }
+
+  /// Re-establishes non-nullness of \p L (holding class \p ClsIdx) after a
+  /// possibly-null producer left its value there.
+  void guardNonNull(MethodBuilder &B, Local L, int ClsIdx) {
+    Label Ok = B.newLabel();
+    B.aload(L).ifnonnull(Ok);
+    B.newInstance(Cls[ClsIdx]).astore(L);
+    B.bind(Ok);
+  }
+
+  void emitAction(MethodBuilder &B, Local T) {
+    switch (pick(11)) {
+    case 0: { // fresh allocation
+      int R = pick(NumRefLocals);
+      B.newInstance(Cls[classOf(R)]).astore(Refs[R]);
+      return;
+    }
+    case 1: { // fresh allocation through the constructor
+      int R = pick(NumRefLocals / 2) * 2; // class A local
+      int Src = pick(NumRefLocals / 2) * 2 + 1;
+      B.newInstance(Cls[0]).dup().aload(Refs[Src]).invoke(Ctor)
+          .astore(Refs[R]);
+      return;
+    }
+    case 2: { // putfield with a class-correct or null value
+      int R = pick(NumRefLocals);
+      FieldId F = pick(2) ? FieldA[classOf(R)] : FieldB[classOf(R)];
+      if (pick(4) == 0)
+        B.aload(Refs[R]).aconstNull().putfield(F);
+      else {
+        int V = pick(NumRefLocals);
+        while (classOf(V) == classOf(R)) // opposite class required
+          V = (V + 1) % NumRefLocals;
+        B.aload(Refs[R]).aload(Refs[V]).putfield(F);
+      }
+      return;
+    }
+    case 3: { // getfield into an opposite-class local, then guard
+      int R = pick(NumRefLocals);
+      int D = pick(NumRefLocals);
+      while (classOf(D) == classOf(R)) // the field holds the other class
+        D = (D + 1) % NumRefLocals;
+      FieldId F = pick(2) ? FieldA[classOf(R)] : FieldB[classOf(R)];
+      B.aload(Refs[R]).getfield(F).astore(Refs[D]);
+      guardNonNull(B, Refs[D], classOf(D));
+      return;
+    }
+    case 4: { // aastore (arrays hold class A); constant or loop index
+      int A = pick(NumArrLocals);
+      if (pick(2))
+        B.aload(Arrs[A]).iconst(static_cast<int32_t>(pick(ArrLen)));
+      else
+        B.aload(Arrs[A]).iload(T).iconst(ArrLen).irem();
+      if (pick(5) == 0)
+        B.aconstNull();
+      else
+        B.aload(Refs[pick(NumRefLocals / 2 + 1) * 2 % NumRefLocals]);
+      B.aastore();
+      return;
+    }
+    case 5: { // aaload into an even (class A) local
+      int A = pick(NumArrLocals);
+      int D = pick(3) * 2 % NumRefLocals;
+      B.aload(Arrs[A]).iload(T).iconst(ArrLen).irem().aaload()
+          .astore(Refs[D]);
+      guardNonNull(B, Refs[D], 0);
+      return;
+    }
+    case 6: { // fresh array, then an in-order partial fill
+      int A = pick(NumArrLocals);
+      B.iconst(ArrLen).newRefArray().astore(Arrs[A]);
+      unsigned Fill = pick(ArrLen + 1);
+      for (unsigned I = 0; I != Fill; ++I) {
+        B.aload(Arrs[A]).iconst(static_cast<int32_t>(I));
+        B.aload(Refs[pick(3) * 2 % NumRefLocals]).aastore();
+      }
+      return;
+    }
+    case 7: { // publish to a static (statics hold class A only, so
+              // guarded static reads stay class-correct)
+      B.aload(Refs[pick(3) * 2 % NumRefLocals]).putstatic(Statics[0]);
+      return;
+    }
+    case 8: { // read a static back into a class A local (guarded)
+      int D = pick(3) * 2 % NumRefLocals;
+      B.getstatic(Statics[pick(2)]).astore(Refs[D]);
+      guardNonNull(B, Refs[D], 0);
+      return;
+    }
+    case 9: { // helper call (escapes its class A argument into a static)
+      B.aload(Refs[pick(3) * 2 % NumRefLocals]).invoke(Helper);
+      return;
+    }
+    case 10: { // conditional block around one nested action
+      Label Skip = B.newLabel();
+      B.iload(T).iconst(static_cast<int32_t>(2 + pick(4))).irem()
+          .ifne(Skip);
+      emitAction(B, T);
+      B.bind(Skip);
+      return;
+    }
+    }
+  }
+
+  std::mt19937 Rng;
+  ClassId Cls[2] = {InvalidId, InvalidId};
+  FieldId FieldA[2] = {InvalidId, InvalidId};
+  FieldId FieldB[2] = {InvalidId, InvalidId};
+  StaticFieldId Statics[2] = {InvalidId, InvalidId};
+  MethodId Ctor = InvalidId, Helper = InvalidId;
+  Local Refs[8], Arrs[4];
+};
+
+} // namespace testutil
+} // namespace satb
+
+#endif // SATB_TESTS_RANDOMPROGRAM_H

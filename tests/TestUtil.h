@@ -1,0 +1,83 @@
+//===- tests/TestUtil.h - Shared test helpers ------------------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared across the analysis and integration tests: a small
+/// class-model fixture, analysis runners, and decision lookups.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_TESTS_TESTUTIL_H
+#define SATB_TESTS_TESTUTIL_H
+
+#include "analysis/BarrierAnalysis.h"
+#include "bytecode/MethodBuilder.h"
+#include "interp/Interpreter.h"
+#include "verifier/Verifier.h"
+
+#include <gtest/gtest.h>
+
+namespace satb {
+namespace testutil {
+
+/// A program with one two-ref-field class, ready for building methods.
+struct PairFixture {
+  Program P;
+  ClassId Pair;
+  FieldId A, B;
+  FieldId Count;
+  StaticFieldId Sink;
+  MethodId PairCtor; ///< Pair(this, a) { this.a = a; }
+
+  PairFixture() {
+    Pair = P.addClass("Pair");
+    A = P.addField(Pair, "a", JType::Ref);
+    B = P.addField(Pair, "b", JType::Ref);
+    Count = P.addField(Pair, "count", JType::Int);
+    Sink = P.addStaticField("sink", JType::Ref);
+    MethodBuilder C(P, "Pair.<init>", Pair, {JType::Ref}, std::nullopt,
+                    /*IsConstructor=*/true);
+    C.aload(C.arg(0)).aload(C.arg(1)).putfield(A);
+    C.ret();
+    PairCtor = C.finish();
+  }
+};
+
+/// Verifies then analyzes \p M directly (no inlining).
+inline AnalysisResult analyze(const Program &P, MethodId Id,
+                              AnalysisConfig Cfg = {}) {
+  const Method &M = P.method(Id);
+  VerifyResult VR = verifyMethod(P, M);
+  EXPECT_TRUE(VR.Ok) << VR.Error;
+  return analyzeBarriers(P, M, Cfg);
+}
+
+/// \returns the decision for the \p N-th barrier site (in instruction
+/// order) of \p R.
+inline const BarrierDecision &site(const AnalysisResult &R, unsigned N) {
+  for (const BarrierDecision &D : R.Decisions)
+    if (D.IsBarrierSite && N-- == 0)
+      return D;
+  static BarrierDecision Missing;
+  EXPECT_TRUE(false) << "barrier site index out of range";
+  return Missing;
+}
+
+/// Compiles and runs \p Entry, returning the stats summary; asserts the
+/// run finished and no elision was dynamically unjustified.
+inline BarrierStats::Summary runChecked(const Program &P, MethodId Entry,
+                                        std::vector<int64_t> Args,
+                                        CompilerOptions Opts = {}) {
+  CompiledProgram CP = compileProgram(P, Opts);
+  Heap H(P);
+  Interpreter I(P, CP, H);
+  EXPECT_EQ(I.run(Entry, Args), RunStatus::Finished)
+      << "trap: " << trapName(I.trap());
+  BarrierStats::Summary S = I.stats().summarize();
+  EXPECT_EQ(S.Violations, 0u) << "elided barrier dynamically unjustified";
+  return S;
+}
+
+} // namespace testutil
+} // namespace satb
+
+#endif // SATB_TESTS_TESTUTIL_H

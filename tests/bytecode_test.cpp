@@ -1,0 +1,131 @@
+//===- tests/bytecode_test.cpp - Program model and MethodBuilder ----------===//
+
+#include "bytecode/Disassembler.h"
+#include "bytecode/MethodBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace satb;
+
+TEST(Program, ClassAndFieldRegistration) {
+  Program P;
+  ClassId C = P.addClass("Node");
+  FieldId F1 = P.addField(C, "next", JType::Ref);
+  FieldId F2 = P.addField(C, "count", JType::Int);
+  EXPECT_EQ(P.numClasses(), 1u);
+  EXPECT_EQ(P.numFields(), 2u);
+  EXPECT_EQ(P.classDecl(C).Name, "Node");
+  ASSERT_EQ(P.classDecl(C).Fields.size(), 2u);
+  EXPECT_EQ(P.fieldDecl(F1).Type, JType::Ref);
+  EXPECT_EQ(P.fieldDecl(F2).Type, JType::Int);
+  EXPECT_EQ(P.fieldDecl(F1).Owner, C);
+}
+
+TEST(Program, FindMethodByName) {
+  Program P;
+  MethodBuilder B(P, "foo", {}, std::nullopt);
+  B.ret();
+  MethodId Id = B.finish();
+  EXPECT_EQ(P.findMethod("foo"), Id);
+  EXPECT_EQ(P.findMethod("bar"), InvalidId);
+}
+
+TEST(MethodBuilder, StaticMethodSignature) {
+  Program P;
+  MethodBuilder B(P, "f", {JType::Int, JType::Ref}, JType::Int);
+  B.iconst(1).ireturn();
+  const Method &M = P.method(B.finish());
+  EXPECT_TRUE(M.IsStatic);
+  EXPECT_FALSE(M.IsConstructor);
+  EXPECT_EQ(M.numArgs(), 2u);
+  EXPECT_EQ(M.ArgTypes[0], JType::Int);
+  EXPECT_EQ(M.ArgTypes[1], JType::Ref);
+  ASSERT_TRUE(M.ReturnType.has_value());
+  EXPECT_EQ(*M.ReturnType, JType::Int);
+}
+
+TEST(MethodBuilder, InstanceMethodGetsImplicitThis) {
+  Program P;
+  ClassId C = P.addClass("C");
+  MethodBuilder B(P, "C.m", C, {JType::Int}, std::nullopt,
+                  /*IsConstructor=*/false);
+  B.ret();
+  const Method &M = P.method(B.finish());
+  EXPECT_FALSE(M.IsStatic);
+  EXPECT_EQ(M.numArgs(), 2u); // this + int
+  EXPECT_EQ(M.ArgTypes[0], JType::Ref);
+  EXPECT_EQ(M.Owner, C);
+}
+
+TEST(MethodBuilder, ForwardLabelPatching) {
+  Program P;
+  MethodBuilder B(P, "f", {JType::Int}, JType::Int);
+  Label Else = B.newLabel(), End = B.newLabel();
+  B.iload(B.arg(0)).ifeq(Else); // instr 0,1
+  B.iconst(1).jump(End);        // 2,3
+  B.bind(Else).iconst(2);       // 4
+  B.bind(End).ireturn();        // 5
+  const Method &M = P.method(B.finish());
+  EXPECT_EQ(M.Instructions[1].A, 4);
+  EXPECT_EQ(M.Instructions[3].A, 5);
+}
+
+TEST(MethodBuilder, BackwardLabel) {
+  Program P;
+  MethodBuilder B(P, "loop", {}, std::nullopt);
+  Label Top = B.newLabel();
+  B.bind(Top);
+  B.iconst(0).pop();
+  B.jump(Top);
+  B.ret(); // unreachable but keeps the terminator rule satisfied
+  const Method &M = P.method(B.finish());
+  EXPECT_EQ(M.Instructions[2].A, 0);
+}
+
+TEST(MethodBuilder, LocalAllocation) {
+  Program P;
+  MethodBuilder B(P, "f", {JType::Int}, std::nullopt);
+  Local A = B.newLocal(JType::Int);
+  Local C = B.newLocal(JType::Ref);
+  EXPECT_EQ(A.Index, 1u); // after the one argument
+  EXPECT_EQ(C.Index, 2u);
+  B.ret();
+  EXPECT_EQ(P.method(B.finish()).NumLocals, 3u);
+}
+
+TEST(Disassembler, ResolvesNames) {
+  Program P;
+  ClassId C = P.addClass("Node");
+  FieldId F = P.addField(C, "next", JType::Ref);
+  StaticFieldId S = P.addStaticField("gRoot", JType::Ref);
+  MethodBuilder B(P, "f", {JType::Ref}, std::nullopt);
+  B.aload(B.arg(0)).getfield(F).putstatic(S);
+  B.ret();
+  const Method &M = P.method(B.finish());
+  EXPECT_EQ(disassemble(P, M.Instructions[1]), "getfield Node.next");
+  EXPECT_EQ(disassemble(P, M.Instructions[2]), "putstatic gRoot");
+  std::string Listing = disassemble(P, M);
+  EXPECT_NE(Listing.find("aload 0"), std::string::npos);
+  EXPECT_NE(Listing.find("return"), std::string::npos);
+}
+
+TEST(Opcode, Classification) {
+  EXPECT_TRUE(isBranch(Opcode::Goto));
+  EXPECT_TRUE(isBranch(Opcode::IfNull));
+  EXPECT_FALSE(isBranch(Opcode::IAdd));
+  EXPECT_TRUE(isConditionalBranch(Opcode::IfICmpLt));
+  EXPECT_FALSE(isConditionalBranch(Opcode::Goto));
+  EXPECT_TRUE(isReturn(Opcode::AReturn));
+  EXPECT_TRUE(isTerminator(Opcode::Goto));
+  EXPECT_TRUE(isTerminator(Opcode::Ret));
+  EXPECT_FALSE(isTerminator(Opcode::IfEq));
+  EXPECT_STREQ(opcodeName(Opcode::AAStore), "aastore");
+  EXPECT_STREQ(opcodeName(Opcode::NewInstance), "newinstance");
+}
+
+TEST(Method, ByteCodeSizeMatchesInstructionCount) {
+  Program P;
+  MethodBuilder B(P, "f", {}, std::nullopt);
+  B.iconst(1).pop().ret();
+  EXPECT_EQ(P.method(B.finish()).byteCodeSize(), 3u);
+}

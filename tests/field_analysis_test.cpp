@@ -1,0 +1,368 @@
+//===- tests/field_analysis_test.cpp - Section 2 field analysis -----------===//
+///
+/// \file
+/// Tests the field pre-null analysis directly: initializing stores elide,
+/// escape kills elision, strong vs. weak update, the two-names-per-site
+/// mechanism (the paper's W1/W2 example), and constructor `this` handling.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace satb;
+using namespace satb::testutil;
+
+TEST(FieldAnalysis, InitializingStoreElided) {
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  Local Pv = B.newLocal(JType::Ref);
+  B.newInstance(F.Pair).astore(Pv);
+  B.aload(Pv).aconstNull().putfield(F.A); // pre-null: fresh object
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  ASSERT_EQ(R.NumSites, 1u);
+  EXPECT_TRUE(site(R, 0).Elide);
+  EXPECT_EQ(site(R, 0).Reason, ElisionReason::PreNullField);
+}
+
+TEST(FieldAnalysis, SecondStoreToSameFieldKept) {
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {JType::Ref}, std::nullopt);
+  Local Pv = B.newLocal(JType::Ref);
+  B.newInstance(F.Pair).astore(Pv);
+  B.aload(Pv).aload(B.arg(0)).putfield(F.A); // elided
+  B.aload(Pv).aload(B.arg(0)).putfield(F.A); // overwrites arg: kept
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_TRUE(site(R, 0).Elide);
+  EXPECT_FALSE(site(R, 1).Elide);
+}
+
+TEST(FieldAnalysis, StrongNullStoreReenablesElision) {
+  // x.a = arg; x.a = null (kept, logs); x.a = arg again (pre-null!).
+  // Strong update on the unique most-recent allocation makes the third
+  // store provably pre-null.
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {JType::Ref}, std::nullopt);
+  Local Pv = B.newLocal(JType::Ref);
+  B.newInstance(F.Pair).astore(Pv);
+  B.aload(Pv).aload(B.arg(0)).putfield(F.A); // site 0: elided
+  B.aload(Pv).aconstNull().putfield(F.A);    // site 1: kept
+  B.aload(Pv).aload(B.arg(0)).putfield(F.A); // site 2: elided again
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_TRUE(site(R, 0).Elide);
+  EXPECT_FALSE(site(R, 1).Elide);
+  EXPECT_TRUE(site(R, 2).Elide);
+}
+
+TEST(FieldAnalysis, EscapeViaPutStaticKillsElision) {
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {JType::Ref}, std::nullopt);
+  Local Pv = B.newLocal(JType::Ref);
+  B.newInstance(F.Pair).astore(Pv);
+  B.aload(Pv).putstatic(F.Sink);             // escape (and site 0, kept)
+  B.aload(Pv).aload(B.arg(0)).putfield(F.A); // after escape: kept
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  ASSERT_EQ(R.NumSites, 2u);
+  EXPECT_FALSE(site(R, 0).Elide); // putstatic barriers never elide
+  EXPECT_FALSE(site(R, 1).Elide);
+}
+
+TEST(FieldAnalysis, ElisionBeforeEscapeSurvives) {
+  // The paper's key precision over classic escape analysis: a write to an
+  // eventually-escaping object elides if it happens before the escape.
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {JType::Ref}, std::nullopt);
+  Local Pv = B.newLocal(JType::Ref);
+  B.newInstance(F.Pair).astore(Pv);
+  B.aload(Pv).aload(B.arg(0)).putfield(F.A); // before escape: elided
+  B.aload(Pv).putstatic(F.Sink);             // escape
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_TRUE(site(R, 0).Elide);
+}
+
+TEST(FieldAnalysis, EscapeViaCallArgument) {
+  PairFixture F;
+  // The callee publishes its argument (an impure callee: a pure reader
+  // would not escape it — see summaries_test.cpp).
+  MethodBuilder Callee(F.P, "g", {JType::Ref}, std::nullopt);
+  Callee.aload(Callee.arg(0)).putstatic(F.Sink);
+  Callee.ret();
+  MethodId G = Callee.finish();
+  MethodBuilder B(F.P, "f", {JType::Ref}, std::nullopt);
+  Local Pv = B.newLocal(JType::Ref);
+  B.newInstance(F.Pair).astore(Pv);
+  B.aload(Pv).invoke(G);                     // escapes as an argument
+  B.aload(Pv).aload(B.arg(0)).putfield(F.A); // kept
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_FALSE(site(R, 0).Elide);
+}
+
+TEST(FieldAnalysis, TransitiveEscape) {
+  // Storing a local object into an escaped object escapes it, and
+  // everything reachable from it.
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {JType::Ref}, std::nullopt);
+  Local X = B.newLocal(JType::Ref), Y = B.newLocal(JType::Ref);
+  B.newInstance(F.Pair).astore(X);
+  B.newInstance(F.Pair).astore(Y);
+  B.aload(X).aload(Y).putfield(F.A); // site 0: x.a = y (elided; both local)
+  B.aload(X).putstatic(F.Sink);      // site 1: x escapes => y escapes too
+  B.aload(Y).aconstNull().putfield(F.B); // site 2: y escaped: kept
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_TRUE(site(R, 0).Elide);
+  EXPECT_FALSE(site(R, 2).Elide);
+}
+
+TEST(FieldAnalysis, StoreIntoPossiblyEscapedBaseEscapesValue) {
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {JType::Ref}, std::nullopt);
+  Local X = B.newLocal(JType::Ref), Y = B.newLocal(JType::Ref);
+  B.newInstance(F.Pair).astore(X);
+  B.aload(B.arg(0)).aload(X).putfield(F.A); // x stored into escaped arg
+  B.newInstance(F.Pair).astore(Y);
+  B.aload(X).aload(Y).putfield(F.B); // x escaped: kept, and y escapes
+  B.aload(Y).aconstNull().putfield(F.A); // kept: y escaped transitively
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_FALSE(site(R, 0).Elide); // base is a non-thread-local argument
+  EXPECT_FALSE(site(R, 1).Elide);
+  EXPECT_FALSE(site(R, 2).Elide);
+}
+
+TEST(FieldAnalysis, TwoNamesPerSite_PaperW1W2Example) {
+  // The Section 2.4 motivating example:
+  //   while (p1) { T x = new T;        // single site in a loop
+  //                x.f = o;   // W1: should elide (most-recent object)
+  //                if (p2) x.f = o2; } // W2: must stay? no — W2 also
+  // W2 writes x.f after W1 already wrote it, so W2 must be kept; with one
+  // name per site even W1 is lost.
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {JType::Int, JType::Ref}, std::nullopt);
+  Local T = B.newLocal(JType::Int), X = B.newLocal(JType::Ref);
+  Label Head = B.newLabel(), Done = B.newLabel(), NoW2 = B.newLabel();
+  B.iconst(0).istore(T);
+  B.bind(Head).iload(T).iload(B.arg(0)).ifICmpGe(Done);
+  B.newInstance(F.Pair).astore(X);
+  B.aload(X).aload(B.arg(1)).putfield(F.A); // W1
+  B.iload(T).iconst(3).irem().ifne(NoW2);
+  B.aload(X).aload(B.arg(1)).putfield(F.A); // W2
+  B.bind(NoW2);
+  B.iinc(T, 1).jump(Head);
+  B.bind(Done).ret();
+  B.finish();
+  MethodId Id = F.P.findMethod("f");
+
+  AnalysisConfig TwoNames;
+  AnalysisResult R2 = analyze(F.P, Id, TwoNames);
+  EXPECT_TRUE(site(R2, 0).Elide) << "W1 elides with two names per site";
+  EXPECT_FALSE(site(R2, 1).Elide) << "W2 overwrites W1's value";
+
+  AnalysisConfig OneName;
+  OneName.TwoNamesPerSite = false;
+  AnalysisResult R1 = analyze(F.P, Id, OneName);
+  EXPECT_FALSE(site(R1, 0).Elide)
+      << "with a single summary name, weak update loses W1";
+  EXPECT_FALSE(site(R1, 1).Elide);
+}
+
+TEST(FieldAnalysis, ConstructorThisIsUniqueAndLocal) {
+  // Analyzing the constructor body itself: stores to `this` fields elide
+  // (Section 2.3's special initial state).
+  PairFixture F;
+  AnalysisResult R = analyze(F.P, F.PairCtor);
+  ASSERT_EQ(R.NumSites, 1u);
+  EXPECT_TRUE(site(R, 0).Elide);
+}
+
+TEST(FieldAnalysis, NonConstructorThisIsGlobal) {
+  // An ordinary instance method must treat `this` as escaped.
+  PairFixture F;
+  MethodBuilder B(F.P, "Pair.set", F.Pair, {JType::Ref}, std::nullopt,
+                  /*IsConstructor=*/false);
+  B.aload(B.arg(0)).aload(B.arg(1)).putfield(F.A);
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("Pair.set"));
+  EXPECT_FALSE(site(R, 0).Elide);
+}
+
+TEST(FieldAnalysis, ConstructorSecondStoreKept) {
+  PairFixture F;
+  MethodBuilder B(F.P, "Pair.<init2>", F.Pair, {JType::Ref}, std::nullopt,
+                  /*IsConstructor=*/true);
+  B.aload(B.arg(0)).aload(B.arg(1)).putfield(F.A); // elided
+  B.aload(B.arg(0)).aload(B.arg(1)).putfield(F.A); // kept
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("Pair.<init2>"));
+  EXPECT_TRUE(site(R, 0).Elide);
+  EXPECT_FALSE(site(R, 1).Elide);
+}
+
+TEST(FieldAnalysis, ConstructorThisEscapeKillsElision) {
+  PairFixture F;
+  MethodBuilder B(F.P, "Pair.<init3>", F.Pair, {JType::Ref}, std::nullopt,
+                  /*IsConstructor=*/true);
+  B.aload(B.arg(0)).putstatic(F.Sink); // this escapes
+  B.aload(B.arg(0)).aload(B.arg(1)).putfield(F.A);
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("Pair.<init3>"));
+  EXPECT_FALSE(site(R, 1).Elide);
+}
+
+TEST(FieldAnalysis, MergeOfFreshAndNullStillElides) {
+  // p is either a fresh object or null at the store: both cases need no
+  // barrier (null traps).
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {JType::Int}, std::nullopt);
+  Local Pv = B.newLocal(JType::Ref);
+  Label Else = B.newLabel(), Join = B.newLabel();
+  B.iload(B.arg(0)).ifeq(Else);
+  B.newInstance(F.Pair).astore(Pv).jump(Join);
+  B.bind(Else).aconstNull().astore(Pv);
+  B.bind(Join).aload(Pv).aconstNull().putfield(F.A);
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_TRUE(site(R, 0).Elide);
+}
+
+TEST(FieldAnalysis, MergeOfFreshAndArgumentKept) {
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {JType::Int, JType::Ref}, std::nullopt);
+  Local Pv = B.newLocal(JType::Ref);
+  Label Else = B.newLabel(), Join = B.newLabel();
+  B.iload(B.arg(0)).ifeq(Else);
+  B.newInstance(F.Pair).astore(Pv).jump(Join);
+  B.bind(Else).aload(B.arg(1)).astore(Pv);
+  B.bind(Join).aload(Pv).aconstNull().putfield(F.A);
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_FALSE(site(R, 0).Elide);
+}
+
+TEST(FieldAnalysis, GetFieldTracksContents) {
+  // q = x.a where x.a is known null: storing into q traps, so the store
+  // through q is trivially elidable (empty ref set).
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  Local X = B.newLocal(JType::Ref), Q = B.newLocal(JType::Ref);
+  B.newInstance(F.Pair).astore(X);
+  B.aload(X).getfield(F.A).astore(Q); // q = null
+  B.aload(Q).aconstNull().putfield(F.B);
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_TRUE(site(R, 0).Elide);
+}
+
+TEST(FieldAnalysis, AliasThroughFieldLoad) {
+  // y = x.a where x.a holds a fresh local object: a store through y is a
+  // store to that object and stays precise.
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {JType::Ref}, std::nullopt);
+  Local X = B.newLocal(JType::Ref), Y = B.newLocal(JType::Ref);
+  Local Z = B.newLocal(JType::Ref);
+  B.newInstance(F.Pair).astore(X);
+  B.newInstance(F.Pair).astore(Z);
+  B.aload(X).aload(Z).putfield(F.A); // x.a = z (elided)
+  B.aload(X).getfield(F.A).astore(Y); // y aliases z
+  B.aload(Y).aload(B.arg(0)).putfield(F.B); // z.b still null: elided
+  B.aload(Z).aload(B.arg(0)).putfield(F.B); // now z.b was written: kept
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_TRUE(site(R, 0).Elide);
+  EXPECT_TRUE(site(R, 1).Elide);
+  EXPECT_FALSE(site(R, 2).Elide);
+}
+
+TEST(FieldAnalysis, IntFieldsAreNotBarrierSites) {
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  Local Pv = B.newLocal(JType::Ref);
+  B.newInstance(F.Pair).astore(Pv);
+  B.aload(Pv).iconst(3).putfield(F.Count);
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_EQ(R.NumSites, 0u);
+}
+
+TEST(FieldAnalysis, ModeNoneKeepsEverythingAndIsCheap) {
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  Local Pv = B.newLocal(JType::Ref);
+  B.newInstance(F.Pair).astore(Pv);
+  B.aload(Pv).aconstNull().putfield(F.A);
+  B.ret();
+  B.finish();
+  AnalysisConfig Cfg;
+  Cfg.Mode = AnalysisMode::None;
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"), Cfg);
+  EXPECT_EQ(R.NumSites, 1u);
+  EXPECT_EQ(R.NumElided, 0u);
+  EXPECT_EQ(R.BlockVisits, 0u);
+}
+
+TEST(FieldAnalysis, LoopAllocationStaysPrecisePerIteration) {
+  // Fresh object per iteration: the initializing store elides every
+  // iteration thanks to R_id/A vs R_id/B.
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {JType::Int}, std::nullopt);
+  Local T = B.newLocal(JType::Int), X = B.newLocal(JType::Ref);
+  Local Prev = B.newLocal(JType::Ref);
+  Label Head = B.newLabel(), Done = B.newLabel();
+  B.iconst(0).istore(T).aconstNull().astore(Prev);
+  B.bind(Head).iload(T).iload(B.arg(0)).ifICmpGe(Done);
+  B.newInstance(F.Pair).astore(X);
+  B.aload(X).aload(Prev).putfield(F.A); // elided: fresh each iteration
+  B.aload(Prev).astore(X);
+  B.iinc(T, 1).jump(Head);
+  B.bind(Done).ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_TRUE(site(R, 0).Elide);
+
+  // And the dynamic soundness check agrees.
+  runChecked(F.P, F.P.findMethod("f"), {50});
+}
+
+TEST(FieldAnalysis, DeadStoreMarkedDeadCode) {
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  Label Skip = B.newLabel();
+  B.jump(Skip);
+  B.aconstNull().aconstNull().putfield(F.A); // unreachable
+  B.bind(Skip).ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  ASSERT_EQ(R.NumSites, 1u);
+  EXPECT_FALSE(site(R, 0).Elide); // unreachable code keeps its barrier
+}
+
+TEST(FieldAnalysis, AnalysisTimeRecorded) {
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_GE(R.AnalysisTimeUs, 0.0);
+  EXPECT_GT(R.BlockVisits, 0u);
+}

@@ -1,0 +1,148 @@
+//===- tests/heap_test.cpp - Heap, layout, allocation zeroing -------------===//
+
+#include "heap/Heap.h"
+
+#include <gtest/gtest.h>
+
+using namespace satb;
+
+namespace {
+
+struct HeapFixture : ::testing::Test {
+  Program P;
+  ClassId C;
+  FieldId R1, I1, R2;
+  StaticFieldId SRef, SInt;
+  HeapFixture() {
+    C = P.addClass("C");
+    R1 = P.addField(C, "r1", JType::Ref);
+    I1 = P.addField(C, "i1", JType::Int);
+    R2 = P.addField(C, "r2", JType::Ref);
+    SRef = P.addStaticField("sr", JType::Ref);
+    SInt = P.addStaticField("si", JType::Int);
+  }
+};
+
+} // namespace
+
+TEST_F(HeapFixture, AllocatorZeroesFields) {
+  Heap H(P);
+  ObjRef R = H.allocateObject(C);
+  const HeapObject &O = H.object(R);
+  EXPECT_EQ(O.Kind, ObjectKind::Object);
+  EXPECT_EQ(O.Class, C);
+  ASSERT_EQ(O.RefSlots.size(), 2u); // r1, r2
+  ASSERT_EQ(O.IntSlots.size(), 1u);
+  EXPECT_EQ(O.RefSlots[0], NullRef);
+  EXPECT_EQ(O.RefSlots[1], NullRef);
+  EXPECT_EQ(O.IntSlots[0], 0);
+}
+
+TEST_F(HeapFixture, ArrayAllocationZeroed) {
+  Heap H(P);
+  ObjRef A = H.allocateRefArray(5);
+  const HeapObject &O = H.object(A);
+  EXPECT_EQ(O.Kind, ObjectKind::RefArray);
+  EXPECT_EQ(O.arrayLength(), 5u);
+  for (ObjRef E : O.RefSlots)
+    EXPECT_EQ(E, NullRef);
+  ObjRef I = H.allocateIntArray(3);
+  EXPECT_EQ(H.object(I).arrayLength(), 3u);
+  EXPECT_EQ(H.object(I).IntSlots[2], 0);
+}
+
+TEST_F(HeapFixture, FieldSlotLayoutSeparatesKinds) {
+  Heap H(P);
+  // r1 and r2 occupy ref slots 0 and 1; i1 occupies int slot 0.
+  EXPECT_EQ(H.fieldSlot(R1).Type, JType::Ref);
+  EXPECT_EQ(H.fieldSlot(R1).Slot, 0u);
+  EXPECT_EQ(H.fieldSlot(R2).Slot, 1u);
+  EXPECT_EQ(H.fieldSlot(I1).Type, JType::Int);
+  EXPECT_EQ(H.fieldSlot(I1).Slot, 0u);
+}
+
+TEST_F(HeapFixture, StaticsStartZeroed) {
+  Heap H(P);
+  EXPECT_EQ(H.getStaticRef(SRef), NullRef);
+  EXPECT_EQ(H.getStaticInt(SInt), 0);
+  ObjRef R = H.allocateObject(C);
+  H.setStaticRef(SRef, R);
+  EXPECT_EQ(H.getStaticRef(SRef), R);
+}
+
+TEST_F(HeapFixture, FreeAndReuse) {
+  Heap H(P);
+  ObjRef A = H.allocateObject(C);
+  EXPECT_EQ(H.numLive(), 1u);
+  H.free(A);
+  EXPECT_EQ(H.numLive(), 0u);
+  EXPECT_EQ(H.objectOrNull(A), nullptr);
+  ObjRef B = H.allocateObject(C);
+  EXPECT_EQ(B, A); // slot recycled
+  EXPECT_EQ(H.numAllocated(), 2u);
+}
+
+TEST_F(HeapFixture, AllocateMarkedFlag) {
+  Heap H(P);
+  ObjRef A = H.allocateObject(C);
+  EXPECT_FALSE(H.object(A).Marked);
+  H.setAllocateMarked(true);
+  ObjRef B = H.allocateObject(C);
+  EXPECT_TRUE(H.object(B).Marked);
+  H.setAllocateMarked(false);
+  EXPECT_FALSE(H.object(H.allocateObject(C)).Marked);
+}
+
+TEST_F(HeapFixture, ClearMarksResetsTracingState) {
+  Heap H(P);
+  ObjRef A = H.allocateObject(C);
+  H.object(A).Marked = true;
+  H.object(A).Tracing = TraceState::Traced;
+  H.clearMarks();
+  EXPECT_FALSE(H.object(A).Marked);
+  EXPECT_EQ(H.object(A).Tracing, TraceState::Untraced);
+}
+
+TEST_F(HeapFixture, ComputeReachableFollowsFieldsAndStatics) {
+  Heap H(P);
+  ObjRef A = H.allocateObject(C);
+  ObjRef B = H.allocateObject(C);
+  ObjRef D = H.allocateObject(C);
+  ObjRef Unreached = H.allocateObject(C);
+  H.object(A).RefSlots[0] = B;
+  H.object(B).RefSlots[1] = D;
+  H.setStaticRef(SRef, A);
+  std::vector<bool> Reached = computeReachable(H, {});
+  EXPECT_TRUE(Reached[A]);
+  EXPECT_TRUE(Reached[B]);
+  EXPECT_TRUE(Reached[D]);
+  EXPECT_FALSE(Reached[Unreached]);
+}
+
+TEST_F(HeapFixture, ComputeReachableThroughArraysAndRoots) {
+  Heap H(P);
+  ObjRef Arr = H.allocateRefArray(3);
+  ObjRef X = H.allocateObject(C);
+  H.object(Arr).RefSlots[1] = X;
+  std::vector<bool> Reached = computeReachable(H, {Arr});
+  EXPECT_TRUE(Reached[Arr]);
+  EXPECT_TRUE(Reached[X]);
+}
+
+TEST_F(HeapFixture, ComputeReachableHandlesCycles) {
+  Heap H(P);
+  ObjRef A = H.allocateObject(C);
+  ObjRef B = H.allocateObject(C);
+  H.object(A).RefSlots[0] = B;
+  H.object(B).RefSlots[0] = A;
+  std::vector<bool> Reached = computeReachable(H, {A});
+  EXPECT_TRUE(Reached[A]);
+  EXPECT_TRUE(Reached[B]);
+}
+
+TEST_F(HeapFixture, BytesAllocatedGrows) {
+  Heap H(P);
+  uint64_t Before = H.bytesAllocatedApprox();
+  H.allocateRefArray(100);
+  EXPECT_GT(H.bytesAllocatedApprox(), Before);
+}

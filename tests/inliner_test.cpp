@@ -1,0 +1,230 @@
+//===- tests/inliner_test.cpp - Size-bounded inlining ---------------------===//
+
+#include "inliner/Inliner.h"
+
+#include "bytecode/MethodBuilder.h"
+#include "interp/Interpreter.h"
+#include "verifier/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace satb;
+
+namespace {
+
+/// Runs a compiled method (post-inline) and returns the int result.
+int64_t execute(const Program &P, MethodId Entry,
+                const std::vector<int64_t> &Args, uint32_t InlineLimit) {
+  CompilerOptions Opts;
+  Opts.Inline.InlineLimit = InlineLimit;
+  CompiledProgram CP = compileProgram(P, Opts);
+  Heap H(P);
+  Interpreter I(P, CP, H);
+  EXPECT_EQ(I.run(Entry, Args), RunStatus::Finished);
+  return I.result().Int;
+}
+
+} // namespace
+
+TEST(Inliner, ExpandsSmallCallee) {
+  Program P;
+  MethodBuilder Callee(P, "twice", {JType::Int}, JType::Int);
+  Callee.iload(Callee.arg(0)).iconst(2).imul().ireturn();
+  MethodId TwiceId = Callee.finish();
+
+  MethodBuilder Caller(P, "f", {JType::Int}, JType::Int);
+  Caller.iload(Caller.arg(0)).invoke(TwiceId).ireturn();
+  MethodId FId = Caller.finish();
+
+  InlineStats Stats;
+  Method Expanded = inlineMethod(P, P.method(FId), InlineOptions{}, &Stats,
+                                 FId);
+  EXPECT_EQ(Stats.CallSitesInlined, 1u);
+  EXPECT_EQ(Stats.CallSitesKept, 0u);
+  // No Invoke remains.
+  for (const Instruction &I : Expanded.Instructions)
+    EXPECT_NE(I.Op, Opcode::Invoke);
+  EXPECT_TRUE(verifyMethod(P, Expanded).Ok);
+  // Semantics preserved.
+  EXPECT_EQ(execute(P, FId, {21}, 100), 42);
+  EXPECT_EQ(execute(P, FId, {21}, 0), 42); // and with inlining off
+}
+
+TEST(Inliner, RespectsInlineLimit) {
+  Program P;
+  MethodBuilder Callee(P, "big", {}, JType::Int);
+  for (int I = 0; I != 30; ++I)
+    Callee.iconst(I).pop();
+  Callee.iconst(7).ireturn();
+  MethodId BigId = Callee.finish();
+
+  MethodBuilder Caller(P, "f", {}, JType::Int);
+  Caller.invoke(BigId).ireturn();
+  MethodId FId = Caller.finish();
+
+  InlineOptions Small;
+  Small.InlineLimit = 10;
+  InlineStats Stats;
+  Method Expanded = inlineMethod(P, P.method(FId), Small, &Stats, FId);
+  EXPECT_EQ(Stats.CallSitesInlined, 0u);
+  EXPECT_EQ(Stats.CallSitesKept, 1u);
+  EXPECT_EQ(Expanded.Instructions.size(),
+            P.method(FId).Instructions.size());
+
+  InlineOptions Large;
+  Large.InlineLimit = 100;
+  Stats = InlineStats();
+  Expanded = inlineMethod(P, P.method(FId), Large, &Stats, FId);
+  EXPECT_EQ(Stats.CallSitesInlined, 1u);
+}
+
+TEST(Inliner, ZeroLimitDisablesInlining) {
+  Program P;
+  MethodBuilder Callee(P, "one", {}, JType::Int);
+  Callee.iconst(1).ireturn();
+  MethodId OneId = Callee.finish();
+  MethodBuilder Caller(P, "f", {}, JType::Int);
+  Caller.invoke(OneId).ireturn();
+  MethodId FId = Caller.finish();
+  InlineOptions Opts;
+  Opts.InlineLimit = 0;
+  InlineStats Stats;
+  inlineMethod(P, P.method(FId), Opts, &Stats, FId);
+  EXPECT_EQ(Stats.CallSitesInlined, 0u);
+}
+
+TEST(Inliner, RemapsLocalsAndBranches) {
+  Program P;
+  // Callee with its own loop and locals.
+  MethodBuilder Callee(P, "sum", {JType::Int}, JType::Int);
+  Local I = Callee.newLocal(JType::Int), Acc = Callee.newLocal(JType::Int);
+  Label Head = Callee.newLabel(), Done = Callee.newLabel();
+  Callee.iconst(0).istore(I).iconst(0).istore(Acc);
+  Callee.bind(Head).iload(I).iload(Callee.arg(0)).ifICmpGe(Done);
+  Callee.iload(Acc).iload(I).iadd().istore(Acc);
+  Callee.iinc(I, 1).jump(Head);
+  Callee.bind(Done).iload(Acc).ireturn();
+  MethodId SumId = Callee.finish();
+
+  // Caller also has a loop, calling sum twice.
+  MethodBuilder Caller(P, "f", {JType::Int}, JType::Int);
+  Caller.iload(Caller.arg(0)).invoke(SumId).iload(Caller.arg(0))
+      .invoke(SumId).iadd().ireturn();
+  MethodId FId = Caller.finish();
+
+  Method Expanded = inlineMethod(P, P.method(FId), InlineOptions{}, nullptr,
+                                 FId);
+  EXPECT_TRUE(verifyMethod(P, Expanded).Ok)
+      << verifyMethod(P, Expanded).Error;
+  // sum(10) = 45, doubled = 90; identical with and without inlining.
+  EXPECT_EQ(execute(P, FId, {10}, 100), 90);
+  EXPECT_EQ(execute(P, FId, {10}, 0), 90);
+}
+
+TEST(Inliner, MultipleReturnsBecomeJumps) {
+  Program P;
+  MethodBuilder Callee(P, "abs", {JType::Int}, JType::Int);
+  Label Neg = Callee.newLabel();
+  Callee.iload(Callee.arg(0)).iflt(Neg);
+  Callee.iload(Callee.arg(0)).ireturn();
+  Callee.bind(Neg).iload(Callee.arg(0)).ineg().ireturn();
+  MethodId AbsId = Callee.finish();
+
+  MethodBuilder Caller(P, "f", {JType::Int}, JType::Int);
+  Caller.iload(Caller.arg(0)).invoke(AbsId).ireturn();
+  MethodId FId = Caller.finish();
+
+  Method Expanded = inlineMethod(P, P.method(FId), InlineOptions{}, nullptr,
+                                 FId);
+  EXPECT_TRUE(verifyMethod(P, Expanded).Ok)
+      << verifyMethod(P, Expanded).Error;
+  EXPECT_EQ(execute(P, FId, {-5}, 100), 5);
+  EXPECT_EQ(execute(P, FId, {5}, 100), 5);
+}
+
+TEST(Inliner, DirectRecursionKept) {
+  Program P;
+  // fact(n) = n <= 1 ? 1 : n * fact(n - 1)
+  MethodBuilder B(P, "fact", {JType::Int}, JType::Int);
+  Label Base = B.newLabel();
+  B.iload(B.arg(0)).iconst(1).ifICmpLe(Base);
+  B.iload(B.arg(0)).iload(B.arg(0)).iconst(1).isub();
+  // Self-call: the method id equals the id finish() will assign (methods
+  // are appended in order, and none were added since construction began).
+  MethodId SelfId = P.numMethods();
+  B.invoke(SelfId).imul().ireturn();
+  B.bind(Base).iconst(1).ireturn();
+  MethodId FactId = B.finish();
+  ASSERT_EQ(FactId, SelfId);
+
+  InlineStats Stats;
+  Method Expanded = inlineMethod(P, P.method(FactId), InlineOptions{},
+                                 &Stats, FactId);
+  EXPECT_EQ(Stats.CallSitesInlined, 0u);
+  EXPECT_TRUE(verifyMethod(P, Expanded).Ok);
+  EXPECT_EQ(execute(P, FactId, {6}, 100), 720);
+}
+
+TEST(Inliner, MutualRecursionKeptViaDepth) {
+  Program P;
+  // even(n) = n == 0 || odd(n-1); odd(n) = n != 0 && even(n-1).
+  MethodId EvenId = P.numMethods();
+  MethodId OddId = EvenId + 1;
+  {
+    MethodBuilder B(P, "even", {JType::Int}, JType::Int);
+    Label T = B.newLabel();
+    B.iload(B.arg(0)).ifeq(T);
+    B.iload(B.arg(0)).iconst(1).isub().invoke(OddId).ireturn();
+    B.bind(T).iconst(1).ireturn();
+    ASSERT_EQ(B.finish(), EvenId);
+  }
+  {
+    MethodBuilder B(P, "odd", {JType::Int}, JType::Int);
+    Label F = B.newLabel();
+    B.iload(B.arg(0)).ifeq(F);
+    B.iload(B.arg(0)).iconst(1).isub().invoke(EvenId).ireturn();
+    B.bind(F).iconst(0).ireturn();
+    ASSERT_EQ(B.finish(), OddId);
+  }
+  Method Expanded = inlineMethod(P, P.method(EvenId), InlineOptions{},
+                                 nullptr, EvenId);
+  EXPECT_TRUE(verifyMethod(P, Expanded).Ok)
+      << verifyMethod(P, Expanded).Error;
+  EXPECT_EQ(execute(P, EvenId, {10}, 100), 1);
+  EXPECT_EQ(execute(P, EvenId, {7}, 100), 0);
+}
+
+TEST(Inliner, NestedInliningGrowsTransitively) {
+  Program P;
+  MethodBuilder Leaf(P, "leaf", {}, JType::Int);
+  Leaf.iconst(5).ireturn();
+  MethodId LeafId = Leaf.finish();
+  MethodBuilder Mid(P, "mid", {}, JType::Int);
+  Mid.invoke(LeafId).iconst(1).iadd().ireturn();
+  MethodId MidId = Mid.finish();
+  MethodBuilder Top(P, "top", {}, JType::Int);
+  Top.invoke(MidId).iconst(1).iadd().ireturn();
+  MethodId TopId = Top.finish();
+
+  Method Expanded = inlineMethod(P, P.method(TopId), InlineOptions{},
+                                 nullptr, TopId);
+  for (const Instruction &I : Expanded.Instructions)
+    EXPECT_NE(I.Op, Opcode::Invoke);
+  EXPECT_EQ(execute(P, TopId, {}, 100), 7);
+}
+
+TEST(Inliner, VoidCalleeInlines) {
+  Program P;
+  StaticFieldId S = P.addStaticField("s", JType::Int);
+  MethodBuilder Callee(P, "setS", {JType::Int}, std::nullopt);
+  Callee.iload(Callee.arg(0)).putstatic(S);
+  Callee.ret();
+  MethodId SetId = Callee.finish();
+  MethodBuilder Caller(P, "f", {}, JType::Int);
+  Caller.iconst(11).invoke(SetId).getstatic(S).ireturn();
+  MethodId FId = Caller.finish();
+  Method Expanded = inlineMethod(P, P.method(FId), InlineOptions{}, nullptr,
+                                 FId);
+  EXPECT_TRUE(verifyMethod(P, Expanded).Ok);
+  EXPECT_EQ(execute(P, FId, {}, 100), 11);
+}

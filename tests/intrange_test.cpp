@@ -1,0 +1,101 @@
+//===- tests/intrange_test.cpp - Null-range domain and contract -----------===//
+
+#include "analysis/IntRange.h"
+
+#include <gtest/gtest.h>
+
+using namespace satb;
+
+namespace {
+IntVal C(int64_t V) { return IntVal::constant(V); }
+} // namespace
+
+TEST(IntRange, DefaultIsEmpty) {
+  IntRange R;
+  EXPECT_TRUE(R.isEmpty());
+  EXPECT_EQ(R, IntRange::empty());
+}
+
+TEST(IntRange, Accessors) {
+  IntRange F = IntRange::full(C(0), C(9));
+  EXPECT_EQ(F.kind(), IntRange::Kind::Full);
+  EXPECT_TRUE(F.hasLo());
+  EXPECT_TRUE(F.hasHi());
+  EXPECT_EQ(F.lo(), C(0));
+  EXPECT_EQ(F.hi(), C(9));
+
+  IntRange From = IntRange::from(C(3));
+  EXPECT_TRUE(From.hasLo());
+  EXPECT_FALSE(From.hasHi());
+
+  IntRange To = IntRange::to(C(5));
+  EXPECT_FALSE(To.hasLo());
+  EXPECT_TRUE(To.hasHi());
+}
+
+TEST(IntRange, ContractAtLowEndOfFull) {
+  IntRange R = IntRange::full(C(0), C(9));
+  IntRange After = R.contract(C(0));
+  EXPECT_EQ(After, IntRange::full(C(1), C(9)));
+}
+
+TEST(IntRange, ContractAtHighEndOfFull) {
+  IntRange R = IntRange::full(C(0), C(9));
+  EXPECT_EQ(R.contract(C(9)), IntRange::full(C(0), C(8)));
+}
+
+TEST(IntRange, ContractInteriorLosesEverything) {
+  // "contract loses all information unless i+1 or i-1 is the next element
+  // initialized" (Section 3.6).
+  IntRange R = IntRange::full(C(0), C(9));
+  EXPECT_TRUE(R.contract(C(4)).isEmpty());
+}
+
+TEST(IntRange, ContractHalfOpenFrom) {
+  IntRange R = IntRange::from(C(3));
+  EXPECT_EQ(R.contract(C(3)), IntRange::from(C(4)));
+  EXPECT_TRUE(R.contract(C(5)).isEmpty());
+}
+
+TEST(IntRange, ContractHalfOpenTo) {
+  IntRange R = IntRange::to(C(7));
+  EXPECT_EQ(R.contract(C(7)), IntRange::to(C(6)));
+  EXPECT_TRUE(R.contract(C(2)).isEmpty());
+}
+
+TEST(IntRange, ContractWithSymbolicBounds) {
+  // [v0 .. 2*c0-1] contracted at v0 gives [v0+1 .. 2*c0-1].
+  IntVal Lo = IntVal::variable(0);
+  IntVal Hi = IntVal::constUnknown(0).mulConstant(2).addConstant(-1);
+  IntRange R = IntRange::full(Lo, Hi);
+  IntRange After = R.contract(Lo);
+  EXPECT_EQ(After, IntRange::full(Lo.addConstant(1), Hi));
+  // A store at an unrelated symbolic index empties the range.
+  EXPECT_TRUE(R.contract(IntVal::variable(1)).isEmpty());
+}
+
+TEST(IntRange, ContractTopIndexEmpties) {
+  IntRange R = IntRange::full(C(0), C(9));
+  EXPECT_TRUE(R.contract(IntVal::top()).isEmpty());
+  // Even with a Top bound, a Top index never matches.
+  IntRange T = IntRange::full(C(0), IntVal::top());
+  EXPECT_TRUE(T.contract(IntVal::top()).isEmpty());
+}
+
+TEST(IntRange, ContractEmptyStaysEmpty) {
+  EXPECT_TRUE(IntRange::empty().contract(C(0)).isEmpty());
+}
+
+TEST(IntRange, EqualityDistinguishesKindsAndBounds) {
+  EXPECT_NE(IntRange::from(C(0)), IntRange::to(C(0)));
+  EXPECT_NE(IntRange::from(C(0)), IntRange::from(C(1)));
+  EXPECT_EQ(IntRange::full(C(0), C(1)), IntRange::full(C(0), C(1)));
+  EXPECT_NE(IntRange::full(C(0), C(1)), IntRange::empty());
+}
+
+TEST(IntRange, StrRendering) {
+  EXPECT_EQ(IntRange::empty().str(), "[]");
+  EXPECT_EQ(IntRange::full(C(0), C(9)).str(), "[0..9]");
+  EXPECT_EQ(IntRange::from(IntVal::variable(0)).str(), "[v0..]");
+  EXPECT_EQ(IntRange::to(C(5)).str(), "[..5]");
+}

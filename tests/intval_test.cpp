@@ -1,0 +1,151 @@
+//===- tests/intval_test.cpp - Symbolic integer value domain --------------===//
+
+#include "analysis/IntVal.h"
+
+#include <gtest/gtest.h>
+
+using namespace satb;
+
+TEST(IntVal, DefaultIsZeroConstant) {
+  IntVal V;
+  EXPECT_TRUE(V.isPureConstant());
+  EXPECT_EQ(V.constTerm(), 0);
+  EXPECT_EQ(V, IntVal::constant(0));
+}
+
+TEST(IntVal, ConstantArithmetic) {
+  IntVal A = IntVal::constant(3), B = IntVal::constant(4);
+  EXPECT_EQ((A + B).constTerm(), 7);
+  EXPECT_EQ((A - B).constTerm(), -1);
+  EXPECT_EQ(IntVal::mul(A, B).constTerm(), 12);
+  EXPECT_EQ(A.negate().constTerm(), -3);
+  EXPECT_EQ(A.addConstant(10).constTerm(), 13);
+}
+
+TEST(IntVal, TopAbsorbs) {
+  IntVal T = IntVal::top();
+  EXPECT_TRUE(T.isTop());
+  EXPECT_TRUE((T + IntVal::constant(1)).isTop());
+  EXPECT_TRUE((IntVal::constant(1) - T).isTop());
+  EXPECT_TRUE(IntVal::mul(T, IntVal::constUnknown(0)).isTop());
+  // Multiplying Top by the literal 0 is exactly 0.
+  EXPECT_EQ(T.mulConstant(0), IntVal::constant(0));
+}
+
+TEST(IntVal, ConstUnknownLinearCombination) {
+  IntVal C0 = IntVal::constUnknown(0);
+  IntVal V = C0.mulConstant(2).addConstant(-1); // 2*c0 - 1
+  EXPECT_FALSE(V.isPureConstant());
+  EXPECT_TRUE(V.isVarFree());
+  ASSERT_EQ(V.unknownTerms().size(), 1u);
+  EXPECT_EQ(V.unknownTerms()[0].first, 0u);
+  EXPECT_EQ(V.unknownTerms()[0].second, 2);
+  EXPECT_EQ(V.constTerm(), -1);
+  EXPECT_EQ(V.str(), "2*c0 - 1");
+}
+
+TEST(IntVal, UnknownTermsCancel) {
+  IntVal C0 = IntVal::constUnknown(0);
+  IntVal Diff = C0.mulConstant(2) - C0 - C0;
+  EXPECT_TRUE(Diff.isPureConstant());
+  EXPECT_EQ(Diff.constTerm(), 0);
+}
+
+TEST(IntVal, VariableTerm) {
+  IntVal V = IntVal::variable(3);
+  EXPECT_TRUE(V.hasVarTerm());
+  EXPECT_EQ(V.var(), 3u);
+  EXPECT_EQ(V.varCoeff(), 1);
+  IntVal W = V + IntVal::constant(2);
+  EXPECT_TRUE(W.hasVarTerm());
+  EXPECT_EQ(W.constTerm(), 2);
+}
+
+TEST(IntVal, SameVariableAddsCoefficients) {
+  IntVal V = IntVal::variable(1);
+  IntVal Two = V + V;
+  EXPECT_EQ(Two.varCoeff(), 2);
+  IntVal Zero = V - V;
+  EXPECT_FALSE(Zero.hasVarTerm());
+  EXPECT_EQ(Zero, IntVal::constant(0));
+}
+
+TEST(IntVal, DifferentVariablesAddToTop) {
+  IntVal A = IntVal::variable(1), B = IntVal::variable(2);
+  EXPECT_TRUE((A + B).isTop());
+  EXPECT_TRUE((A - B).isTop());
+}
+
+TEST(IntVal, MulOfTwoSymbolicsIsTop) {
+  IntVal A = IntVal::constUnknown(0), B = IntVal::constUnknown(1);
+  EXPECT_TRUE(IntVal::mul(A, B).isTop());
+  // But a symbolic times a pure constant is exact.
+  EXPECT_EQ(IntVal::mul(A, IntVal::constant(3)),
+            A.mulConstant(3));
+}
+
+TEST(IntVal, SubstituteVar) {
+  // 2*v1 + c0 + 1 with v1 := v2 + 3  ==>  2*v2 + c0 + 7
+  IntVal V = IntVal::variable(1).mulConstant(2) + IntVal::constUnknown(0) +
+             IntVal::constant(1);
+  IntVal Replacement = IntVal::variable(2) + IntVal::constant(3);
+  IntVal R = V.substituteVar(1, Replacement);
+  EXPECT_EQ(R.var(), 2u);
+  EXPECT_EQ(R.varCoeff(), 2);
+  EXPECT_EQ(R.constTerm(), 7);
+  // Substituting an unrelated variable is the identity.
+  EXPECT_EQ(V.substituteVar(9, Replacement), V);
+}
+
+TEST(IntVal, EqualityIsStructural) {
+  IntVal A = IntVal::constUnknown(0) + IntVal::constant(1);
+  IntVal B = IntVal::constant(1) + IntVal::constUnknown(0);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, A.addConstant(1));
+  EXPECT_NE(A, IntVal::top());
+  EXPECT_EQ(IntVal::top(), IntVal::top());
+}
+
+TEST(IntVal, StrRendering) {
+  EXPECT_EQ(IntVal::top().str(), "top");
+  EXPECT_EQ(IntVal::constant(0).str(), "0");
+  EXPECT_EQ(IntVal::constant(-4).str(), "-4");
+  EXPECT_EQ(IntVal::variable(0).str(), "v0");
+  EXPECT_EQ((IntVal::variable(0) + IntVal::constant(1)).str(), "v0 + 1");
+}
+
+TEST(ConstUnknownRegistry, TracksNonNegativity) {
+  ConstUnknownRegistry Reg;
+  ConstUnknownId A = Reg.create(true);  // an array length
+  ConstUnknownId B = Reg.create(false); // a plain int parameter
+  EXPECT_TRUE(Reg.isNonNegative(A));
+  EXPECT_FALSE(Reg.isNonNegative(B));
+  EXPECT_FALSE(Reg.isNonNegative(99)); // unknown ids conservative
+}
+
+TEST(ProvablyNonNegative, Constants) {
+  ConstUnknownRegistry Reg;
+  EXPECT_TRUE(provablyNonNegative(IntVal::constant(0), Reg));
+  EXPECT_TRUE(provablyNonNegative(IntVal::constant(5), Reg));
+  EXPECT_FALSE(provablyNonNegative(IntVal::constant(-1), Reg));
+  EXPECT_FALSE(provablyNonNegative(IntVal::top(), Reg));
+  EXPECT_FALSE(provablyNonNegative(IntVal::variable(0), Reg));
+}
+
+TEST(ProvablyNonNegative, UnknownTerms) {
+  ConstUnknownRegistry Reg;
+  ConstUnknownId Len = Reg.create(true);
+  ConstUnknownId Arg = Reg.create(false);
+  // 2*len >= 0 holds; 2*len - 1 is not provable (len may be 0).
+  EXPECT_TRUE(provablyNonNegative(IntVal::constUnknown(Len).mulConstant(2),
+                                  Reg));
+  EXPECT_FALSE(provablyNonNegative(
+      IntVal::constUnknown(Len).mulConstant(2).addConstant(-1), Reg));
+  // -len is not provable; neither is an arbitrary int parameter.
+  EXPECT_FALSE(
+      provablyNonNegative(IntVal::constUnknown(Len).mulConstant(-1), Reg));
+  EXPECT_FALSE(provablyNonNegative(IntVal::constUnknown(Arg), Reg));
+  // len + 3 >= 0 holds.
+  EXPECT_TRUE(provablyNonNegative(
+      IntVal::constUnknown(Len).addConstant(3), Reg));
+}

@@ -1,0 +1,296 @@
+//===- tests/merge_test.cpp - The Figure 1 merge procedure ----------------===//
+///
+/// \file
+/// Unit tests for merge_intvals (Figure 1) and whole-state merging,
+/// including the paper's Section 3.5 walkthrough of the expand example.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StateMerger.h"
+
+#include <gtest/gtest.h>
+
+using namespace satb;
+
+namespace {
+
+IntVal C(int64_t V) { return IntVal::constant(V); }
+
+struct MergeFixture : ::testing::Test {
+  VarAllocator Vars;
+  StateMerger Merger{Vars, /*Widen=*/false};
+};
+
+} // namespace
+
+TEST_F(MergeFixture, EqualValuesMergeToThemselves) {
+  EXPECT_EQ(Merger.mergeIntVals(C(5), C(5)), C(5));
+  IntVal U = IntVal::constUnknown(0).addConstant(2);
+  EXPECT_EQ(Merger.mergeIntVals(U, U), U);
+}
+
+TEST_F(MergeFixture, TopAbsorbs) {
+  EXPECT_TRUE(Merger.mergeIntVals(IntVal::top(), C(1)).isTop());
+  EXPECT_TRUE(Merger.mergeIntVals(C(1), IntVal::top()).isTop());
+}
+
+TEST_F(MergeFixture, ConstantStrideCreatesVariable) {
+  // Figure 1 lines 11-15: merging 0 and 1 creates a fresh variable.
+  IntVal M = Merger.mergeIntVals(C(0), C(1));
+  EXPECT_TRUE(M.hasVarTerm());
+  EXPECT_EQ(M.varCoeff(), 1);
+  EXPECT_TRUE(M.unknownTerms().empty());
+  EXPECT_EQ(M.constTerm(), 0);
+}
+
+TEST_F(MergeFixture, SameStrideReusesVariableWithOffset) {
+  // Two components varying with the same stride within one merge share
+  // the variable: the second is expressed as v + (anchor offset).
+  IntVal First = Merger.mergeIntVals(C(0), C(1));  // creates v
+  IntVal Second = Merger.mergeIntVals(C(10), C(11)); // same stride 1
+  ASSERT_TRUE(First.hasVarTerm());
+  ASSERT_TRUE(Second.hasVarTerm());
+  EXPECT_EQ(First.var(), Second.var());
+  EXPECT_EQ(Second.constTerm() - First.constTerm(), 10);
+}
+
+TEST_F(MergeFixture, DifferentStridesGetDifferentVariables) {
+  IntVal A = Merger.mergeIntVals(C(0), C(1));
+  IntVal B = Merger.mergeIntVals(C(0), C(2));
+  ASSERT_TRUE(A.hasVarTerm());
+  ASSERT_TRUE(B.hasVarTerm());
+  EXPECT_NE(A.var(), B.var());
+}
+
+TEST_F(MergeFixture, ValidationKeepsVariableWhenConsistent) {
+  // Iteration 2 of the expand loop: stored v merges with incoming v+1;
+  // match() records mu2[v] = v+1 and the merge returns v.
+  IntVal V = Merger.mergeIntVals(C(0), C(1));
+  StateMerger Second(Vars, false);
+  IntVal M = Second.mergeIntVals(V, V.addConstant(1));
+  EXPECT_EQ(M, V);
+}
+
+TEST_F(MergeFixture, ConsistentSubstitutionAcrossComponents) {
+  // After v is matched against v+1 for one component, a second component
+  // with the same relationship reuses the substitution (Figure 1 line 24).
+  IntVal V = Merger.mergeIntVals(C(0), C(1));
+  StateMerger Second(Vars, false);
+  EXPECT_EQ(Second.mergeIntVals(V, V.addConstant(1)), V);
+  EXPECT_EQ(Second.mergeIntVals(V.addConstant(5), V.addConstant(6)),
+            V.addConstant(5));
+}
+
+TEST_F(MergeFixture, InconsistentSubstitutionTopsOut) {
+  // One component says v -> v+1, another says v -> v+2: the second merge
+  // must go to Top (Figure 1 line 25).
+  IntVal V = Merger.mergeIntVals(C(0), C(1));
+  StateMerger Second(Vars, false);
+  EXPECT_EQ(Second.mergeIntVals(V, V.addConstant(1)), V);
+  EXPECT_TRUE(Second.mergeIntVals(V.addConstant(5), V.addConstant(7))
+                  .isTop());
+}
+
+TEST_F(MergeFixture, VarAgainstConstantExpressionBindsSubstitution) {
+  // A variable merged against a var-free expression binds mu2[v] to it
+  // (our generalization of match); a second, inconsistent component then
+  // tops out.
+  IntVal V = Merger.mergeIntVals(C(0), C(1));
+  StateMerger Second(Vars, false);
+  EXPECT_EQ(Second.mergeIntVals(V, IntVal::constUnknown(0)), V);
+  EXPECT_TRUE(Second.mergeIntVals(V, IntVal::constUnknown(1)).isTop());
+}
+
+TEST_F(MergeFixture, VarFreeIncomingMatchesAsConstantInstance) {
+  // Our generalization of match(): incoming constant 0 is an instance of
+  // stored v (v had value 0 in that state).
+  IntVal V = Merger.mergeIntVals(C(0), C(1));
+  StateMerger Second(Vars, false);
+  EXPECT_EQ(Second.mergeIntVals(V, C(0)), V);
+}
+
+TEST_F(MergeFixture, CoefficientMismatchTopsOut) {
+  IntVal V = Merger.mergeIntVals(C(0), C(1)); // coeff 1
+  StateMerger Second(Vars, false);
+  IntVal TwoV = V.mulConstant(2);
+  EXPECT_TRUE(Second.mergeIntVals(TwoV, V).isTop());
+}
+
+TEST_F(MergeFixture, UnknownDeltaTopsOut) {
+  // Values differing by a constant *unknown* (not a literal stride) top
+  // out (int_const(delta) fails).
+  IntVal A = C(0);
+  IntVal B = IntVal::constUnknown(0);
+  EXPECT_TRUE(Merger.mergeIntVals(A, B).isTop());
+}
+
+TEST_F(MergeFixture, WidenedMergerNeverCreatesVariables) {
+  StateMerger Wide(Vars, /*Widen=*/true);
+  EXPECT_TRUE(Wide.mergeIntVals(C(0), C(1)).isTop());
+  EXPECT_EQ(Wide.mergeIntVals(C(3), C(3)), C(3));
+}
+
+TEST_F(MergeFixture, VarAllocatorCapForcesTop) {
+  VarAllocator Tiny(1);
+  StateMerger M1(Tiny, false);
+  EXPECT_TRUE(M1.mergeIntVals(C(0), C(1)).hasVarTerm());
+  StateMerger M2(Tiny, false);
+  EXPECT_TRUE(M2.mergeIntVals(C(0), C(1)).isTop()); // cap exhausted
+}
+
+// --- Whole-state merges ----------------------------------------------------
+
+namespace {
+
+/// A minimal two-local state over a 4-ref universe.
+AnalysisState makeState(IntVal I0, IntVal I1) {
+  AnalysisState S;
+  S.Locals.push_back(AbstractValue::intVal(std::move(I0)));
+  S.Locals.push_back(AbstractValue::intVal(std::move(I1)));
+  S.NL = BitSet(4);
+  S.NL.set(0);
+  return S;
+}
+
+} // namespace
+
+TEST_F(MergeFixture, StateMergeSharesStrideVariableAcrossComponents) {
+  // The Section 3.5 walkthrough: rho(i) and the NR lower bound vary with
+  // the same stride and end up sharing one variable unknown.
+  AnalysisState Stored = makeState(C(0), C(100));
+  Stored.NR.emplace(1, IntRange::full(C(0), C(9)));
+  Stored.Len.emplace(1, C(10));
+  AnalysisState Incoming = makeState(C(1), C(100));
+  Incoming.NR.emplace(1, IntRange::full(C(1), C(9)));
+  Incoming.Len.emplace(1, C(10));
+
+  EXPECT_TRUE(Merger.merge(Stored, Incoming));
+  const AbstractValue &I = Stored.Locals[0];
+  ASSERT_TRUE(I.isInt());
+  ASSERT_TRUE(I.intValue().hasVarTerm());
+  const IntRange &R = Stored.NR.at(1);
+  ASSERT_EQ(R.kind(), IntRange::Kind::Full);
+  ASSERT_TRUE(R.lo().hasVarTerm());
+  EXPECT_EQ(I.intValue().var(), R.lo().var());
+  EXPECT_EQ(R.hi(), C(9));
+}
+
+TEST_F(MergeFixture, StateMergeFullWithFromUsesLenEquivalence) {
+  // Full[0..9] (with Len=10) merged against From[1..] gives From[v..] —
+  // the exact merge of the paper's example.
+  AnalysisState Stored = makeState(C(0), C(0));
+  Stored.NR.emplace(1, IntRange::full(C(0), C(9)));
+  Stored.Len.emplace(1, C(10));
+  AnalysisState Incoming = makeState(C(1), C(0));
+  Incoming.NR.emplace(1, IntRange::from(C(1)));
+  Incoming.Len.emplace(1, C(10));
+
+  EXPECT_TRUE(Merger.merge(Stored, Incoming));
+  const IntRange &R = Stored.NR.at(1);
+  ASSERT_EQ(R.kind(), IntRange::Kind::From);
+  EXPECT_TRUE(R.lo().hasVarTerm());
+}
+
+TEST_F(MergeFixture, StateMergeFullWithFromWithoutLenEquivalenceEmpties) {
+  // Full[0..8] does not reach the last index (Len=10): merging with a
+  // From range would overclaim, so the result is Empty.
+  AnalysisState Stored = makeState(C(0), C(0));
+  Stored.NR.emplace(1, IntRange::full(C(0), C(8)));
+  Stored.Len.emplace(1, C(10));
+  AnalysisState Incoming = makeState(C(0), C(0));
+  Incoming.NR.emplace(1, IntRange::from(C(1)));
+  Incoming.Len.emplace(1, C(10));
+
+  Merger.merge(Stored, Incoming);
+  EXPECT_TRUE(Stored.NR.at(1).isEmpty());
+}
+
+TEST_F(MergeFixture, StateMergeRefsUnion) {
+  AnalysisState Stored = makeState(C(0), C(0));
+  AnalysisState Incoming = makeState(C(0), C(0));
+  BitSet A(4), B(4);
+  A.set(1);
+  B.set(2);
+  Stored.Stack.push_back(AbstractValue::refs(A));
+  Incoming.Stack.push_back(AbstractValue::refs(B));
+  EXPECT_TRUE(Merger.merge(Stored, Incoming));
+  EXPECT_TRUE(Stored.Stack[0].refSet().test(1));
+  EXPECT_TRUE(Stored.Stack[0].refSet().test(2));
+}
+
+TEST_F(MergeFixture, StateMergeNLUnionAndStorePointwise) {
+  AnalysisState Stored = makeState(C(0), C(0));
+  AnalysisState Incoming = makeState(C(0), C(0));
+  Incoming.NL.set(2);
+  BitSet R(4);
+  R.set(3);
+  Incoming.Store.emplace(StoreKey{1, 0}, AbstractValue::refs(R));
+  EXPECT_TRUE(Merger.merge(Stored, Incoming));
+  EXPECT_TRUE(Stored.NL.test(2));
+  ASSERT_TRUE(Stored.storeEntry(1, 0));
+  EXPECT_TRUE(Stored.storeEntry(1, 0)->refSet().test(3));
+  // Absent-in-incoming keys are kept (bottom identity).
+  StateMerger M2(Vars, false);
+  AnalysisState Incoming2 = makeState(C(0), C(0));
+  EXPECT_FALSE(M2.merge(Stored, Incoming2));
+  EXPECT_TRUE(Stored.storeEntry(1, 0));
+}
+
+TEST_F(MergeFixture, StateMergeLenStructural) {
+  AnalysisState Stored = makeState(C(0), C(0));
+  Stored.Len.emplace(1, C(10));
+  AnalysisState Incoming = makeState(C(0), C(0));
+  Incoming.Len.emplace(1, C(12));
+  EXPECT_TRUE(Merger.merge(Stored, Incoming));
+  EXPECT_TRUE(Stored.Len.at(1).isTop()); // no stride vars for Len
+}
+
+TEST_F(MergeFixture, StateMergeFactsIntersect) {
+  AnalysisState Stored = makeState(C(0), C(0));
+  Stored.addFact(0, 5);
+  Stored.addFact(0, 6);
+  AnalysisState Incoming = makeState(C(0), C(0));
+  Incoming.addFact(0, 6);
+  EXPECT_TRUE(Merger.merge(Stored, Incoming));
+  EXPECT_FALSE(Stored.hasFact(0, 5));
+  EXPECT_TRUE(Stored.hasFact(0, 6));
+}
+
+TEST_F(MergeFixture, StateMergeConflictingKinds) {
+  AnalysisState Stored = makeState(C(0), C(0));
+  AnalysisState Incoming = makeState(C(0), C(0));
+  Incoming.Locals[1] = AbstractValue::nullRef(4);
+  EXPECT_TRUE(Merger.merge(Stored, Incoming));
+  EXPECT_EQ(Stored.Locals[1].kind(), AbstractValue::Kind::Conflict);
+}
+
+TEST_F(MergeFixture, StateMergeBottomIdentity) {
+  AnalysisState Stored = makeState(C(0), C(0));
+  Stored.Locals[1] = AbstractValue::bottom();
+  AnalysisState Incoming = makeState(C(0), C(0));
+  Incoming.Locals[1] = AbstractValue::nullRef(4);
+  EXPECT_TRUE(Merger.merge(Stored, Incoming));
+  EXPECT_TRUE(Stored.Locals[1].isDefinitelyNull());
+  // And bottom incoming leaves stored untouched.
+  StateMerger M2(Vars, false);
+  AnalysisState Incoming2 = makeState(C(0), C(0));
+  Incoming2.Locals[1] = AbstractValue::bottom();
+  EXPECT_FALSE(M2.merge(Stored, Incoming2));
+}
+
+TEST_F(MergeFixture, NosTagsIntersectWithWeakestStrength) {
+  AnalysisState Stored = makeState(C(0), C(0));
+  AnalysisState Incoming = makeState(C(0), C(0));
+  AbstractValue A = AbstractValue::nullRef(4);
+  A.addNosTag(NosTag{0, 7, /*IsEq=*/true});
+  A.addNosTag(NosTag{0, 8, true});
+  AbstractValue B = AbstractValue::nullRef(4);
+  B.addNosTag(NosTag{0, 7, /*IsEq=*/false});
+  Stored.Locals[1] = A;
+  Incoming.Locals[1] = B;
+  EXPECT_TRUE(Merger.merge(Stored, Incoming));
+  const NosTag *T = Stored.Locals[1].findNosTag(0, 7);
+  ASSERT_NE(T, nullptr);
+  EXPECT_FALSE(T->IsEq); // weakened
+  EXPECT_EQ(Stored.Locals[1].findNosTag(0, 8), nullptr); // intersected away
+}

@@ -1,0 +1,199 @@
+//===- tests/nullorsame_test.cpp - Section 4.3 null-or-same extension -----===//
+
+#include "TestUtil.h"
+
+#include "workloads/StdLib.h"
+
+using namespace satb;
+using namespace satb::testutil;
+
+namespace {
+
+AnalysisConfig nosConfig(bool AssumeNoRaces = true) {
+  AnalysisConfig Cfg;
+  Cfg.EnableNullOrSame = true;
+  Cfg.NosAssumeNoRaces = AssumeNoRaces;
+  return Cfg;
+}
+
+/// Builds the paper's Hashtable.hasMoreElements idiom as a standalone
+/// program and returns (program, scan method id).
+struct HashtableIdiom {
+  Program P;
+  HashtableParts HT;
+  HashtableIdiom() { HT = addHashtableClass(P, "t."); }
+};
+
+/// \returns the decision at the scan method's putfield(entry) site.
+const BarrierDecision &scanEntryDecision(const AnalysisResult &R,
+                                         const Program &P, MethodId Scan) {
+  const Method &M = P.method(Scan);
+  for (uint32_t I = 0; I != M.Instructions.size(); ++I)
+    if (M.Instructions[I].Op == Opcode::PutField &&
+        R.Decisions[I].IsBarrierSite &&
+        P.fieldDecl(static_cast<FieldId>(M.Instructions[I].A)).Name ==
+            "entry")
+      return R.Decisions[I];
+  static BarrierDecision Missing;
+  ADD_FAILURE() << "entry store not found";
+  return Missing;
+}
+
+} // namespace
+
+TEST(NullOrSame, HashtableIdiomElidesWithExtension) {
+  HashtableIdiom F;
+  AnalysisResult R = analyze(F.P, F.HT.Scan, nosConfig());
+  const BarrierDecision &D = scanEntryDecision(R, F.P, F.HT.Scan);
+  EXPECT_TRUE(D.Elide);
+  EXPECT_EQ(D.Reason, ElisionReason::NullOrSame);
+}
+
+TEST(NullOrSame, HashtableIdiomKeptWithoutExtension) {
+  HashtableIdiom F;
+  AnalysisResult R = analyze(F.P, F.HT.Scan); // extension off
+  EXPECT_FALSE(scanEntryDecision(R, F.P, F.HT.Scan).Elide);
+}
+
+TEST(NullOrSame, ThreadLocalityRequiredByDefault) {
+  // `this` of an instance method is non-thread-local; without the
+  // AssumeNoRaces knob the extension must not fire (Section 4.3's
+  // mutator/mutator warning).
+  HashtableIdiom F;
+  AnalysisResult R = analyze(F.P, F.HT.Scan,
+                             nosConfig(/*AssumeNoRaces=*/false));
+  EXPECT_FALSE(scanEntryDecision(R, F.P, F.HT.Scan).Elide);
+}
+
+TEST(NullOrSame, ImmediateRewriteOfLoadedValue) {
+  // v = o.a; o.a = v  — the simplest same-value store.
+  PairFixture F;
+  MethodBuilder B(F.P, "Pair.touch", F.Pair, {}, std::nullopt, false);
+  Local V = B.newLocal(JType::Ref);
+  B.aload(B.arg(0)).getfield(F.A).astore(V);
+  B.aload(B.arg(0)).aload(V).putfield(F.A);
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("Pair.touch"), nosConfig());
+  EXPECT_TRUE(site(R, 0).Elide);
+  EXPECT_EQ(site(R, 0).Reason, ElisionReason::NullOrSame);
+}
+
+TEST(NullOrSame, InterveningCallKillsTag) {
+  PairFixture F;
+  // The callee writes a field, so it may overwrite o.a (a pure reader
+  // would leave the tag intact — see summaries_test.cpp).
+  MethodBuilder Nop(F.P, "clobber", {}, std::nullopt);
+  Nop.getstatic(F.Sink).aconstNull().putfield(F.A);
+  Nop.ret();
+  MethodId NopId = Nop.finish();
+  MethodBuilder B(F.P, "Pair.touch", F.Pair, {}, std::nullopt, false);
+  Local V = B.newLocal(JType::Ref);
+  B.aload(B.arg(0)).getfield(F.A).astore(V);
+  B.invoke(NopId); // the callee may write o.a
+  B.aload(B.arg(0)).aload(V).putfield(F.A);
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("Pair.touch"), nosConfig());
+  EXPECT_FALSE(site(R, 0).Elide);
+}
+
+TEST(NullOrSame, InterveningSameFieldStoreKillsTag) {
+  PairFixture F;
+  MethodBuilder B(F.P, "m", {JType::Ref, JType::Ref, JType::Ref},
+                  std::nullopt);
+  Local V = B.newLocal(JType::Ref);
+  B.aload(B.arg(0)).getfield(F.A).astore(V);
+  B.aload(B.arg(1)).aload(B.arg(2)).putfield(F.A); // may alias arg0
+  B.aload(B.arg(0)).aload(V).putfield(F.A);        // no longer same
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("m"), nosConfig());
+  EXPECT_FALSE(site(R, 1).Elide);
+}
+
+TEST(NullOrSame, InterveningOtherFieldStoreKeepsTag) {
+  PairFixture F;
+  MethodBuilder B(F.P, "m", {JType::Ref, JType::Ref, JType::Ref},
+                  std::nullopt);
+  Local V = B.newLocal(JType::Ref);
+  B.aload(B.arg(0)).getfield(F.A).astore(V);
+  B.aload(B.arg(1)).aload(B.arg(2)).putfield(F.B); // different field
+  B.aload(B.arg(0)).aload(V).putfield(F.A);
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("m"), nosConfig());
+  EXPECT_TRUE(site(R, 1).Elide);
+}
+
+TEST(NullOrSame, BaseLocalReassignmentKillsTag) {
+  PairFixture F;
+  MethodBuilder B(F.P, "m", {JType::Ref, JType::Ref}, std::nullopt);
+  Local V = B.newLocal(JType::Ref);
+  Local O = B.newLocal(JType::Ref);
+  B.aload(B.arg(0)).astore(O);
+  B.aload(O).getfield(F.A).astore(V);
+  B.aload(B.arg(1)).astore(O); // o now names a different object
+  B.aload(O).aload(V).putfield(F.A);
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("m"), nosConfig());
+  EXPECT_FALSE(site(R, 0).Elide);
+}
+
+TEST(NullOrSame, NullCheckedFieldAllowsAnyStore) {
+  // if (o.a == null) o.a = v;  — on the taken path the field is null, so
+  // storing anything is pre-null.
+  PairFixture F;
+  MethodBuilder B(F.P, "m", {JType::Ref, JType::Ref}, std::nullopt);
+  Label NotNull = B.newLabel();
+  B.aload(B.arg(0)).getfield(F.A).ifnonnull(NotNull);
+  B.aload(B.arg(0)).aload(B.arg(1)).putfield(F.A);
+  B.bind(NotNull).ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("m"), nosConfig());
+  EXPECT_TRUE(site(R, 0).Elide);
+}
+
+TEST(NullOrSame, NonNullBranchDoesNotEstablishFact) {
+  // if (o.a != null) { o.a = v; }  — field known non-null: must keep.
+  PairFixture F;
+  MethodBuilder B(F.P, "m", {JType::Ref, JType::Ref}, std::nullopt);
+  Label IsNull = B.newLabel();
+  B.aload(B.arg(0)).getfield(F.A).ifnull(IsNull);
+  B.aload(B.arg(0)).aload(B.arg(1)).putfield(F.A);
+  B.bind(IsNull).ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("m"), nosConfig());
+  EXPECT_FALSE(site(R, 0).Elide);
+}
+
+TEST(NullOrSame, DynamicJustificationOnHashtableWorkload) {
+  // Run the table idiom for real and confirm every elided execution
+  // overwrote null or rewrote the same value.
+  HashtableIdiom F;
+  MethodBuilder B(F.P, "driver", {JType::Int}, std::nullopt);
+  Local T = B.newLocal(JType::Int), Tab = B.newLocal(JType::Ref);
+  Local Idx = B.newLocal(JType::Int);
+  Label Head = B.newLabel(), Done = B.newLabel();
+  B.newInstance(F.HT.Table).dup().iconst(8).invoke(F.HT.Ctor).astore(Tab);
+  B.iconst(0).istore(T);
+  B.bind(Head).iload(T).iload(B.arg(0)).ifICmpGe(Done);
+  B.iload(T).iconst(8).irem().istore(Idx);
+  B.aload(Tab).iload(Idx).aload(Tab).invoke(F.HT.Put);
+  B.aload(Tab).invoke(F.HT.Scan);
+  B.iinc(T, 1).jump(Head);
+  B.bind(Done).ret();
+  MethodId Driver = B.finish();
+
+  CompilerOptions Opts;
+  Opts.Analysis = nosConfig();
+  BarrierStats::Summary S = runChecked(F.P, Driver, {200}, Opts);
+  EXPECT_GT(S.ElidedExecs, 0u);
+}
+
+TEST(NullOrSame, StaticCountsReported) {
+  HashtableIdiom F;
+  AnalysisResult R = analyze(F.P, F.HT.Scan, nosConfig());
+  EXPECT_EQ(R.NumElidedNullOrSame, 1u);
+}

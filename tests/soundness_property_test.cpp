@@ -1,0 +1,120 @@
+//===- tests/soundness_property_test.cpp - Fuzzed elision soundness -------===//
+///
+/// \file
+/// The paper's Section 4.2 correctness check as a property test: over
+/// seeded random programs and every (mode, inline limit, knob)
+/// configuration, every statically elided barrier must be dynamically
+/// justified on every execution (pre-null, or null-or-same for the 4.3
+/// extension), and program semantics must be identical with and without
+/// elision.
+///
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgram.h"
+#include "TestUtil.h"
+
+using namespace satb;
+using namespace satb::testutil;
+
+namespace {
+
+struct RunOutcome {
+  RunStatus Status;
+  TrapKind Trap;
+  int64_t Result;
+  uint64_t Allocated;
+  uint64_t Violations;
+  uint64_t Execs;
+  uint64_t Elided;
+};
+
+RunOutcome runConfig(const GeneratedProgram &G, const CompilerOptions &Opts,
+                     int64_t Scale) {
+  CompiledProgram CP = compileProgram(*G.P, Opts);
+  Heap H(*G.P);
+  Interpreter I(*G.P, CP, H);
+  RunStatus S = I.run(G.Entry, {Scale}, /*StepLimit=*/20'000'000);
+  BarrierStats::Summary Sum = I.stats().summarize();
+  return RunOutcome{S,
+                    I.trap(),
+                    I.result().Int,
+                    H.numAllocated(),
+                    Sum.Violations,
+                    Sum.TotalExecs,
+                    Sum.ElidedExecs};
+}
+
+class SoundnessProperty : public ::testing::TestWithParam<uint32_t> {};
+
+} // namespace
+
+TEST_P(SoundnessProperty, GeneratedProgramsVerify) {
+  GeneratedProgram G = RandomProgramGenerator(GetParam()).generate();
+  VerifyResult R = verifyProgram(*G.P);
+  EXPECT_TRUE(R.Ok) << R.Error;
+}
+
+TEST_P(SoundnessProperty, ElisionsAreDynamicallyJustified) {
+  GeneratedProgram G = RandomProgramGenerator(GetParam()).generate();
+  for (AnalysisMode Mode :
+       {AnalysisMode::FieldOnly, AnalysisMode::FieldAndArray}) {
+    for (uint32_t Limit : {0u, 25u, 100u}) {
+      for (bool TwoNames : {true, false}) {
+        CompilerOptions Opts;
+        Opts.Analysis.Mode = Mode;
+        Opts.Analysis.TwoNamesPerSite = TwoNames;
+        Opts.Inline.InlineLimit = Limit;
+        RunOutcome O = runConfig(G, Opts, /*Scale=*/60);
+        EXPECT_EQ(O.Status, RunStatus::Finished)
+            << "seed " << GetParam() << " trapped: " << trapName(O.Trap);
+        EXPECT_EQ(O.Violations, 0u)
+            << "seed " << GetParam() << " mode " << static_cast<int>(Mode)
+            << " limit " << Limit << " twoNames " << TwoNames;
+      }
+    }
+  }
+}
+
+TEST_P(SoundnessProperty, NullOrSameExtensionStaysJustified) {
+  GeneratedProgram G = RandomProgramGenerator(GetParam()).generate();
+  CompilerOptions Opts;
+  Opts.Analysis.EnableNullOrSame = true;
+  Opts.Analysis.NosAssumeNoRaces = true; // single mutator: races impossible
+  RunOutcome O = runConfig(G, Opts, 60);
+  EXPECT_EQ(O.Status, RunStatus::Finished);
+  EXPECT_EQ(O.Violations, 0u) << "seed " << GetParam();
+}
+
+TEST_P(SoundnessProperty, SemanticsIdenticalAcrossConfigurations) {
+  GeneratedProgram G = RandomProgramGenerator(GetParam()).generate();
+  CompilerOptions Base;
+  Base.Analysis.Mode = AnalysisMode::None;
+  Base.Inline.InlineLimit = 0;
+  RunOutcome Reference = runConfig(G, Base, 60);
+  ASSERT_EQ(Reference.Status, RunStatus::Finished);
+
+  for (uint32_t Limit : {25u, 100u}) {
+    for (AnalysisMode Mode :
+         {AnalysisMode::FieldOnly, AnalysisMode::FieldAndArray}) {
+      CompilerOptions Opts;
+      Opts.Analysis.Mode = Mode;
+      Opts.Inline.InlineLimit = Limit;
+      RunOutcome O = runConfig(G, Opts, 60);
+      EXPECT_EQ(O.Status, Reference.Status);
+      EXPECT_EQ(O.Result, Reference.Result) << "seed " << GetParam();
+      EXPECT_EQ(O.Allocated, Reference.Allocated) << "seed " << GetParam();
+      EXPECT_EQ(O.Execs, Reference.Execs)
+          << "barrier sites must execute identically; seed " << GetParam();
+    }
+  }
+}
+
+TEST_P(SoundnessProperty, ElisionRateSane) {
+  GeneratedProgram G = RandomProgramGenerator(GetParam()).generate();
+  CompilerOptions Opts;
+  RunOutcome O = runConfig(G, Opts, 60);
+  EXPECT_LE(O.Elided, O.Execs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoundnessProperty,
+                         ::testing::Range(1u, 41u));

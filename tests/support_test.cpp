@@ -1,0 +1,108 @@
+//===- tests/support_test.cpp - BitSet and Stopwatch tests ----------------===//
+
+#include "support/BitSet.h"
+#include "support/Stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace satb;
+
+TEST(BitSet, StartsEmpty) {
+  BitSet S(100);
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.count(), 0u);
+  for (size_t I = 0; I != 100; ++I)
+    EXPECT_FALSE(S.test(I));
+}
+
+TEST(BitSet, SetResetTest) {
+  BitSet S(130); // spans three words
+  S.set(0);
+  S.set(63);
+  S.set(64);
+  S.set(129);
+  EXPECT_TRUE(S.test(0));
+  EXPECT_TRUE(S.test(63));
+  EXPECT_TRUE(S.test(64));
+  EXPECT_TRUE(S.test(129));
+  EXPECT_FALSE(S.test(1));
+  EXPECT_EQ(S.count(), 4u);
+  S.reset(63);
+  EXPECT_FALSE(S.test(63));
+  EXPECT_EQ(S.count(), 3u);
+}
+
+TEST(BitSet, UnionIntersection) {
+  BitSet A(70), B(70);
+  A.set(1);
+  A.set(65);
+  B.set(2);
+  B.set(65);
+  BitSet U = A;
+  U |= B;
+  EXPECT_TRUE(U.test(1));
+  EXPECT_TRUE(U.test(2));
+  EXPECT_TRUE(U.test(65));
+  EXPECT_EQ(U.count(), 3u);
+  BitSet I = A;
+  I &= B;
+  EXPECT_EQ(I.count(), 1u);
+  EXPECT_TRUE(I.test(65));
+}
+
+TEST(BitSet, IntersectsAndSubset) {
+  BitSet A(10), B(10);
+  A.set(3);
+  B.set(4);
+  EXPECT_FALSE(A.intersects(B));
+  B.set(3);
+  EXPECT_TRUE(A.intersects(B));
+  EXPECT_TRUE(A.isSubsetOf(B));
+  EXPECT_FALSE(B.isSubsetOf(A));
+  BitSet Empty(10);
+  EXPECT_TRUE(Empty.isSubsetOf(A));
+}
+
+TEST(BitSet, ForEachVisitsInOrder) {
+  BitSet S(200);
+  std::vector<size_t> Want = {0, 5, 63, 64, 127, 128, 199};
+  for (size_t I : Want)
+    S.set(I);
+  std::vector<size_t> Got;
+  S.forEach([&Got](size_t I) { Got.push_back(I); });
+  EXPECT_EQ(Got, Want);
+  EXPECT_EQ(S.firstSetBit(), 0u);
+  S.reset(0);
+  EXPECT_EQ(S.firstSetBit(), 5u);
+}
+
+TEST(BitSet, EqualityIncludesSize) {
+  BitSet A(10), B(11);
+  EXPECT_NE(A, B);
+  BitSet C(10);
+  EXPECT_EQ(A, C);
+  C.set(9);
+  EXPECT_NE(A, C);
+}
+
+TEST(BitSet, ClearAndResize) {
+  BitSet S(66);
+  S.set(65);
+  S.clear();
+  EXPECT_TRUE(S.empty());
+  S.resize(4);
+  EXPECT_EQ(S.size(), 4u);
+  EXPECT_TRUE(S.empty());
+}
+
+TEST(Stopwatch, MeasuresNonNegativeTime) {
+  Stopwatch W;
+  double A = W.elapsedUs();
+  double B = W.elapsedUs();
+  EXPECT_GE(A, 0.0);
+  EXPECT_GE(B, A);
+  W.reset();
+  EXPECT_GE(W.elapsedMs(), 0.0);
+}

@@ -1,0 +1,104 @@
+//===- tests/threaded_gc_test.cpp - Real-thread SATB cycles ---------------===//
+///
+/// \file
+/// Stress tests of the real-thread marker (interp/ThreadedCycle.h): the
+/// SATB snapshot oracle must hold under OS-scheduled interleavings, with
+/// barrier elision on, across workloads and quantum mixes. These runs are
+/// nondeterministic by design; the deterministic interleaved driver
+/// remains the exhaustive test vehicle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "interp/ThreadedCycle.h"
+#include "workloads/Workload.h"
+
+#include "RandomProgram.h"
+
+using namespace satb;
+using namespace satb::testutil;
+
+namespace {
+
+ConcurrentRunResult runThreaded(const Program &P, MethodId Entry,
+                                int64_t Scale, const CompilerOptions &Opts,
+                                ThreadedRunConfig Cfg = {}) {
+  CompiledProgram CP = compileProgram(P, Opts);
+  Heap H(P);
+  SatbMarker M(H);
+  Interpreter I(P, CP, H);
+  I.attachSatb(&M);
+  return runWithThreadedSatb(I, M, H, Entry, {Scale}, Cfg);
+}
+
+} // namespace
+
+class ThreadedWorkload : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ThreadedWorkload, SnapshotOracleHolds) {
+  Workload W = allWorkloads()[GetParam()];
+  ThreadedRunConfig Cfg;
+  Cfg.WarmupSteps = 5000;
+  ConcurrentRunResult R =
+      runThreaded(*W.P, W.Entry, 600, CompilerOptions{}, Cfg);
+  EXPECT_TRUE(R.OracleHolds) << W.Name;
+  EXPECT_EQ(R.Status, RunStatus::Finished)
+      << W.Name << ": " << trapName(R.Trap);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, ThreadedWorkload,
+                         ::testing::Range<size_t>(0, 6));
+
+TEST(ThreadedGc, TinyQuantaStress) {
+  // Fine-grained handshakes maximize genuine interleaving.
+  Workload W = makeJbbLike();
+  ThreadedRunConfig Cfg;
+  Cfg.WarmupSteps = 2000;
+  Cfg.MutatorQuantum = 8;
+  Cfg.MarkerQuantum = 2;
+  ConcurrentRunResult R =
+      runThreaded(*W.P, W.Entry, 800, CompilerOptions{}, Cfg);
+  EXPECT_TRUE(R.OracleHolds);
+  EXPECT_EQ(R.Status, RunStatus::Finished) << trapName(R.Trap);
+}
+
+TEST(ThreadedGc, RandomProgramsUnderThreadedMarking) {
+  for (uint32_t Seed = 300; Seed != 306; ++Seed) {
+    GeneratedProgram G = RandomProgramGenerator(Seed).generate();
+    ThreadedRunConfig Cfg;
+    Cfg.WarmupSteps = 500;
+    Cfg.MutatorQuantum = 16;
+    Cfg.MarkerQuantum = 4;
+    ConcurrentRunResult R =
+        runThreaded(*G.P, G.Entry, 200, CompilerOptions{}, Cfg);
+    EXPECT_TRUE(R.OracleHolds) << "seed " << Seed;
+    EXPECT_NE(R.Status, RunStatus::Trapped) << trapName(R.Trap);
+  }
+}
+
+TEST(ThreadedGc, RearrangeProtocolUnderThreadedMarking) {
+  Workload W = makeJbbLike();
+  CompilerOptions Opts;
+  Opts.EnableArrayRearrange = true;
+  ThreadedRunConfig Cfg;
+  Cfg.WarmupSteps = 3000;
+  Cfg.MutatorQuantum = 32;
+  Cfg.MarkerQuantum = 4;
+  ConcurrentRunResult R = runThreaded(*W.P, W.Entry, 800, Opts, Cfg);
+  EXPECT_TRUE(R.OracleHolds);
+  EXPECT_EQ(R.Status, RunStatus::Finished) << trapName(R.Trap);
+}
+
+TEST(ThreadedGc, MarkerFinishingEarlyIsFine) {
+  // A tiny program: the marker drains almost immediately; the cycle must
+  // still terminate cleanly and the oracle hold.
+  Workload W = makeDbLike();
+  ThreadedRunConfig Cfg;
+  Cfg.WarmupSteps = 100;
+  Cfg.MarkerQuantum = 4096;
+  ConcurrentRunResult R =
+      runThreaded(*W.P, W.Entry, 300, CompilerOptions{}, Cfg);
+  EXPECT_TRUE(R.OracleHolds);
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+}

@@ -1,0 +1,201 @@
+//===- tests/verifier_test.cpp - Stack-shape verifier ---------------------===//
+
+#include "verifier/Verifier.h"
+
+#include "bytecode/MethodBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace satb;
+
+namespace {
+
+struct Fixture {
+  Program P;
+  ClassId C;
+  FieldId RefF, IntF;
+  StaticFieldId RefS;
+
+  Fixture() {
+    C = P.addClass("C");
+    RefF = P.addField(C, "r", JType::Ref);
+    IntF = P.addField(C, "i", JType::Int);
+    RefS = P.addStaticField("s", JType::Ref);
+  }
+};
+
+} // namespace
+
+TEST(Verifier, AcceptsSimpleArithmetic) {
+  Fixture F;
+  MethodBuilder B(F.P, "f", {JType::Int, JType::Int}, JType::Int);
+  B.iload(B.arg(0)).iload(B.arg(1)).iadd().ireturn();
+  VerifyResult R = verifyMethod(F.P, F.P.method(B.finish()));
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.MaxStack, 2u);
+}
+
+TEST(Verifier, RejectsStackUnderflow) {
+  Fixture F;
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  B.pop().ret();
+  VerifyResult R = verifyMethod(F.P, F.P.method(B.finish()));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("underflow"), std::string::npos);
+}
+
+TEST(Verifier, RejectsTypeMismatchIntWhereRefExpected) {
+  Fixture F;
+  MethodBuilder B(F.P, "f", {JType::Int}, std::nullopt);
+  B.iload(B.arg(0)).putstatic(F.RefS); // int into ref static
+  B.ret();
+  EXPECT_FALSE(verifyMethod(F.P, F.P.method(B.finish())).Ok);
+}
+
+TEST(Verifier, RejectsUninitializedLocalLoad) {
+  Fixture F;
+  MethodBuilder B(F.P, "f", {}, JType::Int);
+  Local X = B.newLocal(JType::Int);
+  B.iload(X).ireturn();
+  VerifyResult R = verifyMethod(F.P, F.P.method(B.finish()));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("uninitialized"), std::string::npos);
+}
+
+TEST(Verifier, RejectsConflictingLocalKindsAtJoin) {
+  Fixture F;
+  // One path stores an int, the other a ref; loading afterwards must fail.
+  MethodBuilder B(F.P, "f", {JType::Int}, std::nullopt);
+  Local X = B.newLocal(JType::Int);
+  Label Else = B.newLabel(), End = B.newLabel();
+  B.iload(B.arg(0)).ifeq(Else);
+  B.iconst(1).istore(X).jump(End);
+  B.bind(Else).aconstNull().astore(X);
+  B.bind(End).iload(X).pop().ret();
+  VerifyResult R = verifyMethod(F.P, F.P.method(B.finish()));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("conflict"), std::string::npos);
+}
+
+TEST(Verifier, AcceptsConflictingLocalIfNeverLoaded) {
+  Fixture F;
+  MethodBuilder B(F.P, "f", {JType::Int}, std::nullopt);
+  Local X = B.newLocal(JType::Int);
+  Label Else = B.newLabel(), End = B.newLabel();
+  B.iload(B.arg(0)).ifeq(Else);
+  B.iconst(1).istore(X).jump(End);
+  B.bind(Else).aconstNull().astore(X);
+  B.bind(End).ret();
+  EXPECT_TRUE(verifyMethod(F.P, F.P.method(B.finish())).Ok);
+}
+
+TEST(Verifier, RejectsStackDepthDisagreementAtJoin) {
+  Fixture F;
+  MethodBuilder B(F.P, "f", {JType::Int}, std::nullopt);
+  Label Join = B.newLabel();
+  B.iload(B.arg(0)).ifeq(Join); // fall-through pushes an extra value
+  B.iconst(5);
+  B.bind(Join).ret();
+  VerifyResult R = verifyMethod(F.P, F.P.method(B.finish()));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("disagree"), std::string::npos);
+}
+
+TEST(Verifier, RejectsReturnTypeMismatch) {
+  Fixture F;
+  MethodBuilder B(F.P, "f", {}, JType::Ref);
+  B.iconst(1).ireturn();
+  EXPECT_FALSE(verifyMethod(F.P, F.P.method(B.finish())).Ok);
+}
+
+TEST(Verifier, RejectsVoidReturnWithValueOnStack) {
+  Fixture F;
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  B.iconst(1).ret();
+  VerifyResult R = verifyMethod(F.P, F.P.method(B.finish()));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("non-empty stack"), std::string::npos);
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Fixture F;
+  Method M;
+  M.Name = "raw";
+  M.Instructions.push_back(Instruction{Opcode::IConst, 1, 0});
+  EXPECT_FALSE(verifyMethod(F.P, M).Ok);
+}
+
+TEST(Verifier, ChecksInvokeArgumentTypes) {
+  Fixture F;
+  MethodBuilder Callee(F.P, "g", {JType::Ref, JType::Int}, JType::Int);
+  Callee.iconst(0).ireturn();
+  MethodId G = Callee.finish();
+
+  MethodBuilder Ok(F.P, "ok", {}, JType::Int);
+  Ok.aconstNull().iconst(3).invoke(G).ireturn();
+  EXPECT_TRUE(verifyMethod(F.P, F.P.method(Ok.finish())).Ok);
+
+  MethodBuilder Bad(F.P, "bad", {}, JType::Int);
+  Bad.iconst(3).aconstNull().invoke(G).ireturn(); // swapped kinds
+  EXPECT_FALSE(verifyMethod(F.P, F.P.method(Bad.finish())).Ok);
+}
+
+TEST(Verifier, FieldTypesChecked) {
+  Fixture F;
+  MethodBuilder B(F.P, "f", {JType::Ref}, std::nullopt);
+  B.aload(B.arg(0)).iconst(1).putfield(F.RefF); // int into ref field
+  B.ret();
+  EXPECT_FALSE(verifyMethod(F.P, F.P.method(B.finish())).Ok);
+
+  MethodBuilder B2(F.P, "g", {JType::Ref}, std::nullopt);
+  B2.aload(B2.arg(0)).iconst(1).putfield(F.IntF);
+  B2.ret();
+  EXPECT_TRUE(verifyMethod(F.P, F.P.method(B2.finish())).Ok);
+}
+
+TEST(Verifier, LoopWithConsistentStateVerifies) {
+  Fixture F;
+  MethodBuilder B(F.P, "loop", {JType::Int}, JType::Int);
+  Local I = B.newLocal(JType::Int), Acc = B.newLocal(JType::Int);
+  Label Head = B.newLabel(), Done = B.newLabel();
+  B.iconst(0).istore(I).iconst(0).istore(Acc);
+  B.bind(Head).iload(I).iload(B.arg(0)).ifICmpGe(Done);
+  B.iload(Acc).iload(I).iadd().istore(Acc);
+  B.iinc(I, 1).jump(Head);
+  B.bind(Done).iload(Acc).ireturn();
+  VerifyResult R = verifyMethod(F.P, F.P.method(B.finish()));
+  EXPECT_TRUE(R.Ok) << R.Error;
+}
+
+TEST(Verifier, MaxStackComputed) {
+  Fixture F;
+  MethodBuilder B(F.P, "f", {}, JType::Int);
+  B.iconst(1).iconst(2).iconst(3).iadd().iadd().ireturn();
+  VerifyResult R = verifyMethod(F.P, F.P.method(B.finish()));
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.MaxStack, 3u);
+}
+
+TEST(Verifier, VerifyProgramReportsFirstFailure) {
+  Fixture F;
+  MethodBuilder Good(F.P, "good", {}, std::nullopt);
+  Good.ret();
+  Good.finish();
+  MethodBuilder Bad(F.P, "bad", {}, std::nullopt);
+  Bad.pop().ret();
+  Bad.finish();
+  VerifyResult R = verifyProgram(F.P);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("bad"), std::string::npos);
+}
+
+TEST(Verifier, SwapAndDupTracked) {
+  Fixture F;
+  MethodBuilder B(F.P, "f", {JType::Ref}, JType::Ref);
+  B.aload(B.arg(0)).iconst(1).swap(); // stack: int, ref
+  B.pop();                            // drops the ref? no — drops top (ref)
+  // After swap the ref is on top; pop removes it, leaving the int: an
+  // areturn must now fail.
+  B.areturn();
+  EXPECT_FALSE(verifyMethod(F.P, F.P.method(B.finish())).Ok);
+}

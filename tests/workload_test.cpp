@@ -1,0 +1,174 @@
+#include <map>
+//===- tests/workload_test.cpp - The six Table 1 workloads ----------------===//
+///
+/// \file
+/// Integration tests: every workload verifies, compiles, and runs
+/// trap-free in every mode; the Table 1 shape invariants hold (db lowest
+/// elimination, mtrt highest, array elimination only in javac and mtrt,
+/// zero soundness violations everywhere).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "workloads/Workload.h"
+
+using namespace satb;
+using namespace satb::testutil;
+
+namespace {
+
+BarrierStats::Summary runWorkload(const Workload &W, int64_t Scale,
+                                  CompilerOptions Opts = {}) {
+  CompiledProgram CP = compileProgram(*W.P, Opts);
+  Heap H(*W.P);
+  Interpreter I(*W.P, CP, H);
+  EXPECT_EQ(I.run(W.Entry, {Scale}), RunStatus::Finished)
+      << W.Name << " trapped: " << trapName(I.trap());
+  BarrierStats::Summary S = I.stats().summarize();
+  EXPECT_EQ(S.Violations, 0u) << W.Name;
+  return S;
+}
+
+class EveryWorkload : public ::testing::TestWithParam<size_t> {
+protected:
+  Workload W = allWorkloads()[GetParam()];
+};
+
+} // namespace
+
+TEST(Workloads, SixWorkloadsInPaperOrder) {
+  std::vector<Workload> All = allWorkloads();
+  ASSERT_EQ(All.size(), 6u);
+  EXPECT_EQ(All[0].Name, "jess");
+  EXPECT_EQ(All[1].Name, "db");
+  EXPECT_EQ(All[2].Name, "javac");
+  EXPECT_EQ(All[3].Name, "mtrt");
+  EXPECT_EQ(All[4].Name, "jack");
+  EXPECT_EQ(All[5].Name, "jbb");
+}
+
+TEST_P(EveryWorkload, Verifies) {
+  VerifyResult R = verifyProgram(*W.P);
+  EXPECT_TRUE(R.Ok) << W.Name << ": " << R.Error;
+}
+
+TEST_P(EveryWorkload, RunsTrapFreeInEveryMode) {
+  for (AnalysisMode Mode : {AnalysisMode::None, AnalysisMode::FieldOnly,
+                            AnalysisMode::FieldAndArray}) {
+    for (uint32_t Limit : {0u, 100u}) {
+      CompilerOptions Opts;
+      Opts.Analysis.Mode = Mode;
+      Opts.Inline.InlineLimit = Limit;
+      runWorkload(W, 300, Opts);
+    }
+  }
+}
+
+TEST_P(EveryWorkload, ExecutesBarriers) {
+  BarrierStats::Summary S = runWorkload(W, 500);
+  EXPECT_GT(S.TotalExecs, 100u) << W.Name;
+  EXPECT_GT(S.FieldExecs, 0u);
+  EXPECT_GT(S.ArrayExecs, 0u);
+}
+
+TEST_P(EveryWorkload, ElisionWithinPotentialBound) {
+  // The paper's invariant: eliminated <= potentially pre-null (the upper
+  // bound), except for null-or-same elisions which are not pre-null.
+  BarrierStats::Summary S = runWorkload(W, 500);
+  EXPECT_LE(S.pctElided(), S.pctPotentiallyPreNull() + 0.5) << W.Name;
+}
+
+TEST_P(EveryWorkload, DeterministicAcrossRuns) {
+  BarrierStats::Summary A = runWorkload(W, 400);
+  BarrierStats::Summary B = runWorkload(W, 400);
+  EXPECT_EQ(A.TotalExecs, B.TotalExecs);
+  EXPECT_EQ(A.ElidedExecs, B.ElidedExecs);
+}
+
+TEST_P(EveryWorkload, ScalesLinearly) {
+  BarrierStats::Summary S1 = runWorkload(W, 400);
+  BarrierStats::Summary S2 = runWorkload(W, 800);
+  EXPECT_GT(S2.TotalExecs, S1.TotalExecs);
+  // Elimination percentage is scale-stable within a few points.
+  EXPECT_NEAR(S1.pctElided(), S2.pctElided(), 6.0) << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, EveryWorkload,
+                         ::testing::Range<size_t>(0, 6));
+
+TEST(WorkloadShape, Table1RelativeOrder) {
+  std::vector<Workload> All = allWorkloads();
+  std::map<std::string, BarrierStats::Summary> S;
+  for (const Workload &W : All)
+    S[W.Name] = runWorkload(W, 1500);
+
+  // db eliminates the least; mtrt the most (Table 1).
+  for (const Workload &W : All) {
+    if (W.Name != "db") {
+      EXPECT_LT(S["db"].pctElided(), S[W.Name].pctElided()) << W.Name;
+    }
+    if (W.Name != "mtrt") {
+      EXPECT_GT(S["mtrt"].pctElided(), S[W.Name].pctElided()) << W.Name;
+    }
+  }
+}
+
+TEST(WorkloadShape, ArrayEliminationOnlyInJavacAndMtrt) {
+  for (const Workload &W : allWorkloads()) {
+    BarrierStats::Summary S = runWorkload(W, 1000);
+    if (W.Name == "javac" || W.Name == "mtrt")
+      EXPECT_GT(S.pctArrayElided(), 5.0) << W.Name;
+    else
+      EXPECT_LT(S.pctArrayElided(), 1.0) << W.Name;
+  }
+}
+
+TEST(WorkloadShape, FieldEliminationNearTotalInJessAndDb) {
+  // Table 1: jess 99.7%, db 99.4% of field barriers eliminated.
+  for (const Workload &W : allWorkloads()) {
+    if (W.Name != "jess" && W.Name != "db")
+      continue;
+    BarrierStats::Summary S = runWorkload(W, 1500);
+    EXPECT_GT(S.pctFieldElided(), 90.0) << W.Name;
+  }
+}
+
+TEST(WorkloadShape, DbIsArrayDominated) {
+  BarrierStats::Summary S = runWorkload(allWorkloads()[1], 2000);
+  EXPECT_GT(S.ArrayExecs, S.FieldExecs * 3) << "db should be ~10/90";
+}
+
+TEST(WorkloadShape, JbbNullOrSameExtensionAddsElisions) {
+  Workload W = makeJbbLike();
+  BarrierStats::Summary Base = runWorkload(W, 1200);
+  CompilerOptions Nos;
+  Nos.Analysis.EnableNullOrSame = true;
+  Nos.Analysis.NosAssumeNoRaces = true;
+  BarrierStats::Summary Ext = runWorkload(W, 1200, Nos);
+  EXPECT_GT(Ext.ElidedExecs, Base.ElidedExecs)
+      << "the hashtable scan idiom should elide under Section 4.3";
+}
+
+TEST(WorkloadShape, InlineLimitSweepMonotoneOverall) {
+  // Figure 2's qualitative shape: elimination never decreases with the
+  // inline limit, and limit 100 captures nearly everything.
+  for (const Workload &W : allWorkloads()) {
+    double Prev = -1.0;
+    double At100 = 0, At200 = 0;
+    for (uint32_t Limit : {0u, 25u, 50u, 100u, 200u}) {
+      CompilerOptions Opts;
+      Opts.Inline.InlineLimit = Limit;
+      BarrierStats::Summary S = runWorkload(W, 400, Opts);
+      EXPECT_GE(S.pctElided(), Prev - 1.0)
+          << W.Name << " at limit " << Limit;
+      Prev = S.pctElided();
+      if (Limit == 100)
+        At100 = S.pctElided();
+      if (Limit == 200)
+        At200 = S.pctElided();
+    }
+    EXPECT_NEAR(At100, At200, 8.0)
+        << W.Name << ": limit 100 should gain essentially all results";
+  }
+}
