@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_array_analysis.dir/ablation_array_analysis.cpp.o"
+  "CMakeFiles/ablation_array_analysis.dir/ablation_array_analysis.cpp.o.d"
+  "ablation_array_analysis"
+  "ablation_array_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_array_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_two_names.dir/ablation_two_names.cpp.o"
+  "CMakeFiles/ablation_two_names.dir/ablation_two_names.cpp.o.d"
+  "ablation_two_names"
+  "ablation_two_names.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_two_names.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

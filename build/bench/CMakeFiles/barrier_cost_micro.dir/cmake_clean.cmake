@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_cost_micro.dir/barrier_cost_micro.cpp.o"
+  "CMakeFiles/barrier_cost_micro.dir/barrier_cost_micro.cpp.o.d"
+  "barrier_cost_micro"
+  "barrier_cost_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_cost_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

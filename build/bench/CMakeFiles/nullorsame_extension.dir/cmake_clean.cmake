@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nullorsame_extension.dir/nullorsame_extension.cpp.o"
+  "CMakeFiles/nullorsame_extension.dir/nullorsame_extension.cpp.o.d"
+  "nullorsame_extension"
+  "nullorsame_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nullorsame_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rearrange_extension.dir/rearrange_extension.cpp.o"
+  "CMakeFiles/rearrange_extension.dir/rearrange_extension.cpp.o.d"
+  "rearrange_extension"
+  "rearrange_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rearrange_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

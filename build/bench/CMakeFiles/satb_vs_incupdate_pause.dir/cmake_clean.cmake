@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satb_vs_incupdate_pause.dir/satb_vs_incupdate_pause.cpp.o"
+  "CMakeFiles/satb_vs_incupdate_pause.dir/satb_vs_incupdate_pause.cpp.o.d"
+  "satb_vs_incupdate_pause"
+  "satb_vs_incupdate_pause.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satb_vs_incupdate_pause.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for satb_vs_incupdate_pause.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dynamic_elimination.dir/table1_dynamic_elimination.cpp.o"
+  "CMakeFiles/table1_dynamic_elimination.dir/table1_dynamic_elimination.cpp.o.d"
+  "table1_dynamic_elimination"
+  "table1_dynamic_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dynamic_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

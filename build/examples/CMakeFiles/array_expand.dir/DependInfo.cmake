@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/array_expand.cpp" "examples/CMakeFiles/array_expand.dir/array_expand.cpp.o" "gcc" "examples/CMakeFiles/array_expand.dir/array_expand.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/satb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_inliner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_expand.dir/array_expand.cpp.o"
+  "CMakeFiles/array_expand.dir/array_expand.cpp.o.d"
+  "array_expand"
+  "array_expand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_expand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/AbstractValue.cpp" "src/CMakeFiles/satb_analysis.dir/analysis/AbstractValue.cpp.o" "gcc" "src/CMakeFiles/satb_analysis.dir/analysis/AbstractValue.cpp.o.d"
+  "/root/repo/src/analysis/AnalysisState.cpp" "src/CMakeFiles/satb_analysis.dir/analysis/AnalysisState.cpp.o" "gcc" "src/CMakeFiles/satb_analysis.dir/analysis/AnalysisState.cpp.o.d"
+  "/root/repo/src/analysis/BarrierAnalysis.cpp" "src/CMakeFiles/satb_analysis.dir/analysis/BarrierAnalysis.cpp.o" "gcc" "src/CMakeFiles/satb_analysis.dir/analysis/BarrierAnalysis.cpp.o.d"
+  "/root/repo/src/analysis/IntRange.cpp" "src/CMakeFiles/satb_analysis.dir/analysis/IntRange.cpp.o" "gcc" "src/CMakeFiles/satb_analysis.dir/analysis/IntRange.cpp.o.d"
+  "/root/repo/src/analysis/IntVal.cpp" "src/CMakeFiles/satb_analysis.dir/analysis/IntVal.cpp.o" "gcc" "src/CMakeFiles/satb_analysis.dir/analysis/IntVal.cpp.o.d"
+  "/root/repo/src/analysis/NullOrSame.cpp" "src/CMakeFiles/satb_analysis.dir/analysis/NullOrSame.cpp.o" "gcc" "src/CMakeFiles/satb_analysis.dir/analysis/NullOrSame.cpp.o.d"
+  "/root/repo/src/analysis/Rearrange.cpp" "src/CMakeFiles/satb_analysis.dir/analysis/Rearrange.cpp.o" "gcc" "src/CMakeFiles/satb_analysis.dir/analysis/Rearrange.cpp.o.d"
+  "/root/repo/src/analysis/RefUniverse.cpp" "src/CMakeFiles/satb_analysis.dir/analysis/RefUniverse.cpp.o" "gcc" "src/CMakeFiles/satb_analysis.dir/analysis/RefUniverse.cpp.o.d"
+  "/root/repo/src/analysis/StateMerger.cpp" "src/CMakeFiles/satb_analysis.dir/analysis/StateMerger.cpp.o" "gcc" "src/CMakeFiles/satb_analysis.dir/analysis/StateMerger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/satb_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satb_analysis.dir/analysis/AbstractValue.cpp.o"
+  "CMakeFiles/satb_analysis.dir/analysis/AbstractValue.cpp.o.d"
+  "CMakeFiles/satb_analysis.dir/analysis/AnalysisState.cpp.o"
+  "CMakeFiles/satb_analysis.dir/analysis/AnalysisState.cpp.o.d"
+  "CMakeFiles/satb_analysis.dir/analysis/BarrierAnalysis.cpp.o"
+  "CMakeFiles/satb_analysis.dir/analysis/BarrierAnalysis.cpp.o.d"
+  "CMakeFiles/satb_analysis.dir/analysis/IntRange.cpp.o"
+  "CMakeFiles/satb_analysis.dir/analysis/IntRange.cpp.o.d"
+  "CMakeFiles/satb_analysis.dir/analysis/IntVal.cpp.o"
+  "CMakeFiles/satb_analysis.dir/analysis/IntVal.cpp.o.d"
+  "CMakeFiles/satb_analysis.dir/analysis/NullOrSame.cpp.o"
+  "CMakeFiles/satb_analysis.dir/analysis/NullOrSame.cpp.o.d"
+  "CMakeFiles/satb_analysis.dir/analysis/Rearrange.cpp.o"
+  "CMakeFiles/satb_analysis.dir/analysis/Rearrange.cpp.o.d"
+  "CMakeFiles/satb_analysis.dir/analysis/RefUniverse.cpp.o"
+  "CMakeFiles/satb_analysis.dir/analysis/RefUniverse.cpp.o.d"
+  "CMakeFiles/satb_analysis.dir/analysis/StateMerger.cpp.o"
+  "CMakeFiles/satb_analysis.dir/analysis/StateMerger.cpp.o.d"
+  "libsatb_analysis.a"
+  "libsatb_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satb_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bytecode/Disassembler.cpp" "src/CMakeFiles/satb_bytecode.dir/bytecode/Disassembler.cpp.o" "gcc" "src/CMakeFiles/satb_bytecode.dir/bytecode/Disassembler.cpp.o.d"
+  "/root/repo/src/bytecode/MethodBuilder.cpp" "src/CMakeFiles/satb_bytecode.dir/bytecode/MethodBuilder.cpp.o" "gcc" "src/CMakeFiles/satb_bytecode.dir/bytecode/MethodBuilder.cpp.o.d"
+  "/root/repo/src/bytecode/Opcode.cpp" "src/CMakeFiles/satb_bytecode.dir/bytecode/Opcode.cpp.o" "gcc" "src/CMakeFiles/satb_bytecode.dir/bytecode/Opcode.cpp.o.d"
+  "/root/repo/src/bytecode/Program.cpp" "src/CMakeFiles/satb_bytecode.dir/bytecode/Program.cpp.o" "gcc" "src/CMakeFiles/satb_bytecode.dir/bytecode/Program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/satb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satb_bytecode.dir/bytecode/Disassembler.cpp.o"
+  "CMakeFiles/satb_bytecode.dir/bytecode/Disassembler.cpp.o.d"
+  "CMakeFiles/satb_bytecode.dir/bytecode/MethodBuilder.cpp.o"
+  "CMakeFiles/satb_bytecode.dir/bytecode/MethodBuilder.cpp.o.d"
+  "CMakeFiles/satb_bytecode.dir/bytecode/Opcode.cpp.o"
+  "CMakeFiles/satb_bytecode.dir/bytecode/Opcode.cpp.o.d"
+  "CMakeFiles/satb_bytecode.dir/bytecode/Program.cpp.o"
+  "CMakeFiles/satb_bytecode.dir/bytecode/Program.cpp.o.d"
+  "libsatb_bytecode.a"
+  "libsatb_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satb_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satb_cfg.dir/cfg/ControlFlowGraph.cpp.o"
+  "CMakeFiles/satb_cfg.dir/cfg/ControlFlowGraph.cpp.o.d"
+  "libsatb_cfg.a"
+  "libsatb_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satb_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsatb_cfg.a"
+)

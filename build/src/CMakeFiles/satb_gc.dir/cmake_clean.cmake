@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satb_gc.dir/gc/IncrementalUpdateMarker.cpp.o"
+  "CMakeFiles/satb_gc.dir/gc/IncrementalUpdateMarker.cpp.o.d"
+  "CMakeFiles/satb_gc.dir/gc/SatbMarker.cpp.o"
+  "CMakeFiles/satb_gc.dir/gc/SatbMarker.cpp.o.d"
+  "libsatb_gc.a"
+  "libsatb_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satb_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satb_heap.dir/heap/Heap.cpp.o"
+  "CMakeFiles/satb_heap.dir/heap/Heap.cpp.o.d"
+  "libsatb_heap.a"
+  "libsatb_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satb_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

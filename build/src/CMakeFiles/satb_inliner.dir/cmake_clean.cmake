@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satb_inliner.dir/inliner/Inliner.cpp.o"
+  "CMakeFiles/satb_inliner.dir/inliner/Inliner.cpp.o.d"
+  "libsatb_inliner.a"
+  "libsatb_inliner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satb_inliner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

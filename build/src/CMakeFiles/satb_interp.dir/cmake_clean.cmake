@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satb_interp.dir/interp/BarrierStats.cpp.o"
+  "CMakeFiles/satb_interp.dir/interp/BarrierStats.cpp.o.d"
+  "CMakeFiles/satb_interp.dir/interp/Interpreter.cpp.o"
+  "CMakeFiles/satb_interp.dir/interp/Interpreter.cpp.o.d"
+  "CMakeFiles/satb_interp.dir/interp/ThreadedCycle.cpp.o"
+  "CMakeFiles/satb_interp.dir/interp/ThreadedCycle.cpp.o.d"
+  "libsatb_interp.a"
+  "libsatb_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satb_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satb_jit.dir/jit/CodeSizeModel.cpp.o"
+  "CMakeFiles/satb_jit.dir/jit/CodeSizeModel.cpp.o.d"
+  "CMakeFiles/satb_jit.dir/jit/Compiler.cpp.o"
+  "CMakeFiles/satb_jit.dir/jit/Compiler.cpp.o.d"
+  "libsatb_jit.a"
+  "libsatb_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satb_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satb_support.dir/support/BitSet.cpp.o"
+  "CMakeFiles/satb_support.dir/support/BitSet.cpp.o.d"
+  "CMakeFiles/satb_support.dir/support/Stopwatch.cpp.o"
+  "CMakeFiles/satb_support.dir/support/Stopwatch.cpp.o.d"
+  "libsatb_support.a"
+  "libsatb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satb_verifier.dir/verifier/Verifier.cpp.o"
+  "CMakeFiles/satb_verifier.dir/verifier/Verifier.cpp.o.d"
+  "libsatb_verifier.a"
+  "libsatb_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satb_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/DbLike.cpp" "src/CMakeFiles/satb_workloads.dir/workloads/DbLike.cpp.o" "gcc" "src/CMakeFiles/satb_workloads.dir/workloads/DbLike.cpp.o.d"
+  "/root/repo/src/workloads/JackLike.cpp" "src/CMakeFiles/satb_workloads.dir/workloads/JackLike.cpp.o" "gcc" "src/CMakeFiles/satb_workloads.dir/workloads/JackLike.cpp.o.d"
+  "/root/repo/src/workloads/JavacLike.cpp" "src/CMakeFiles/satb_workloads.dir/workloads/JavacLike.cpp.o" "gcc" "src/CMakeFiles/satb_workloads.dir/workloads/JavacLike.cpp.o.d"
+  "/root/repo/src/workloads/JbbLike.cpp" "src/CMakeFiles/satb_workloads.dir/workloads/JbbLike.cpp.o" "gcc" "src/CMakeFiles/satb_workloads.dir/workloads/JbbLike.cpp.o.d"
+  "/root/repo/src/workloads/JessLike.cpp" "src/CMakeFiles/satb_workloads.dir/workloads/JessLike.cpp.o" "gcc" "src/CMakeFiles/satb_workloads.dir/workloads/JessLike.cpp.o.d"
+  "/root/repo/src/workloads/MtrtLike.cpp" "src/CMakeFiles/satb_workloads.dir/workloads/MtrtLike.cpp.o" "gcc" "src/CMakeFiles/satb_workloads.dir/workloads/MtrtLike.cpp.o.d"
+  "/root/repo/src/workloads/StdLib.cpp" "src/CMakeFiles/satb_workloads.dir/workloads/StdLib.cpp.o" "gcc" "src/CMakeFiles/satb_workloads.dir/workloads/StdLib.cpp.o.d"
+  "/root/repo/src/workloads/Workload.cpp" "src/CMakeFiles/satb_workloads.dir/workloads/Workload.cpp.o" "gcc" "src/CMakeFiles/satb_workloads.dir/workloads/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/satb_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_inliner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/satb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satb_workloads.dir/workloads/DbLike.cpp.o"
+  "CMakeFiles/satb_workloads.dir/workloads/DbLike.cpp.o.d"
+  "CMakeFiles/satb_workloads.dir/workloads/JackLike.cpp.o"
+  "CMakeFiles/satb_workloads.dir/workloads/JackLike.cpp.o.d"
+  "CMakeFiles/satb_workloads.dir/workloads/JavacLike.cpp.o"
+  "CMakeFiles/satb_workloads.dir/workloads/JavacLike.cpp.o.d"
+  "CMakeFiles/satb_workloads.dir/workloads/JbbLike.cpp.o"
+  "CMakeFiles/satb_workloads.dir/workloads/JbbLike.cpp.o.d"
+  "CMakeFiles/satb_workloads.dir/workloads/JessLike.cpp.o"
+  "CMakeFiles/satb_workloads.dir/workloads/JessLike.cpp.o.d"
+  "CMakeFiles/satb_workloads.dir/workloads/MtrtLike.cpp.o"
+  "CMakeFiles/satb_workloads.dir/workloads/MtrtLike.cpp.o.d"
+  "CMakeFiles/satb_workloads.dir/workloads/StdLib.cpp.o"
+  "CMakeFiles/satb_workloads.dir/workloads/StdLib.cpp.o.d"
+  "CMakeFiles/satb_workloads.dir/workloads/Workload.cpp.o"
+  "CMakeFiles/satb_workloads.dir/workloads/Workload.cpp.o.d"
+  "libsatb_workloads.a"
+  "libsatb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

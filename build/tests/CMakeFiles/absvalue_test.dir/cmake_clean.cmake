@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absvalue_test.dir/absvalue_test.cpp.o"
+  "CMakeFiles/absvalue_test.dir/absvalue_test.cpp.o.d"
+  "absvalue_test"
+  "absvalue_test.pdb"
+  "absvalue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absvalue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

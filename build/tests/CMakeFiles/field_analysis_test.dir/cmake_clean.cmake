@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_analysis_test.dir/field_analysis_test.cpp.o"
+  "CMakeFiles/field_analysis_test.dir/field_analysis_test.cpp.o.d"
+  "field_analysis_test"
+  "field_analysis_test.pdb"
+  "field_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

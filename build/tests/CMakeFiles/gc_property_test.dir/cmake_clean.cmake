@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_property_test.dir/gc_property_test.cpp.o"
+  "CMakeFiles/gc_property_test.dir/gc_property_test.cpp.o.d"
+  "gc_property_test"
+  "gc_property_test.pdb"
+  "gc_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

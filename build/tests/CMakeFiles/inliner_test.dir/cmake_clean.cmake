@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inliner_test.dir/inliner_test.cpp.o"
+  "CMakeFiles/inliner_test.dir/inliner_test.cpp.o.d"
+  "inliner_test"
+  "inliner_test.pdb"
+  "inliner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inliner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intrange_test.dir/intrange_test.cpp.o"
+  "CMakeFiles/intrange_test.dir/intrange_test.cpp.o.d"
+  "intrange_test"
+  "intrange_test.pdb"
+  "intrange_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intrange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intval_test.dir/intval_test.cpp.o"
+  "CMakeFiles/intval_test.dir/intval_test.cpp.o.d"
+  "intval_test"
+  "intval_test.pdb"
+  "intval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nullorsame_test.dir/nullorsame_test.cpp.o"
+  "CMakeFiles/nullorsame_test.dir/nullorsame_test.cpp.o.d"
+  "nullorsame_test"
+  "nullorsame_test.pdb"
+  "nullorsame_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nullorsame_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

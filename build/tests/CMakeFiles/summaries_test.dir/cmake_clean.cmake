@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summaries_test.dir/summaries_test.cpp.o"
+  "CMakeFiles/summaries_test.dir/summaries_test.cpp.o.d"
+  "summaries_test"
+  "summaries_test.pdb"
+  "summaries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summaries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

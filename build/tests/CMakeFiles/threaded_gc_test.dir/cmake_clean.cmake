@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_gc_test.dir/threaded_gc_test.cpp.o"
+  "CMakeFiles/threaded_gc_test.dir/threaded_gc_test.cpp.o.d"
+  "threaded_gc_test"
+  "threaded_gc_test.pdb"
+  "threaded_gc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

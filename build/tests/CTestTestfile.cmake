@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/bytecode_test[1]_include.cmake")
+include("/root/repo/build/tests/cfg_test[1]_include.cmake")
+include("/root/repo/build/tests/verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/inliner_test[1]_include.cmake")
+include("/root/repo/build/tests/intval_test[1]_include.cmake")
+include("/root/repo/build/tests/intrange_test[1]_include.cmake")
+include("/root/repo/build/tests/merge_test[1]_include.cmake")
+include("/root/repo/build/tests/field_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/array_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/nullorsame_test[1]_include.cmake")
+include("/root/repo/build/tests/heap_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/soundness_property_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_property_test[1]_include.cmake")
+include("/root/repo/build/tests/rearrange_test[1]_include.cmake")
+include("/root/repo/build/tests/threaded_gc_test[1]_include.cmake")
+include("/root/repo/build/tests/absvalue_test[1]_include.cmake")
+include("/root/repo/build/tests/summaries_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
