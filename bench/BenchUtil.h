@@ -35,13 +35,21 @@ struct WorkloadRun {
   uint64_t BarrierCostInstrs = 0;
   uint64_t ModeledInstrs = 0;
   RunStatus Status = RunStatus::NotStarted;
+  // Compile-side totals across the program's methods.
+  double CompileWallUs = 0.0; ///< wall time of the compileProgram call
+  double AnalysisUs = 0.0;    ///< summed per-method analysis time
+  uint64_t BlocksVisited = 0; ///< summed fixpoint block visits
+  uint32_t Sites = 0;         ///< static barrier sites
+  uint32_t SitesElided = 0;   ///< static sites proven elidable
 };
 
 /// Compiles and runs \p W at \p Scale; aborts loudly on traps or elision
 /// violations (a bench must not quietly report unsound numbers).
 inline WorkloadRun runWorkload(const Workload &W, const CompilerOptions &Opts,
                                int64_t Scale) {
+  Stopwatch CompileTimer;
   CompiledProgram CP = compileProgram(*W.P, Opts);
+  double CompileWallUs = CompileTimer.elapsedUs();
   Heap H(*W.P);
   Interpreter I(*W.P, CP, H);
   SatbMarker M(H); // present so always-log modes have a log target
@@ -57,6 +65,12 @@ inline WorkloadRun runWorkload(const Workload &W, const CompilerOptions &Opts,
   R.BarrierCostInstrs = I.barrierCostInstrs();
   R.ModeledInstrs = I.modeledInstrsExecuted();
   R.Status = S;
+  R.CompileWallUs = CompileWallUs;
+  R.AnalysisUs = CP.totalAnalysisTimeUs();
+  for (const CompiledMethod &CM : CP.Methods)
+    R.BlocksVisited += CM.Analysis.BlockVisits;
+  R.Sites = CP.totalBarrierSites();
+  R.SitesElided = CP.totalElidedSites();
   if (S != RunStatus::Finished) {
     std::fprintf(stderr, "bench: %s trapped: %s\n", W.Name.c_str(),
                  trapName(I.trap()));
@@ -76,6 +90,112 @@ inline void printRule(int Width = 78) {
     std::fputc('-', stdout);
   std::fputc('\n', stdout);
 }
+
+/// Machine-readable bench output, enabled by passing --json (record goes
+/// to stdout, replacing the human table is the caller's concern) or by
+/// setting SATB_BENCH_JSON=<path> (record is written/appended to <path>;
+/// the human table still prints). One JSON object per bench run:
+///
+///   {"bench": "<name>", "scale": <n>, "rows": [{...}, ...]}
+///
+/// Rows carry flat string/number fields added via field(); the writer
+/// keeps insertion order and handles comma placement.
+class JsonBench {
+public:
+  JsonBench(int Argc, char **Argv, std::string BenchName, int64_t Scale)
+      : Name(std::move(BenchName)), Scale(Scale) {
+    for (int I = 1; I < Argc; ++I)
+      if (std::string(Argv[I]) == "--json")
+        ToStdout = true;
+    if (const char *Env = std::getenv("SATB_BENCH_JSON"))
+      Path = Env;
+  }
+
+  ~JsonBench() {
+    if (!enabled())
+      return;
+    std::string Doc = "{\"bench\": \"" + Name +
+                      "\", \"scale\": " + std::to_string(Scale) +
+                      ", \"rows\": [" + Rows + "]}\n";
+    if (ToStdout)
+      std::fputs(Doc.c_str(), stdout);
+    if (!Path.empty()) {
+      if (std::FILE *F = std::fopen(Path.c_str(), "a")) {
+        std::fputs(Doc.c_str(), F);
+        std::fclose(F);
+      } else {
+        std::fprintf(stderr, "bench: cannot open %s for JSON output\n",
+                     Path.c_str());
+      }
+    }
+  }
+
+  bool enabled() const { return ToStdout || !Path.empty(); }
+  /// The human-readable table should be suppressed (pure-JSON stdout).
+  bool quiet() const { return ToStdout; }
+
+  void beginRow() {
+    if (!enabled())
+      return;
+    if (!Rows.empty())
+      Rows += ", ";
+    Rows += "{";
+    FirstField = true;
+  }
+  void endRow() {
+    if (enabled())
+      Rows += "}";
+  }
+
+  void field(const char *Key, const std::string &V) {
+    addKey(Key);
+    if (!enabled())
+      return;
+    Rows += '"';
+    for (char C : V) {
+      if (C == '"' || C == '\\')
+        Rows += '\\';
+      Rows += C;
+    }
+    Rows += '"';
+  }
+  void field(const char *Key, double V) {
+    addKey(Key);
+    if (!enabled())
+      return;
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.1f", V);
+    Rows += Buf;
+  }
+  void field(const char *Key, uint64_t V) {
+    addKey(Key);
+    if (enabled())
+      Rows += std::to_string(V);
+  }
+  void field(const char *Key, int64_t V) {
+    addKey(Key);
+    if (enabled())
+      Rows += std::to_string(V);
+  }
+  void field(const char *Key, uint32_t V) { field(Key, uint64_t(V)); }
+
+private:
+  void addKey(const char *Key) {
+    if (!enabled())
+      return;
+    if (!FirstField)
+      Rows += ", ";
+    FirstField = false;
+    Rows += std::string("\"") + Key + "\": ";
+  }
+
+  std::string Name;
+  int64_t Scale;
+  bool ToStdout = false;
+  std::string Path;
+  std::string Rows;
+  bool FirstField = true;
+};
 
 } // namespace bench
 } // namespace satb

@@ -1,0 +1,82 @@
+//===- bench/compile_parallel.cpp - Parallel method compilation -----------===//
+///
+/// \file
+/// The barrier analysis is intra-procedural, so compileProgram fans the
+/// per-method pipeline (inline -> verify -> analyze -> size) over a
+/// worker pool with index-ordered, scheduling-independent results. This
+/// bench compiles the whole workload suite serially (CompileThreads = 1)
+/// and with a small pool, and reports the wall-clock speedup. The
+/// engine-equivalence test asserts the outputs are identical; this bench
+/// asserts the parallelism is worth having.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace satb;
+using namespace satb::bench;
+
+namespace {
+
+/// Wall time of compiling every workload program with \p Threads workers,
+/// best of \p Reps.
+double compileSuiteUs(const std::vector<Workload> &All, unsigned Threads,
+                      int Reps) {
+  CompilerOptions Opts;
+  Opts.CompileThreads = Threads;
+  double Best = 1e30;
+  for (int R = 0; R != Reps; ++R) {
+    Stopwatch Timer;
+    for (const Workload &W : All) {
+      CompiledProgram CP = compileProgram(*W.P, Opts);
+      (void)CP;
+    }
+    Best = std::min(Best, Timer.elapsedUs());
+  }
+  return Best;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<Workload> All = allWorkloads();
+  JsonBench Json(argc, argv, "compile_parallel",
+                 static_cast<int64_t>(All.size()));
+
+  const int Reps = 5;
+  double SerialUs = compileSuiteUs(All, 1, Reps);
+  if (!Json.quiet()) {
+    std::printf("Workload-suite compile wall time vs. CompileThreads "
+                "(best of %d)\n",
+                Reps);
+    printRule(56);
+    std::printf("%10s %14s %10s\n", "threads", "compile us", "speedup");
+    printRule(56);
+    std::printf("%10u %14.1f %10.2f\n", 1u, SerialUs, 1.0);
+  }
+  Json.beginRow();
+  Json.field("threads", uint32_t(1));
+  Json.field("wall_us", SerialUs);
+  Json.field("speedup", 1.0);
+  Json.endRow();
+
+  for (unsigned Threads : {2u, 4u, ThreadPool::defaultThreadCount()}) {
+    if (Threads <= 1)
+      continue;
+    double Us = compileSuiteUs(All, Threads, Reps);
+    if (!Json.quiet())
+      std::printf("%10u %14.1f %10.2f\n", Threads, Us, SerialUs / Us);
+    Json.beginRow();
+    Json.field("threads", Threads);
+    Json.field("wall_us", Us);
+    Json.field("speedup", SerialUs / Us);
+    Json.endRow();
+  }
+  if (!Json.quiet())
+    printRule(56);
+  return 0;
+}

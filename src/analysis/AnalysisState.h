@@ -11,6 +11,10 @@
 /// (Section 2.4). A key absent from sigma/Len/NR acts as Bottom: the
 /// abstract name is unpopulated on the paths reaching this state.
 ///
+/// States are copied on every block visit and merged at every join, so
+/// the three maps are sorted flat vectors (FlatMap): copies are single
+/// contiguous-buffer clones and merges linear two-pointer walks.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SATB_ANALYSIS_ANALYSISSTATE_H
@@ -19,8 +23,7 @@
 #include "analysis/AbstractValue.h"
 #include "analysis/IntRange.h"
 #include "analysis/RefUniverse.h"
-
-#include <map>
+#include "support/FlatMap.h"
 
 namespace satb {
 
@@ -62,9 +65,9 @@ struct AnalysisState {
   std::vector<AbstractValue> Locals;       ///< rho
   std::vector<AbstractValue> Stack;        ///< stk
   BitSet NL;                               ///< non-thread-local refs
-  std::map<StoreKey, AbstractValue> Store; ///< sigma
-  std::map<RefId, IntVal> Len;             ///< array lengths (mode A)
-  std::map<RefId, IntRange> NR;            ///< null ranges (mode A)
+  FlatMap<StoreKey, AbstractValue> Store;  ///< sigma
+  FlatMap<RefId, IntVal> Len;              ///< array lengths (mode A)
+  FlatMap<RefId, IntRange> NR;             ///< null ranges (mode A)
   std::vector<NosFact> Facts;              ///< sorted null-or-same facts
 
   bool operator==(const AnalysisState &O) const {

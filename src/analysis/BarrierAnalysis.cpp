@@ -22,6 +22,7 @@
 
 #include <deque>
 #include <optional>
+#include <queue>
 
 using namespace satb;
 
@@ -203,50 +204,152 @@ private:
       Subst(KV.second);
   }
 
-  /// The newinstance/newarray bookkeeping of Section 2.4: merge the
-  /// attributes of R_id/A into R_id/B (rngSubst + transfer + replS) so
-  /// R_id/A is free to denote the new allocation.
-  void substForAllocation(AnalysisState &S, uint32_t Site) const {
+  /// The newinstance/newarray bookkeeping of Section 2.4 (rngSubst +
+  /// transfer + replS: merge R_id/A's attributes into R_id/B so R_id/A is
+  /// free to denote the new allocation) fused with the installation of the
+  /// fresh object's zeroed state. Fusing the two steps lets the steady
+  /// state — every fixpoint visit of an allocation after the first, where
+  /// R_A's store run already holds exactly the fresh key set — overwrite
+  /// values in place instead of erasing and re-inserting, so the flat
+  /// store vector never shifts.
+  ///
+  /// \p ClassFields is the allocated class's field list for NewInstance
+  /// (null for arrays); \p FreshElems installs the f_elems entry of a
+  /// fresh reference array; \p NewLen / \p NewNR are the mode-A length and
+  /// null range of a fresh array (null when untracked).
+  void reallocate(AnalysisState &S, uint32_t Site,
+                  const std::vector<FieldId> *ClassFields, bool FreshElems,
+                  const IntVal *NewLen, const IntRange *NewNR) {
     RefId A = Refs.siteA(Site), B = Refs.siteB(Site);
-    if (A == B)
-      return; // one-name ablation mode
+
+    const size_t NumFresh =
+        ClassFields ? ClassFields->size() : (FreshElems ? 1 : 0);
+    auto FreshKeyAt = [&](size_t I) -> uint32_t {
+      return ClassFields ? (*ClassFields)[I] : AnalysisState::ElemsFieldBase;
+    };
+    auto FreshValueAt = [&](size_t I) -> AbstractValue {
+      if (!ClassFields)
+        return nullRef(); // f_elems of a fresh reference array
+      return P.fieldDecl((*ClassFields)[I]).Type == JType::Ref
+                 ? nullRef()
+                 : AbstractValue::intVal(mkInt(IntVal::constant(0)));
+    };
+    // In-place form of `Slot = FreshValueAt(I)` that reuses Slot's
+    // existing RefSet allocation when it is already a reference value
+    // (the common steady-state case).
+    auto AssignFreshTo = [&](AbstractValue &Slot, size_t I) {
+      bool WantNullRef =
+          !ClassFields || P.fieldDecl((*ClassFields)[I]).Type == JType::Ref;
+      if (WantNullRef && Slot.isRefs()) {
+        Slot.refSet().clear();
+        Slot.clearSrcLocal();
+        Slot.clearNosTags();
+        return;
+      }
+      Slot = FreshValueAt(I);
+    };
+
+    if (A == B) {
+      // One-name ablation mode: no substitution; the site's single summary
+      // name takes weak (joining) initialization.
+      for (size_t I = 0; I != NumFresh; ++I)
+        setFreshEntry(S, A, FreshKeyAt(I), FreshValueAt(I));
+      if (NewLen) {
+        auto It = S.Len.find(A);
+        if (It == S.Len.end())
+          S.Len.emplace(A, *NewLen);
+        else
+          It->second = simpleIntMerge(It->second, *NewLen);
+      }
+      if (NewNR) {
+        auto It = S.NR.find(A);
+        if (It == S.NR.end())
+          S.NR.emplace(A, *NewNR);
+        else if (It->second != *NewNR)
+          It->second = IntRange::empty();
+      }
+      return;
+    }
+
     substRefInValues(S, A, B);
     if (S.NL.test(A)) {
       S.NL.reset(A);
       S.NL.set(B);
     }
-    // transfer(sigma, R_A, R_B): move A's entries, joining into B's.
-    std::vector<std::pair<uint32_t, AbstractValue>> Moved;
-    for (auto It = S.Store.lower_bound(StoreKey{A, 0});
-         It != S.Store.end() && It->first.Ref == A;) {
-      Moved.emplace_back(It->first.Field, std::move(It->second));
-      It = S.Store.erase(It);
-    }
-    for (auto &KV : Moved) {
-      StoreKey NewKey{B, KV.first};
+
+    // sigma. A's entries form one contiguous run of the flat store, with
+    // B's run (B == A + 1) immediately after it, so merging into B never
+    // shifts A's run: its indices stay valid across the B inserts.
+    const size_t FirstIdx =
+        static_cast<size_t>(S.Store.lower_bound(StoreKey{A, 0}) -
+                            S.Store.begin());
+    size_t RunLen = 0;
+    bool SameKeys = true;
+    for (auto It = S.Store.begin() + FirstIdx;
+         It != S.Store.end() && It->first.Ref == A; ++It, ++RunLen)
+      SameKeys &= RunLen < NumFresh && It->first.Field == FreshKeyAt(RunLen);
+    SameKeys &= RunLen == NumFresh;
+
+    // transfer(sigma, R_A, R_B): join A's current values into B's. The
+    // entry reference is re-derived by index each iteration because an
+    // insert into B's run may reallocate the store vector; A's slots are
+    // read (not moved from) so the steady-state path below can reuse
+    // their allocations.
+    for (size_t I = 0; I != RunLen; ++I) {
+      StoreKey NewKey{B, (S.Store.begin() + FirstIdx + I)->first.Field};
       auto It = S.Store.find(NewKey);
-      if (It == S.Store.end())
-        S.Store.emplace(NewKey, std::move(KV.second));
-      else
-        It->second.mergeFrom(KV.second, simpleIntMerge);
+      if (It == S.Store.end()) {
+        AbstractValue Copy = (S.Store.begin() + FirstIdx + I)->second;
+        S.Store.emplace(NewKey, std::move(Copy));
+      } else {
+        It->second.mergeFrom((S.Store.begin() + FirstIdx + I)->second,
+                             simpleIntMerge);
+      }
     }
+
+    if (SameKeys) {
+      // Steady state: the run already holds exactly the fresh keys;
+      // overwrite the values in place, reusing their allocations.
+      for (size_t I = 0; I != NumFresh; ++I)
+        AssignFreshTo((S.Store.begin() + FirstIdx + I)->second, I);
+    } else {
+      // First visit of this site (or extra fields were written through
+      // R_A): reshape the run the slow way.
+      auto RunFirst = S.Store.begin() + FirstIdx;
+      S.Store.erase(RunFirst, RunFirst + RunLen);
+      for (size_t I = 0; I != NumFresh; ++I)
+        S.Store[StoreKey{A, FreshKeyAt(I)}] = FreshValueAt(I);
+    }
+
+    // Len / NR: merge A's entry into B's, then replace A's value in place
+    // with the fresh array's (when tracked) rather than erase + reinsert.
     if (auto It = S.Len.find(A); It != S.Len.end()) {
-      IntVal LA = It->second;
-      S.Len.erase(It);
+      IntVal LA = std::move(It->second);
       auto BIt = S.Len.find(B);
       if (BIt == S.Len.end())
-        S.Len.emplace(B, std::move(LA));
+        S.Len.emplace(B, std::move(LA)); // invalidates It
       else
         BIt->second = simpleIntMerge(BIt->second, LA);
+      if (NewLen)
+        S.Len.find(A)->second = *NewLen;
+      else
+        S.Len.erase(A);
+    } else if (NewLen) {
+      S.Len[A] = *NewLen;
     }
     if (auto It = S.NR.find(A); It != S.NR.end()) {
-      IntRange RA = It->second;
-      S.NR.erase(It);
+      IntRange RA = std::move(It->second);
       auto BIt = S.NR.find(B);
       if (BIt == S.NR.end())
-        S.NR.emplace(B, std::move(RA));
+        S.NR.emplace(B, std::move(RA)); // invalidates It
       else if (BIt->second != RA)
         BIt->second = IntRange::empty();
+      if (NewNR)
+        S.NR.find(A)->second = *NewNR;
+      else
+        S.NR.erase(A);
+    } else if (NewNR) {
+      S.NR[A] = *NewNR;
     }
   }
 
@@ -281,10 +384,12 @@ private:
   /// in the paper's notation: rho, NL, sigma, Len, NR.
   std::string dumpState(const AnalysisState &S) const;
 
-  /// Processes one block from (a copy of) its in-state, emitting one out
-  /// state per successor slot via \p EmitOut(slot, state).
+  /// Processes one block in place from \p S (the caller's scratch copy of
+  /// the block's in-state), emitting one out state per successor slot via
+  /// \p EmitOut(slot, state, lastUse). When lastUse is true the emitted
+  /// state is dead afterwards and may be moved from.
   template <typename FnT>
-  void processBlock(uint32_t BI, AnalysisState S, FnT EmitOut);
+  void processBlock(uint32_t BI, AnalysisState &S, FnT EmitOut);
 
   const Program &P;
   const Method &M;
@@ -295,6 +400,9 @@ private:
   ConstUnknownRegistry ConstReg;
   VarAllocator Vars;
   AnalysisResult Result;
+  /// Reused across block visits so the per-visit in-state copy lands in
+  /// already-allocated vectors instead of fresh heap blocks.
+  AnalysisState Scratch;
   bool Judging = false;
 };
 
@@ -672,15 +780,10 @@ void BarrierAnalyzer::transfer(AnalysisState &S, uint32_t InstrIdx) {
   case Opcode::NewInstance: {
     uint32_t Site = Refs.siteOfInstr(InstrIdx);
     assert(Site != InvalidId && "allocation without a site");
-    substForAllocation(S, Site);
-    RefId A = Refs.siteA(Site);
     ClassId C = static_cast<ClassId>(Ins.A);
-    for (FieldId F : P.classDecl(C).Fields)
-      setFreshEntry(S, A, F,
-                    P.fieldDecl(F).Type == JType::Ref
-                        ? nullRef()
-                        : AbstractValue::intVal(mkInt(IntVal::constant(0))));
-    pushRef(S, singleRef(A));
+    reallocate(S, Site, &P.classDecl(C).Fields, /*FreshElems=*/false,
+               /*NewLen=*/nullptr, /*NewNR=*/nullptr);
+    pushRef(S, singleRef(Refs.siteA(Site)));
     return;
   }
   case Opcode::NewRefArray:
@@ -688,40 +791,22 @@ void BarrierAnalyzer::transfer(AnalysisState &S, uint32_t InstrIdx) {
     AbstractValue N = S.popValue();
     uint32_t Site = Refs.siteOfInstr(InstrIdx);
     assert(Site != InvalidId && "allocation without a site");
-    substForAllocation(S, Site);
-    RefId A = Refs.siteA(Site);
-    if (Ins.Op == Opcode::NewRefArray)
-      setFreshEntry(S, A, AnalysisState::ElemsFieldBase, nullRef());
+    const bool IsRef = Ins.Op == Opcode::NewRefArray;
+    std::optional<IntVal> NewLen;
+    std::optional<IntRange> NewNR;
     if (modeA()) {
-      IntVal Len = N.isInt() ? N.intValue() : IntVal::top();
-      if (Cfg.TwoNamesPerSite)
-        S.Len[A] = Len;
-      else {
-        auto It = S.Len.find(A);
-        if (It == S.Len.end())
-          S.Len.emplace(A, Len);
-        else
-          It->second = simpleIntMerge(It->second, Len);
-      }
-      if (Ins.Op == Opcode::NewRefArray) {
-        // NR[R_A] <- [0 .. n-1] (Section 3.3); unusable when the length is
-        // unknown.
-        IntRange Fresh = Len.isTop()
-                             ? IntRange::empty()
-                             : IntRange::full(IntVal::constant(0),
-                                              Len.addConstant(-1));
-        if (Cfg.TwoNamesPerSite)
-          S.NR[A] = std::move(Fresh);
-        else {
-          auto It = S.NR.find(A);
-          if (It == S.NR.end())
-            S.NR.emplace(A, std::move(Fresh));
-          else if (It->second != Fresh)
-            It->second = IntRange::empty();
-        }
-      }
+      NewLen = N.isInt() ? N.intValue() : IntVal::top();
+      if (IsRef)
+        // NR[R_A] <- [0 .. n-1] (Section 3.3); unusable when the length
+        // is unknown.
+        NewNR = NewLen->isTop()
+                    ? IntRange::empty()
+                    : IntRange::full(IntVal::constant(0),
+                                     NewLen->addConstant(-1));
     }
-    pushRef(S, singleRef(A));
+    reallocate(S, Site, /*ClassFields=*/nullptr, /*FreshElems=*/IsRef,
+               NewLen ? &*NewLen : nullptr, NewNR ? &*NewNR : nullptr);
+    pushRef(S, singleRef(Refs.siteA(Site)));
     return;
   }
   case Opcode::AALoad: {
@@ -853,7 +938,7 @@ void BarrierAnalyzer::transfer(AnalysisState &S, uint32_t InstrIdx) {
 }
 
 template <typename FnT>
-void BarrierAnalyzer::processBlock(uint32_t BI, AnalysisState S,
+void BarrierAnalyzer::processBlock(uint32_t BI, AnalysisState &S,
                                    FnT EmitOut) {
   const BasicBlock &B = CFG.block(BI);
   for (uint32_t I = B.Begin; I + 1 < B.End; ++I)
@@ -872,14 +957,14 @@ void BarrierAnalyzer::processBlock(uint32_t BI, AnalysisState S,
       nos::onKnownNull(Taken, V); // taken edge: value null
     else
       nos::onKnownNull(S, V); // fall-through edge: value null
-    EmitOut(0, Taken);
-    EmitOut(1, S);
+    EmitOut(0, Taken, /*LastUse=*/true);
+    EmitOut(1, S, /*LastUse=*/true);
     return;
   }
 
   transfer(S, LastIdx);
   for (size_t Slot = 0, E = B.Succs.size(); Slot != E; ++Slot)
-    EmitOut(Slot, S);
+    EmitOut(Slot, S, /*LastUse=*/Slot + 1 == E);
 }
 
 AnalysisResult BarrierAnalyzer::run() {
@@ -909,27 +994,62 @@ AnalysisResult BarrierAnalyzer::run() {
     // modified start states, propagating changes to successor blocks,
     // until a fixed point is reached").
     std::vector<std::optional<AnalysisState>> BlockIn(CFG.numBlocks());
-    std::vector<uint32_t> VisitCount(CFG.numBlocks(), 0);
+    std::vector<uint32_t> MergeCount(CFG.numBlocks(), 0);
     std::vector<bool> InList(CFG.numBlocks(), false);
-    std::deque<uint32_t> Worklist;
+
+    // The worklist drains in reverse post-order by default: the heap is
+    // keyed by RPO index, so a loop body's changes flow back to the head
+    // before anything downstream of the loop is revisited. Only reachable
+    // blocks are ever enqueued (the entry, and successors of reachable
+    // blocks), so every enqueued block has an RPO index.
+    const std::vector<uint32_t> &RPO = CFG.reversePostOrder();
+    const bool UseRpo = Cfg.Order == WorklistOrder::RPO;
+    std::vector<uint32_t> RpoIndex(CFG.numBlocks(), 0);
+    for (uint32_t I = 0, E = static_cast<uint32_t>(RPO.size()); I != E; ++I)
+      RpoIndex[RPO[I]] = I;
+    std::priority_queue<uint32_t, std::vector<uint32_t>,
+                        std::greater<uint32_t>>
+        Heap;
+    std::deque<uint32_t> Fifo;
+    auto Push = [&](uint32_t BI) {
+      if (InList[BI])
+        return;
+      InList[BI] = true;
+      if (UseRpo)
+        Heap.push(RpoIndex[BI]);
+      else
+        Fifo.push_back(BI);
+    };
+    auto Pop = [&]() {
+      uint32_t BI;
+      if (UseRpo) {
+        BI = RPO[Heap.top()];
+        Heap.pop();
+      } else {
+        BI = Fifo.front();
+        Fifo.pop_front();
+      }
+      InList[BI] = false;
+      return BI;
+    };
 
     BlockIn[0] = initialState();
-    Worklist.push_back(0);
-    InList[0] = true;
+    Push(0);
 
-    while (!Worklist.empty()) {
-      uint32_t BI = Worklist.front();
-      Worklist.pop_front();
-      InList[BI] = false;
-      ++VisitCount[BI];
+    while (UseRpo ? !Heap.empty() : !Fifo.empty()) {
+      uint32_t BI = Pop();
       ++Result.BlockVisits;
 
-      processBlock(BI, *BlockIn[BI], [&](size_t Slot,
-                                         const AnalysisState &Out) {
+      Scratch = *BlockIn[BI];
+      processBlock(BI, Scratch, [&](size_t Slot, AnalysisState &Out,
+                                    bool LastUse) {
         uint32_t Succ = CFG.block(BI).Succs[Slot];
         bool Changed;
         if (!BlockIn[Succ]) {
-          BlockIn[Succ] = Out;
+          if (LastUse)
+            BlockIn[Succ] = std::move(Out);
+          else
+            BlockIn[Succ] = Out;
           Changed = true;
         } else if (CFG.block(Succ).Preds.size() == 1) {
           // A single-predecessor block needs no join: its in-state is
@@ -938,17 +1058,24 @@ AnalysisResult BarrierAnalyzer::run() {
           // variable unknowns instead of smearing them against stale
           // first-iteration constants.
           Changed = *BlockIn[Succ] != Out;
-          if (Changed)
-            BlockIn[Succ] = Out;
+          if (Changed) {
+            if (LastUse)
+              *BlockIn[Succ] = std::move(Out);
+            else
+              *BlockIn[Succ] = Out;
+          }
         } else {
+          // Widening counts merges into the join point, not pops of it: a
+          // head that keeps receiving changed states from one back edge
+          // widens after a bounded number of joins no matter how the
+          // worklist interleaves its pops.
+          ++MergeCount[Succ];
           StateMerger Merger(Vars,
-                             /*Widen=*/VisitCount[Succ] > Cfg.MaxBlockVisits);
+                             /*Widen=*/MergeCount[Succ] > Cfg.MaxBlockVisits);
           Changed = Merger.merge(*BlockIn[Succ], Out);
         }
-        if (Changed && !InList[Succ]) {
-          InList[Succ] = true;
-          Worklist.push_back(Succ);
-        }
+        if (Changed)
+          Push(Succ);
       });
     }
 
@@ -957,8 +1084,10 @@ AnalysisResult BarrierAnalyzer::run() {
     // in-states records per-site verdicts.
     Judging = true;
     for (uint32_t BI : CFG.reversePostOrder())
-      if (BlockIn[BI])
-        processBlock(BI, *BlockIn[BI], [](size_t, const AnalysisState &) {});
+      if (BlockIn[BI]) {
+        Scratch = *BlockIn[BI];
+        processBlock(BI, Scratch, [](size_t, AnalysisState &, bool) {});
+      }
     Judging = false;
 
     if (Cfg.CaptureStates) {

@@ -37,8 +37,22 @@ enum class AnalysisMode : uint8_t {
   FieldAndArray ///< A: field analysis + Section 3 array analysis
 };
 
+/// Fixpoint worklist discipline. RPO drains blocks in reverse post-order,
+/// which on reducible CFGs propagates loop-body changes back to the head
+/// before re-visiting everything downstream — a classic large reduction in
+/// block visits versus FIFO. FIFO is kept for ablation and for the
+/// engine-equivalence tests: elision decisions must not depend on the
+/// iteration order, only the visit count may.
+enum class WorklistOrder : uint8_t {
+  RPO, ///< priority worklist keyed by reverse post-order index
+  FIFO ///< the historical first-in-first-out deque
+};
+
 struct AnalysisConfig {
   AnalysisMode Mode = AnalysisMode::FieldAndArray;
+
+  /// Fixpoint iteration order (see WorklistOrder).
+  WorklistOrder Order = WorklistOrder::RPO;
 
   /// Section 4.3 null-or-same extension.
   bool EnableNullOrSame = false;
@@ -66,8 +80,11 @@ struct AnalysisConfig {
   /// see examples/paper_walkthrough.cpp).
   bool CaptureStates = false;
 
-  /// Widening threshold: past this many visits of a block, integer merges
-  /// stop creating variable unknowns and go to Top (termination backstop).
+  /// Widening threshold: past this many *merges into* a block's in-state,
+  /// integer merges stop creating variable unknowns and go to Top
+  /// (termination backstop). Counting merges — not pops of the block —
+  /// guarantees a join point that keeps changing widens after a bounded
+  /// number of join operations regardless of iteration order.
   uint32_t MaxBlockVisits = 40;
   /// Cap on variable unknowns per analysis (termination backstop).
   uint32_t MaxVars = 512;

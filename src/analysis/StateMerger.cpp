@@ -166,68 +166,59 @@ bool StateMerger::merge(AnalysisState &Stored, const AnalysisState &Incoming) {
   Stored.NL |= Incoming.NL;
   Changed |= Stored.NL != NLBefore;
 
-  // sigma: pointwise, absent keys acting as Bottom.
-  for (const auto &[Key, Val] : Incoming.Store) {
-    auto It = Stored.Store.find(Key);
-    if (It == Stored.Store.end()) {
-      Stored.Store.emplace(Key, Val);
-      Changed = true;
-      continue;
-    }
-    Changed |= It->second.mergeFrom(Val, simpleIntMerge);
-  }
+  // sigma: pointwise, absent keys acting as Bottom. One linear walk per
+  // map (see FlatMap::mergeWith).
+  Changed |= Stored.Store.mergeWith(
+      Incoming.Store,
+      [](const StoreKey &, AbstractValue &S, const AbstractValue &I) {
+        return S.mergeFrom(I, simpleIntMerge);
+      });
 
   // Len: structural merge (equal or Top).
-  for (const auto &[Ref, L] : Incoming.Len) {
-    auto It = Stored.Len.find(Ref);
-    if (It == Stored.Len.end()) {
-      Stored.Len.emplace(Ref, L);
-      Changed = true;
-      continue;
-    }
-    IntVal Merged = simpleIntMerge(It->second, L);
-    if (Merged != It->second) {
-      It->second = Merged;
-      Changed = true;
-    }
-  }
+  Changed |= Stored.Len.mergeWith(
+      Incoming.Len, [](RefId, IntVal &S, const IntVal &I) {
+        IntVal Merged = simpleIntMerge(S, I);
+        if (Merged == S)
+          return false;
+        S = std::move(Merged);
+        return true;
+      });
 
   // NR: like kinds merge bound-wise; a Full range mixes with a half-open
   // range only when it is equivalent to that half-open form (a Full range
   // reaching its array's last index equals a From range; one starting at 0
   // equals a To range). This is the merge of the paper's expand example:
   // Full[0..2c0-1] (with Len = 2c0) merged with From[1..] gives From[v..].
-  for (const auto &[Ref, R2In] : Incoming.NR) {
-    auto It = Stored.NR.find(Ref);
-    if (It == Stored.NR.end()) {
-      Stored.NR.emplace(Ref, R2In);
-      Changed = true;
-      continue;
-    }
-    IntRange R1 = It->second;
-    IntRange R2 = R2In;
-    using K = IntRange::Kind;
-    if (R1.kind() != R2.kind() && !R1.isEmpty() && !R2.isEmpty()) {
-      // Try to reconcile a Full with the other side's half-open kind.
-      if (R1.kind() == K::Full) {
-        if (R2.kind() == K::From && fromEquivalent(R1, Stored.lenOf(Ref)))
-          R1 = IntRange::from(R1.lo());
-        else if (R2.kind() == K::To && toEquivalent(R1))
-          R1 = IntRange::to(R1.hi());
-      } else if (R2.kind() == K::Full) {
-        if (R1.kind() == K::From && fromEquivalent(R2, Incoming.lenOf(Ref)))
-          R2 = IntRange::from(R2.lo());
-        else if (R1.kind() == K::To && toEquivalent(R2))
-          R2 = IntRange::to(R2.hi());
-      }
-    }
-    IntRange Merged = R1.kind() == R2.kind() ? mergeRanges(R1, R2)
-                                             : IntRange::empty();
-    if (Merged != It->second) {
-      It->second = std::move(Merged);
-      Changed = true;
-    }
-  }
+  // Runs after the Len merge so Stored.lenOf sees the merged lengths, as
+  // the map-based merge always did.
+  Changed |= Stored.NR.mergeWith(
+      Incoming.NR,
+      [&](RefId Ref, IntRange &SR, const IntRange &R2In) {
+        IntRange R1 = SR;
+        IntRange R2 = R2In;
+        using K = IntRange::Kind;
+        if (R1.kind() != R2.kind() && !R1.isEmpty() && !R2.isEmpty()) {
+          // Try to reconcile a Full with the other side's half-open kind.
+          if (R1.kind() == K::Full) {
+            if (R2.kind() == K::From && fromEquivalent(R1, Stored.lenOf(Ref)))
+              R1 = IntRange::from(R1.lo());
+            else if (R2.kind() == K::To && toEquivalent(R1))
+              R1 = IntRange::to(R1.hi());
+          } else if (R2.kind() == K::Full) {
+            if (R1.kind() == K::From &&
+                fromEquivalent(R2, Incoming.lenOf(Ref)))
+              R2 = IntRange::from(R2.lo());
+            else if (R1.kind() == K::To && toEquivalent(R2))
+              R2 = IntRange::to(R2.hi());
+          }
+        }
+        IntRange Merged = R1.kind() == R2.kind() ? mergeRanges(R1, R2)
+                                                 : IntRange::empty();
+        if (Merged == SR)
+          return false;
+        SR = std::move(Merged);
+        return true;
+      });
 
   // Null-or-same facts merge by intersection.
   if (!Stored.Facts.empty()) {

@@ -25,8 +25,6 @@
 
 #include "analysis/AnalysisState.h"
 
-#include <map>
-
 namespace satb {
 
 /// Allocates variable unknowns for one analysis run, with a hard cap as a
@@ -61,7 +59,7 @@ public:
   IntVal mergeIntVals(const IntVal &I1, const IntVal &I2);
 
 private:
-  using Subst = std::map<VarId, IntVal>;
+  using Subst = FlatMap<VarId, IntVal>;
 
   /// Figure 1 with explicit substitution maps; \p M1/\p M2 follow any swap
   /// of i1/i2.
@@ -79,7 +77,7 @@ private:
   VarAllocator &Vars;
   bool Widen;
   /// U: stride -> variable unknown (keyed by the pure-constant delta).
-  std::map<int64_t, VarId> StrideVars;
+  FlatMap<int64_t, VarId> StrideVars;
   Subst Mu1, Mu2;
 };
 

@@ -5,6 +5,7 @@
 #include "analysis/Rearrange.h"
 
 #include "support/Stopwatch.h"
+#include "support/ThreadPool.h"
 #include "verifier/Verifier.h"
 
 #include <cstdio>
@@ -78,9 +79,15 @@ CompiledProgram satb::compileProgram(const Program &P,
                                      const CompilerOptions &Opts) {
   CompiledProgram CP;
   CP.Options = Opts;
-  CP.Methods.reserve(P.numMethods());
-  for (MethodId Id = 0, E = P.numMethods(); Id != E; ++Id)
-    CP.Methods.push_back(compileMethod(P, Id, Opts));
+  const size_t NumMethods = P.numMethods();
+  CP.Methods.resize(NumMethods);
+  // compileMethod is a pure function of (P, Id, Opts), so methods compile
+  // on any number of threads; each writes only its own pre-sized slot,
+  // which keeps CP.Methods identical to the serial compile.
+  ThreadPool Pool(NumMethods <= 1 ? 1 : Opts.CompileThreads);
+  Pool.parallelFor(NumMethods, [&](size_t Id) {
+    CP.Methods[Id] = compileMethod(P, static_cast<MethodId>(Id), Opts);
+  });
   return CP;
 }
 

@@ -38,6 +38,11 @@ struct CompilerOptions {
   /// protocol (see analysis/Rearrange.h). Single-mutator / lock-
   /// disciplined code only, per the paper's closing caveat.
   bool EnableArrayRearrange = false;
+  /// Worker threads for compileProgram. The analysis is intra-procedural,
+  /// so methods compile independently; results are written into
+  /// index-ordered slots, making the output identical to a serial compile
+  /// regardless of scheduling. 0 = hardware concurrency, 1 = serial.
+  unsigned CompileThreads = 0;
 };
 
 struct CompiledMethod {

@@ -1,0 +1,173 @@
+//===- support/FlatMap.h - Sorted flat-vector associative map --*- C++ -*-===//
+///
+/// \file
+/// A sorted std::vector<std::pair<K, V>> with (the used subset of) the
+/// std::map interface. The analysis copies abstract states on every block
+/// visit, so the per-state maps (sigma, Len, NR) must copy as one
+/// contiguous buffer instead of a node allocation per entry; lookups are
+/// binary searches over hot cache lines and whole-map merges are linear
+/// two-pointer walks (see mergeWith).
+///
+/// Unlike std::map, iterators are invalidated by any mutation, and keys
+/// are mutable through iterators (don't). Both are fine for the analysis:
+/// it never holds an iterator across a mutation of a different entry
+/// except through the erase(iterator) -> next-iterator idiom, which works
+/// on vectors too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_SUPPORT_FLATMAP_H
+#define SATB_SUPPORT_FLATMAP_H
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace satb {
+
+template <typename K, typename V> class FlatMap {
+public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  FlatMap() = default;
+
+  bool empty() const { return Items.empty(); }
+  size_t size() const { return Items.size(); }
+  void clear() { Items.clear(); }
+
+  iterator begin() { return Items.begin(); }
+  iterator end() { return Items.end(); }
+  const_iterator begin() const { return Items.begin(); }
+  const_iterator end() const { return Items.end(); }
+
+  iterator lower_bound(const K &Key) {
+    return std::lower_bound(Items.begin(), Items.end(), Key, LessKey{});
+  }
+  const_iterator lower_bound(const K &Key) const {
+    return std::lower_bound(Items.begin(), Items.end(), Key, LessKey{});
+  }
+
+  iterator find(const K &Key) {
+    iterator It = lower_bound(Key);
+    return It != Items.end() && It->first == Key ? It : Items.end();
+  }
+  const_iterator find(const K &Key) const {
+    const_iterator It = lower_bound(Key);
+    return It != Items.end() && It->first == Key ? It : Items.end();
+  }
+
+  bool contains(const K &Key) const { return find(Key) != Items.end(); }
+
+  const V &at(const K &Key) const {
+    const_iterator It = find(Key);
+    assert(It != Items.end() && "FlatMap::at: key not present");
+    return It->second;
+  }
+
+  V &operator[](const K &Key) {
+    iterator It = lower_bound(Key);
+    if (It == Items.end() || !(It->first == Key))
+      It = Items.insert(It, value_type(Key, V()));
+    return It->second;
+  }
+
+  /// Inserts (Key, Value) if absent. \returns (position, inserted).
+  template <typename VT> std::pair<iterator, bool> emplace(const K &Key,
+                                                           VT &&Value) {
+    iterator It = lower_bound(Key);
+    if (It != Items.end() && It->first == Key)
+      return {It, false};
+    It = Items.insert(It, value_type(Key, std::forward<VT>(Value)));
+    return {It, true};
+  }
+
+  iterator erase(iterator It) { return Items.erase(It); }
+  iterator erase(iterator First, iterator Last) {
+    return Items.erase(First, Last);
+  }
+  size_t erase(const K &Key) {
+    iterator It = find(Key);
+    if (It == Items.end())
+      return 0;
+    Items.erase(It);
+    return 1;
+  }
+
+  void reserve(size_t N) { Items.reserve(N); }
+
+  bool operator==(const FlatMap &O) const { return Items == O.Items; }
+  bool operator!=(const FlatMap &O) const { return !(*this == O); }
+
+  /// Pointwise join with \p Incoming, absent keys acting as Bottom: keys
+  /// present in both sides go through \p MergeValue(key, stored, incoming)
+  /// (returning whether the stored value changed); keys only in \p
+  /// Incoming are copied in. One linear two-pointer walk; the in-place
+  /// fast path (no new keys) does zero allocation.
+  ///
+  /// \returns true if this map changed.
+  template <typename MergeFn>
+  bool mergeWith(const FlatMap &Incoming, MergeFn MergeValue) {
+    if (Incoming.Items.empty())
+      return false;
+    bool Changed = false;
+
+    // Pass 1: merge the intersection in place and count missing keys.
+    size_t Missing = 0;
+    {
+      iterator SI = Items.begin();
+      const_iterator II = Incoming.Items.begin();
+      while (II != Incoming.Items.end()) {
+        while (SI != Items.end() && SI->first < II->first)
+          ++SI;
+        if (SI != Items.end() && SI->first == II->first) {
+          Changed |= MergeValue(SI->first, SI->second, II->second);
+          ++SI;
+        } else {
+          ++Missing;
+        }
+        ++II;
+      }
+    }
+    if (Missing == 0)
+      return Changed;
+
+    // Pass 2: rebuild with the union of keys (backwards in place would
+    // also work, but a fresh vector keeps this simple and still linear).
+    std::vector<value_type> Out;
+    Out.reserve(Items.size() + Missing);
+    iterator SI = Items.begin();
+    const_iterator II = Incoming.Items.begin();
+    while (SI != Items.end() || II != Incoming.Items.end()) {
+      if (II == Incoming.Items.end() ||
+          (SI != Items.end() && SI->first < II->first)) {
+        Out.push_back(std::move(*SI));
+        ++SI;
+      } else if (SI == Items.end() || II->first < SI->first) {
+        Out.push_back(*II);
+        ++II;
+      } else {
+        Out.push_back(std::move(*SI));
+        ++SI;
+        ++II;
+      }
+    }
+    Items = std::move(Out);
+    return true;
+  }
+
+private:
+  struct LessKey {
+    bool operator()(const value_type &Item, const K &Key) const {
+      return Item.first < Key;
+    }
+  };
+
+  std::vector<value_type> Items;
+};
+
+} // namespace satb
+
+#endif // SATB_SUPPORT_FLATMAP_H

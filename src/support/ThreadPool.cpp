@@ -1,0 +1,82 @@
+//===- support/ThreadPool.cpp ---------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace satb;
+
+unsigned ThreadPool::defaultThreadCount() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = defaultThreadCount();
+  Workers.reserve(NumThreads - 1);
+  for (unsigned I = 1; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    ShuttingDown = true;
+  }
+  JobReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Body) {
+  if (N == 0)
+    return;
+  if (Workers.empty() || N == 1) {
+    for (size_t I = 0; I != N; ++I)
+      Body(I);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> L(M);
+    Job = &Body;
+    JobSize = N;
+    NextIndex.store(0, std::memory_order_relaxed);
+    Busy = static_cast<unsigned>(Workers.size());
+    ++Generation;
+  }
+  JobReady.notify_all();
+  for (size_t I; (I = NextIndex.fetch_add(1, std::memory_order_relaxed)) < N;)
+    Body(I);
+  std::unique_lock<std::mutex> L(M);
+  JobDone.wait(L, [this] { return Busy == 0; });
+  Job = nullptr;
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    const std::function<void(size_t)> *MyJob;
+    size_t N;
+    {
+      std::unique_lock<std::mutex> L(M);
+      JobReady.wait(L, [&] {
+        return ShuttingDown || Generation != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Generation;
+      MyJob = Job;
+      N = JobSize;
+    }
+    for (size_t I;
+         (I = NextIndex.fetch_add(1, std::memory_order_relaxed)) < N;)
+      (*MyJob)(I);
+    {
+      std::lock_guard<std::mutex> L(M);
+      --Busy;
+    }
+    // parallelFor waits for Busy == 0 before returning, so every worker
+    // must signal even when it claimed no indices.
+    JobDone.notify_one();
+  }
+}

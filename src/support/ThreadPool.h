@@ -1,0 +1,71 @@
+//===- support/ThreadPool.h - Fork-join index parallelism ------*- C++ -*-===//
+///
+/// \file
+/// A persistent fork-join worker pool for index-parallel loops. Built for
+/// the compiler driver: the barrier analysis is intra-procedural, so
+/// methods compile independently and compileProgram can fan one
+/// parallelFor over the method ids. Work is claimed by atomic index so
+/// imbalanced method sizes still load-balance, and results are written to
+/// pre-sized slots by index, which keeps the output deterministic
+/// regardless of the interleaving.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_SUPPORT_THREADPOOL_H
+#define SATB_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace satb {
+
+class ThreadPool {
+public:
+  /// \p NumThreads counts the calling thread, so parallelFor on a pool of
+  /// N uses N-1 workers plus the caller. 0 picks
+  /// std::thread::hardware_concurrency(); 1 spawns no workers and runs
+  /// every loop inline.
+  explicit ThreadPool(unsigned NumThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size()) + 1;
+  }
+
+  /// \returns hardware_concurrency(), never 0.
+  static unsigned defaultThreadCount();
+
+  /// Runs Body(I) for every I in [0, N); the calling thread participates.
+  /// Returns once every index has completed. Body must be callable
+  /// concurrently for distinct indices and must not throw. Not reentrant:
+  /// one parallelFor at a time per pool (Body must not call back in).
+  void parallelFor(size_t N, const std::function<void(size_t)> &Body);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+
+  std::mutex M;
+  std::condition_variable JobReady;
+  std::condition_variable JobDone;
+  const std::function<void(size_t)> *Job = nullptr;
+  size_t JobSize = 0;
+  uint64_t Generation = 0; ///< bumped per parallelFor; wakes workers
+  unsigned Busy = 0;       ///< workers not yet finished with this job
+  bool ShuttingDown = false;
+  std::atomic<size_t> NextIndex{0};
+};
+
+} // namespace satb
+
+#endif // SATB_SUPPORT_THREADPOOL_H
