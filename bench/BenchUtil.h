@@ -10,6 +10,7 @@
 #ifndef SATB_BENCH_BENCHUTIL_H
 #define SATB_BENCH_BENCHUTIL_H
 
+#include "interp/FastInterp.h"
 #include "interp/Interpreter.h"
 #include "support/Stopwatch.h"
 #include "workloads/Workload.h"
@@ -43,39 +44,50 @@ struct WorkloadRun {
   uint32_t SitesElided = 0;   ///< static sites proven elidable
 };
 
-/// Compiles and runs \p W at \p Scale; aborts loudly on traps or elision
-/// violations (a bench must not quietly report unsound numbers).
+/// Compiles and runs \p W at \p Scale under the engine selected by
+/// Opts.Interp; aborts loudly on traps or elision violations (a bench
+/// must not quietly report unsound numbers). The fast engine does not
+/// model RISC instruction counts, so ModeledInstrs stays 0 there.
 inline WorkloadRun runWorkload(const Workload &W, const CompilerOptions &Opts,
                                int64_t Scale) {
   Stopwatch CompileTimer;
   CompiledProgram CP = compileProgram(*W.P, Opts);
   double CompileWallUs = CompileTimer.elapsedUs();
   Heap H(*W.P);
-  Interpreter I(*W.P, CP, H);
-  SatbMarker M(H); // present so always-log modes have a log target
-  I.attachSatb(&M);
-  Stopwatch Timer;
-  CpuStopwatch CpuTimer;
-  RunStatus S = I.run(W.Entry, {Scale});
   WorkloadRun R;
-  R.WallSeconds = Timer.elapsedUs() / 1e6;
-  R.CpuSeconds = CpuTimer.elapsedUs() / 1e6;
-  R.Stats = I.stats().summarize();
-  R.Steps = I.stepsExecuted();
-  R.BarrierCostInstrs = I.barrierCostInstrs();
-  R.ModeledInstrs = I.modeledInstrsExecuted();
-  R.Status = S;
+  SatbMarker M(H); // present so always-log modes have a log target
+  auto Execute = [&](auto &I) {
+    I.attachSatb(&M);
+    Stopwatch Timer;
+    CpuStopwatch CpuTimer;
+    RunStatus S = I.run(W.Entry, {Scale});
+    R.WallSeconds = Timer.elapsedUs() / 1e6;
+    R.CpuSeconds = CpuTimer.elapsedUs() / 1e6;
+    R.Stats = I.stats().summarize();
+    R.Steps = I.stepsExecuted();
+    R.BarrierCostInstrs = I.barrierCostInstrs();
+    R.Status = S;
+    if (S != RunStatus::Finished) {
+      std::fprintf(stderr, "bench: %s trapped: %s\n", W.Name.c_str(),
+                   trapName(I.trap()));
+      std::abort();
+    }
+  };
+  if (Opts.Interp == InterpMode::Fast) {
+    FastProgram FP = translateProgram(*W.P, CP);
+    FastInterp I(FP, CP, H);
+    Execute(I);
+  } else {
+    Interpreter I(*W.P, CP, H);
+    Execute(I);
+    R.ModeledInstrs = I.modeledInstrsExecuted();
+  }
   R.CompileWallUs = CompileWallUs;
   R.AnalysisUs = CP.totalAnalysisTimeUs();
   for (const CompiledMethod &CM : CP.Methods)
     R.BlocksVisited += CM.Analysis.BlockVisits;
   R.Sites = CP.totalBarrierSites();
   R.SitesElided = CP.totalElidedSites();
-  if (S != RunStatus::Finished) {
-    std::fprintf(stderr, "bench: %s trapped: %s\n", W.Name.c_str(),
-                 trapName(I.trap()));
-    std::abort();
-  }
   if (R.Stats.Violations != 0) {
     std::fprintf(stderr, "bench: %s had %llu elision violations\n",
                  W.Name.c_str(),

@@ -1,0 +1,130 @@
+//===- bench/interp_dispatch.cpp - Reference vs fast engine wall time -----===//
+///
+/// \file
+/// Measures the mutator-engine speedup: each Table 1 workload compiled
+/// once, then executed by the reference switch interpreter and the
+/// threaded-dispatch FastInterp. Runs are interleaved (ref, fast, ref,
+/// fast, ...) so frequency scaling and cache state hit both engines
+/// equally; each engine's time is the minimum over the repetitions.
+/// Every rep cross-checks result, steps, and barrier cost between the
+/// engines — a speedup from a wrong answer is no speedup.
+///
+/// Row fields: wall_us_ref, wall_us_fast, speedup, translate_us (the
+/// one-time lowering cost), steps. A final geomean row summarizes the
+/// suite (the ISSUE target: >= 3x).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cmath>
+#include <vector>
+
+using namespace satb;
+using namespace satb::bench;
+
+namespace {
+
+struct EngineTiming {
+  double WallUs = 1e300; ///< min over reps
+  int64_t ResultInt = 0;
+  uint64_t Steps = 0;
+  uint64_t BarrierCost = 0;
+};
+
+template <typename MakeEngine>
+void runOnce(const Workload &W, int64_t Scale, MakeEngine Make,
+             EngineTiming &T) {
+  Heap H(*W.P);
+  auto I = Make(H);
+  SatbMarker M(H);
+  I.attachSatb(&M);
+  Stopwatch Timer;
+  RunStatus S = I.run(W.Entry, {Scale});
+  double Us = Timer.elapsedUs();
+  if (S != RunStatus::Finished) {
+    std::fprintf(stderr, "interp_dispatch: %s trapped: %s\n", W.Name.c_str(),
+                 trapName(I.trap()));
+    std::abort();
+  }
+  T.WallUs = Us < T.WallUs ? Us : T.WallUs;
+  T.ResultInt = I.result().Int;
+  T.Steps = I.stepsExecuted();
+  T.BarrierCost = I.barrierCostInstrs();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int64_t Scale = benchScale(2000);
+  const int Reps = 5;
+  JsonBench Json(Argc, Argv, "interp_dispatch", Scale);
+
+  if (!Json.quiet()) {
+    std::printf("Mutator engine dispatch: reference vs fast (scale %lld, "
+                "min of %d interleaved reps)\n",
+                static_cast<long long>(Scale), Reps);
+    printRule();
+    std::printf("%-10s %12s %12s %9s %13s\n", "workload", "ref us", "fast us",
+                "speedup", "translate us");
+    printRule();
+  }
+
+  CompilerOptions Opts;
+  double LogSum = 0.0;
+  int N = 0;
+  for (const Workload &W : allWorkloads()) {
+    CompiledProgram CP = compileProgram(*W.P, Opts);
+    Stopwatch TranslateTimer;
+    FastProgram FP = translateProgram(*W.P, CP);
+    double TranslateUs = TranslateTimer.elapsedUs();
+
+    EngineTiming Ref, Fast;
+    for (int R = 0; R != Reps; ++R) {
+      runOnce(
+          W, Scale,
+          [&](Heap &H) { return Interpreter(*W.P, CP, H); }, Ref);
+      runOnce(
+          W, Scale, [&](Heap &H) { return FastInterp(FP, CP, H); }, Fast);
+    }
+    if (Ref.ResultInt != Fast.ResultInt || Ref.Steps != Fast.Steps ||
+        Ref.BarrierCost != Fast.BarrierCost) {
+      std::fprintf(stderr,
+                   "interp_dispatch: %s engines disagree "
+                   "(result %lld/%lld steps %llu/%llu cost %llu/%llu)\n",
+                   W.Name.c_str(), static_cast<long long>(Ref.ResultInt),
+                   static_cast<long long>(Fast.ResultInt),
+                   static_cast<unsigned long long>(Ref.Steps),
+                   static_cast<unsigned long long>(Fast.Steps),
+                   static_cast<unsigned long long>(Ref.BarrierCost),
+                   static_cast<unsigned long long>(Fast.BarrierCost));
+      std::abort();
+    }
+
+    double Speedup = Ref.WallUs / Fast.WallUs;
+    LogSum += std::log(Speedup);
+    ++N;
+    if (!Json.quiet())
+      std::printf("%-10s %12.1f %12.1f %8.2fx %13.1f\n", W.Name.c_str(),
+                  Ref.WallUs, Fast.WallUs, Speedup, TranslateUs);
+    Json.beginRow();
+    Json.field("workload", W.Name);
+    Json.field("wall_us_ref", Ref.WallUs);
+    Json.field("wall_us_fast", Fast.WallUs);
+    Json.field("speedup", Speedup);
+    Json.field("translate_us", TranslateUs);
+    Json.field("steps", Ref.Steps);
+    Json.endRow();
+  }
+
+  double Geomean = std::exp(LogSum / N);
+  if (!Json.quiet()) {
+    printRule();
+    std::printf("geomean speedup: %.2fx\n", Geomean);
+  }
+  Json.beginRow();
+  Json.field("workload", std::string("geomean"));
+  Json.field("speedup", Geomean);
+  Json.endRow();
+  return 0;
+}

@@ -17,12 +17,9 @@ void IncrementalUpdateMarker::beginMarking(
 }
 
 void IncrementalUpdateMarker::pushIfUnmarked(ObjRef R, size_t &Work) {
-  if (R == NullRef)
+  if (R == NullRef || !H.isLive(R) || H.isMarked(R))
     return;
-  HeapObject *Obj = H.objectOrNull(R);
-  if (!Obj || Obj->Marked)
-    return;
-  Obj->Marked = true;
+  H.setMarked(R);
   ++Stats.MarkedObjects;
   ++Work;
   MarkStack.push_back(R);
@@ -30,7 +27,7 @@ void IncrementalUpdateMarker::pushIfUnmarked(ObjRef R, size_t &Work) {
 
 void IncrementalUpdateMarker::scanObject(ObjRef R, size_t &Work) {
   HeapObject &Obj = H.object(R);
-  for (ObjRef Child : Obj.RefSlots)
+  for (ObjRef Child : Obj.refSlots())
     pushIfUnmarked(Child, Work);
   ++Work;
 }
@@ -47,8 +44,8 @@ void IncrementalUpdateMarker::rescanCard(uint32_t Card, size_t &Work) {
     // updated to point at unmarked objects. (Unmarked objects need no
     // examination: if they become reachable, the write that made them so
     // dirtied a card holding a marked object.)
-    if (Obj->Marked) {
-      for (ObjRef Child : Obj->RefSlots)
+    if (H.isMarked(R)) {
+      for (ObjRef Child : Obj->refSlots())
         pushIfUnmarked(Child, Work);
     }
     ++Work;
@@ -117,15 +114,7 @@ size_t IncrementalUpdateMarker::finishMarking(
 
 size_t IncrementalUpdateMarker::sweep() {
   assert(!Active && "sweep during marking");
-  size_t Freed = 0;
-  for (ObjRef R = 1, E = H.maxRef(); R <= E; ++R) {
-    HeapObject *Obj = H.objectOrNull(R);
-    if (Obj && !Obj->Marked) {
-      H.free(R);
-      ++Freed;
-    }
-  }
+  size_t Freed = H.sweepUnmarked();
   Stats.SweptObjects += Freed;
-  H.clearMarks();
   return Freed;
 }

@@ -19,12 +19,9 @@ void SatbMarker::beginMarking(const std::vector<ObjRef> &MutatorRoots) {
 }
 
 void SatbMarker::pushIfUnmarked(ObjRef R, size_t &Work) {
-  if (R == NullRef)
+  if (R == NullRef || !H.isLive(R) || H.isMarked(R))
     return;
-  HeapObject *Obj = H.objectOrNull(R);
-  if (!Obj || Obj->Marked)
-    return;
-  Obj->Marked = true;
+  H.setMarked(R);
   ++Stats.MarkedObjects;
   ++Work;
   MarkStack.push_back(R);
@@ -33,7 +30,7 @@ void SatbMarker::pushIfUnmarked(ObjRef R, size_t &Work) {
 void SatbMarker::scanObject(ObjRef R, size_t &Work) {
   HeapObject &Obj = H.object(R);
   Obj.Tracing = TraceState::Tracing;
-  for (ObjRef Child : Obj.RefSlots)
+  for (ObjRef Child : Obj.refSlots())
     pushIfUnmarked(Child, Work);
   Obj.Tracing = TraceState::Traced;
   ++Work;
@@ -138,7 +135,7 @@ size_t SatbMarker::finishMarking() {
     HeapObject *Obj = H.objectOrNull(Arr);
     if (!Obj)
       continue;
-    for (ObjRef Child : Obj->RefSlots)
+    for (ObjRef Child : Obj->refSlots())
       pushIfUnmarked(Child, Pause);
     ++Pause;
   }
@@ -164,15 +161,9 @@ size_t SatbMarker::finishMarking() {
 
 size_t SatbMarker::sweep() {
   assert(!Active && "sweep during marking");
-  size_t Freed = 0;
-  for (ObjRef R = 1, E = H.maxRef(); R <= E; ++R) {
-    HeapObject *Obj = H.objectOrNull(R);
-    if (Obj && !Obj->Marked) {
-      H.free(R);
-      ++Freed;
-    }
-  }
+  // A word-wise scan of the heap's live & ~marked bitmaps; the heap
+  // clears marks and tracing states afterwards.
+  size_t Freed = H.sweepUnmarked();
   Stats.SweptObjects += Freed;
-  H.clearMarks();
   return Freed;
 }

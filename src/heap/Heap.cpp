@@ -2,83 +2,181 @@
 
 #include "heap/Heap.h"
 
+#include <algorithm>
+#include <new>
+
 using namespace satb;
 
-Heap::Heap(const Program &P) : P(P) {
-  // Precompute field layout: per class, ref fields and int fields each get
-  // consecutive slots in declaration order.
-  FieldSlots.resize(P.numFields());
+std::vector<FieldSlot> satb::computeFieldLayout(const Program &P) {
+  // Per class, ref fields and int fields each get consecutive slots in
+  // declaration order.
+  std::vector<FieldSlot> Slots(P.numFields());
   for (ClassId C = 0, E = P.numClasses(); C != E; ++C) {
     uint32_t NextRef = 0, NextInt = 0;
     for (FieldId F : P.classDecl(C).Fields) {
       const FieldDecl &FD = P.fieldDecl(F);
-      FieldSlots[F].Type = FD.Type;
-      FieldSlots[F].Slot = FD.Type == JType::Ref ? NextRef++ : NextInt++;
+      Slots[F].Type = FD.Type;
+      Slots[F].Slot = FD.Type == JType::Ref ? NextRef++ : NextInt++;
+    }
+  }
+  return Slots;
+}
+
+Heap::Heap(const Program &P) : P(P) {
+  FieldSlots = computeFieldLayout(P);
+  Layouts.resize(P.numClasses());
+  for (ClassId C = 0, E = P.numClasses(); C != E; ++C) {
+    for (FieldId F : P.classDecl(C).Fields) {
+      if (P.fieldDecl(F).Type == JType::Ref)
+        ++Layouts[C].NumRefs;
+      else
+        ++Layouts[C].NumInts;
     }
   }
   StaticRefs.assign(P.numStatics(), NullRef);
   StaticInts.assign(P.numStatics(), 0);
+  SmallFree.resize(SmallClassBytes / 8 + 1);
+  Table.push_back(nullptr); // ObjRef 0 is null
+  LiveWords.push_back(0);
+  MarkWords.push_back(0);
 }
 
-ObjRef Heap::install(std::unique_ptr<HeapObject> Obj) {
-  Obj->Marked = AllocateMarked;
+HeapObject *Heap::allocateBlock(uint32_t Bytes) {
+  assert(Bytes % 8 == 0 && "block sizes are 8-byte rounded");
+  char *Mem = nullptr;
+  if (Bytes <= SmallClassBytes) {
+    std::vector<char *> &Bucket = SmallFree[Bytes / 8];
+    if (!Bucket.empty()) {
+      Mem = Bucket.back();
+      Bucket.pop_back();
+    }
+  } else {
+    for (size_t I = 0, E = LargeFree.size(); I != E; ++I) {
+      if (LargeFree[I].first == Bytes) {
+        Mem = LargeFree[I].second;
+        LargeFree[I] = LargeFree.back();
+        LargeFree.pop_back();
+        break;
+      }
+    }
+  }
+  if (!Mem) {
+    if (static_cast<size_t>(SlabEnd - SlabCur) < Bytes) {
+      size_t Size = std::max<size_t>(SlabBytes, Bytes);
+      Slabs.push_back(std::make_unique<char[]>(Size));
+      SlabCur = Slabs.back().get();
+      SlabEnd = SlabCur + Size;
+    }
+    Mem = SlabCur;
+    SlabCur += Bytes;
+  }
+  HeapObject *Obj = new (Mem) HeapObject;
+  return Obj;
+}
+
+ObjRef Heap::install(HeapObject *Obj) {
+  // Zero the payload: the allocator zeroes fields / "a newly allocated
+  // array of an object type has all elements set to null".
+  std::memset(static_cast<void *>(Obj + 1), 0,
+              Obj->blockBytes() - sizeof(HeapObject));
   ++NumAllocated;
   ++NumLive;
-  BytesAllocated += 16 + Obj->RefSlots.size() * 8 + Obj->IntSlots.size() * 8;
-  if (!FreeList.empty()) {
-    ObjRef R = FreeList.back();
-    FreeList.pop_back();
-    Objects[R - 1] = std::move(Obj);
-    return R;
+  BytesAllocated += Obj->blockBytes();
+  ObjRef R;
+  if (!FreeRefs.empty()) {
+    R = FreeRefs.back();
+    FreeRefs.pop_back();
+    Table[R] = Obj;
+  } else {
+    R = static_cast<ObjRef>(Table.size());
+    Table.push_back(Obj);
+    if ((R >> 6) >= LiveWords.size()) {
+      LiveWords.push_back(0);
+      MarkWords.push_back(0);
+    }
   }
-  Objects.push_back(std::move(Obj));
-  return static_cast<ObjRef>(Objects.size());
+  LiveWords[R >> 6] |= uint64_t(1) << (R & 63);
+  if (AllocateMarked)
+    MarkWords[R >> 6] |= uint64_t(1) << (R & 63);
+  return R;
 }
 
 ObjRef Heap::allocateObject(ClassId C) {
-  auto Obj = std::make_unique<HeapObject>();
-  Obj->Kind = ObjectKind::Object;
-  Obj->Class = C;
-  uint32_t NumRef = 0, NumInt = 0;
-  for (FieldId F : P.classDecl(C).Fields) {
-    if (P.fieldDecl(F).Type == JType::Ref)
-      ++NumRef;
-    else
-      ++NumInt;
-  }
-  Obj->RefSlots.assign(NumRef, NullRef); // the allocator zeroes fields
-  Obj->IntSlots.assign(NumInt, 0);
-  return install(std::move(Obj));
+  const ClassLayout &L = Layouts[C];
+  HeapObject Header;
+  Header.Kind = ObjectKind::Object;
+  Header.Class = C;
+  Header.NumRefs = L.NumRefs;
+  Header.NumInts = L.NumInts;
+  HeapObject *Obj = allocateBlock(Header.blockBytes());
+  *Obj = Header;
+  return install(Obj);
 }
 
 ObjRef Heap::allocateRefArray(uint32_t Length) {
-  auto Obj = std::make_unique<HeapObject>();
-  Obj->Kind = ObjectKind::RefArray;
-  Obj->RefSlots.assign(Length, NullRef); // all elements set to null
-  return install(std::move(Obj));
+  HeapObject Header;
+  Header.Kind = ObjectKind::RefArray;
+  Header.NumRefs = Length;
+  HeapObject *Obj = allocateBlock(Header.blockBytes());
+  *Obj = Header;
+  return install(Obj);
 }
 
 ObjRef Heap::allocateIntArray(uint32_t Length) {
-  auto Obj = std::make_unique<HeapObject>();
-  Obj->Kind = ObjectKind::IntArray;
-  Obj->IntSlots.assign(Length, 0);
-  return install(std::move(Obj));
+  HeapObject Header;
+  Header.Kind = ObjectKind::IntArray;
+  Header.NumInts = Length;
+  HeapObject *Obj = allocateBlock(Header.blockBytes());
+  *Obj = Header;
+  return install(Obj);
 }
 
 void Heap::free(ObjRef R) {
-  assert(R != NullRef && R <= Objects.size() && Objects[R - 1] &&
+  assert(R != NullRef && R < Table.size() && Table[R] &&
          "freeing a bad reference");
-  Objects[R - 1].reset();
-  FreeList.push_back(R);
+  HeapObject *Obj = Table[R];
+  uint32_t Bytes = Obj->blockBytes();
+  char *Mem = reinterpret_cast<char *>(Obj);
+  if (Bytes <= SmallClassBytes)
+    SmallFree[Bytes / 8].push_back(Mem);
+  else
+    LargeFree.emplace_back(Bytes, Mem);
+  Table[R] = nullptr;
+  LiveWords[R >> 6] &= ~(uint64_t(1) << (R & 63));
+  MarkWords[R >> 6] &= ~(uint64_t(1) << (R & 63));
+  FreeRefs.push_back(R);
   --NumLive;
 }
 
 void Heap::clearMarks() {
-  for (auto &Obj : Objects)
-    if (Obj) {
-      Obj->Marked = false;
-      Obj->Tracing = TraceState::Untraced;
+  for (uint64_t &W : MarkWords)
+    W = 0;
+  for (size_t WI = 0, WE = LiveWords.size(); WI != WE; ++WI) {
+    uint64_t W = LiveWords[WI];
+    while (W) {
+      unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+      Table[WI * 64 + Bit]->Tracing = TraceState::Untraced;
+      W &= W - 1;
     }
+  }
+}
+
+size_t Heap::sweepUnmarked() {
+  size_t Freed = 0;
+  for (size_t WI = 0, WE = LiveWords.size(); WI != WE; ++WI) {
+    uint64_t W = LiveWords[WI] & ~MarkWords[WI];
+    while (W) {
+      unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+      ObjRef R = static_cast<ObjRef>(WI * 64 + Bit);
+      if (R != NullRef) {
+        free(R);
+        ++Freed;
+      }
+      W &= W - 1;
+    }
+  }
+  clearMarks();
+  return Freed;
 }
 
 std::vector<bool> satb::computeReachable(const Heap &H,
@@ -99,7 +197,7 @@ std::vector<bool> satb::computeReachable(const Heap &H,
     ObjRef R = Work.back();
     Work.pop_back();
     const HeapObject &Obj = H.object(R);
-    for (ObjRef Child : Obj.RefSlots)
+    for (ObjRef Child : Obj.refSlots())
       Visit(Child);
   }
   return Reached;

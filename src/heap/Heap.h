@@ -8,9 +8,16 @@
 /// allocated array of an object type has all elements set to null"
 /// (Section 3).
 ///
-/// Objects carry a mark bit (concurrent marking) and a tracing state
-/// (untraced/tracing/traced, the array header protocol sketched in Section
-/// 4.3). ObjRef 0 is null.
+/// Storage layout: objects live in bump-allocated slabs with their slots
+/// stored *inline* after a 16-byte header (int slots first, then ref
+/// slots), so a field access is one pointer dereference instead of the
+/// header + two-std::vector chase the original layout required. Freed
+/// blocks are recycled through exact-size free lists. Mark bits and
+/// liveness live in side bitmaps indexed by ObjRef, which makes a sweep a
+/// word-wise scan of live & ~marked instead of maxRef() objectOrNull
+/// probes. Objects keep a tracing state (untraced/tracing/traced, the
+/// array header protocol sketched in Section 4.3) inline. ObjRef 0 is
+/// null.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +26,7 @@
 
 #include "bytecode/Program.h"
 
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -32,27 +40,64 @@ enum class ObjectKind : uint8_t { Object, RefArray, IntArray };
 /// Array tracing states for the Section 4.3 optimistic protocol.
 enum class TraceState : uint8_t { Untraced, Tracing, Traced };
 
-struct HeapObject {
-  ObjectKind Kind = ObjectKind::Object;
+/// A heap object header. The payload is stored inline immediately after
+/// the header: NumInts int64 slots first (8-aligned), then NumRefs ObjRef
+/// slots. Never constructed directly — the Heap placement-allocates
+/// headers inside its slabs.
+struct alignas(8) HeapObject {
   ClassId Class = InvalidId; ///< for Kind == Object
-  bool Marked = false;
+  uint32_t NumRefs = 0;
+  uint32_t NumInts = 0;
+  ObjectKind Kind = ObjectKind::Object;
   TraceState Tracing = TraceState::Untraced;
-  std::vector<ObjRef> RefSlots;  ///< ref fields / ref elements
-  std::vector<int64_t> IntSlots; ///< int fields / int elements
+
+  int64_t *ints() { return reinterpret_cast<int64_t *>(this + 1); }
+  const int64_t *ints() const {
+    return reinterpret_cast<const int64_t *>(this + 1);
+  }
+  ObjRef *refs() { return reinterpret_cast<ObjRef *>(ints() + NumInts); }
+  const ObjRef *refs() const {
+    return reinterpret_cast<const ObjRef *>(ints() + NumInts);
+  }
+
+  /// Lightweight views for range-for iteration over the inline slots.
+  struct RefSpan {
+    const ObjRef *B;
+    const ObjRef *E;
+    const ObjRef *begin() const { return B; }
+    const ObjRef *end() const { return E; }
+    size_t size() const { return static_cast<size_t>(E - B); }
+    ObjRef operator[](size_t I) const { return B[I]; }
+  };
+  RefSpan refSlots() const { return RefSpan{refs(), refs() + NumRefs}; }
 
   uint32_t arrayLength() const {
     assert(Kind != ObjectKind::Object && "arrayLength of non-array");
-    return static_cast<uint32_t>(Kind == ObjectKind::RefArray
-                                     ? RefSlots.size()
-                                     : IntSlots.size());
+    return Kind == ObjectKind::RefArray ? NumRefs : NumInts;
+  }
+
+  /// Block footprint in bytes (header + inline payload, 8-byte rounded).
+  uint32_t blockBytes() const {
+    uint32_t Raw = static_cast<uint32_t>(sizeof(HeapObject)) + NumInts * 8 +
+                   NumRefs * 4;
+    return (Raw + 7u) & ~7u;
   }
 };
+
+static_assert(sizeof(HeapObject) == 16, "header must stay 16 bytes");
+static_assert(alignof(HeapObject) == 8, "payload int slots need 8-align");
 
 /// Where a FieldId lives inside an object of its owning class.
 struct FieldSlot {
   JType Type = JType::Ref;
-  uint32_t Slot = 0; ///< index into RefSlots or IntSlots
+  uint32_t Slot = 0; ///< index into the ref or int payload
 };
+
+/// Per-FieldId layout for \p P: ref fields and int fields of each class
+/// get consecutive slots in declaration order. Shared by the Heap and the
+/// fast-interpreter translation (which bakes slots into opcodes) so the
+/// two can never disagree.
+std::vector<FieldSlot> computeFieldLayout(const Program &P);
 
 class Heap {
 public:
@@ -72,21 +117,31 @@ public:
   // --- Access -------------------------------------------------------------
 
   HeapObject &object(ObjRef R) {
-    assert(R != NullRef && R <= Objects.size() && Objects[R - 1] &&
+    assert(R != NullRef && R < Table.size() && Table[R] &&
            "bad object reference");
-    return *Objects[R - 1];
+    return *Table[R];
   }
   const HeapObject &object(ObjRef R) const {
-    assert(R != NullRef && R <= Objects.size() && Objects[R - 1] &&
+    assert(R != NullRef && R < Table.size() && Table[R] &&
            "bad object reference");
-    return *Objects[R - 1];
+    return *Table[R];
   }
+  /// Unchecked dereference for the fast-interpreter hot path. The caller
+  /// must hold a live reference (engine code null-checks first; refs read
+  /// from live slots cannot dangle because the sweep frees only
+  /// unreachable objects).
+  HeapObject &deref(ObjRef R) { return *Table[R]; }
+  /// Raw object table for the fast interpreter's dispatch loop, which
+  /// caches it in a local across heap accesses. Invalidated only by
+  /// allocation (the table may grow); free() just nulls an entry.
+  HeapObject *const *tableData() const { return Table.data(); }
+
   /// \returns the object or null if freed/never allocated (for GC sweeps
   /// and oracles).
   HeapObject *objectOrNull(ObjRef R) {
-    if (R == NullRef || R > Objects.size())
+    if (R == NullRef || R >= Table.size())
       return nullptr;
-    return Objects[R - 1].get();
+    return Table[R];
   }
 
   const FieldSlot &fieldSlot(FieldId F) const {
@@ -101,24 +156,69 @@ public:
   int64_t getStaticInt(StaticFieldId F) const { return StaticInts[F]; }
   void setStaticInt(StaticFieldId F, int64_t V) { StaticInts[F] = V; }
   const std::vector<ObjRef> &staticRefs() const { return StaticRefs; }
+  /// Stable direct pointers for the fast interpreter (the vectors are
+  /// sized once at construction and never resized).
+  ObjRef *staticRefsData() { return StaticRefs.data(); }
+  int64_t *staticIntsData() { return StaticInts.data(); }
+
+  // --- Mark / liveness bitmaps ---------------------------------------------
+
+  bool isLive(ObjRef R) const {
+    return R < Table.size() && (LiveWords[R >> 6] >> (R & 63)) & 1;
+  }
+  bool isMarked(ObjRef R) const {
+    return R < Table.size() && (MarkWords[R >> 6] >> (R & 63)) & 1;
+  }
+  void setMarked(ObjRef R) {
+    assert(isLive(R) && "marking a non-live reference");
+    MarkWords[R >> 6] |= uint64_t(1) << (R & 63);
+  }
 
   // --- GC support -----------------------------------------------------------
 
-  /// Highest ObjRef ever handed out (iteration bound for sweeps).
-  ObjRef maxRef() const { return static_cast<ObjRef>(Objects.size()); }
+  /// Highest ObjRef ever handed out (iteration bound for oracles).
+  ObjRef maxRef() const { return static_cast<ObjRef>(Table.size() - 1); }
   void free(ObjRef R);
+  /// Zeroes the mark bitmap and resets every live object's tracing state.
   void clearMarks();
+  /// Frees every live-but-unmarked object (a word-wise bitmap scan), then
+  /// clears marks. \returns the number of objects freed. Call only with
+  /// marking complete.
+  size_t sweepUnmarked();
 
   uint64_t numAllocated() const { return NumAllocated; }
   uint64_t numLive() const { return NumLive; }
   uint64_t bytesAllocatedApprox() const { return BytesAllocated; }
 
 private:
-  ObjRef install(std::unique_ptr<HeapObject> Obj);
+  HeapObject *allocateBlock(uint32_t Bytes);
+  ObjRef install(HeapObject *Obj);
 
   const Program &P;
-  std::vector<std::unique_ptr<HeapObject>> Objects;
-  std::vector<ObjRef> FreeList;
+  /// Indexed directly by ObjRef; Table[0] is always null.
+  std::vector<HeapObject *> Table;
+  std::vector<uint64_t> LiveWords; ///< bit R: ObjRef R is live
+  std::vector<uint64_t> MarkWords; ///< bit R: ObjRef R is marked
+  std::vector<ObjRef> FreeRefs;    ///< recycled ObjRefs (LIFO)
+
+  // Slab storage: blocks are carved from 64 KiB slabs by bump pointer;
+  // freed blocks recycle through exact-size free lists (small sizes get a
+  // direct-indexed bucket, rare large blocks a linear list).
+  static constexpr size_t SlabBytes = 64 * 1024;
+  static constexpr uint32_t SmallClassBytes = 1024;
+  std::vector<std::unique_ptr<char[]>> Slabs;
+  char *SlabCur = nullptr;
+  char *SlabEnd = nullptr;
+  std::vector<std::vector<char *>> SmallFree; ///< index: bytes / 8
+  std::vector<std::pair<uint32_t, char *>> LargeFree;
+
+  /// Per-class ref/int slot counts, precomputed so allocation does not
+  /// walk field declarations.
+  struct ClassLayout {
+    uint32_t NumRefs = 0;
+    uint32_t NumInts = 0;
+  };
+  std::vector<ClassLayout> Layouts;
   std::vector<FieldSlot> FieldSlots; ///< indexed by FieldId
   std::vector<ObjRef> StaticRefs;    ///< indexed by StaticFieldId (refs)
   std::vector<int64_t> StaticInts;

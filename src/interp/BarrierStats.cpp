@@ -7,16 +7,15 @@
 using namespace satb;
 
 void BarrierStats::init(const CompiledProgram &CP) {
-  PerMethod.clear();
-  PerMethod.resize(CP.Methods.size());
+  Offsets = CP.instrOffsets();
+  Flat.assign(Offsets.back(), SiteStats{});
   for (size_t M = 0; M != CP.Methods.size(); ++M) {
     const CompiledMethod &CM = CP.Methods[M];
-    PerMethod[M].resize(CM.Body.Instructions.size());
     for (size_t I = 0; I != CM.Analysis.Decisions.size(); ++I) {
       const BarrierDecision &D = CM.Analysis.Decisions[I];
       if (!D.IsBarrierSite)
         continue;
-      SiteStats &SS = PerMethod[M][I];
+      SiteStats &SS = Flat[Offsets[M] + I];
       SS.IsArray = D.IsArraySite;
       SS.ElideDecision = D.Elide && CP.Options.ApplyElision;
       SS.RearrangeDecision =
@@ -28,25 +27,23 @@ void BarrierStats::init(const CompiledProgram &CP) {
 
 BarrierStats::Summary BarrierStats::summarize() const {
   Summary S;
-  for (const auto &Sites : PerMethod) {
-    for (const SiteStats &SS : Sites) {
-      if (SS.Execs == 0)
-        continue;
-      S.TotalExecs += SS.Execs;
-      S.ElidedExecs += SS.Elided;
-      S.RearrangedExecs += SS.Rearranged;
-      S.PreNullExecs += SS.PreNull;
-      S.Violations += SS.Violations;
-      if (SS.IsArray) {
-        S.ArrayExecs += SS.Execs;
-        S.ArrayElided += SS.Elided;
-      } else {
-        S.FieldExecs += SS.Execs;
-        S.FieldElided += SS.Elided;
-      }
-      if (SS.PreNull == SS.Execs)
-        S.PotentiallyPreNullExecs += SS.Execs;
+  for (const SiteStats &SS : Flat) {
+    if (SS.Execs == 0)
+      continue;
+    S.TotalExecs += SS.Execs;
+    S.ElidedExecs += SS.Elided;
+    S.RearrangedExecs += SS.Rearranged;
+    S.PreNullExecs += SS.PreNull;
+    S.Violations += SS.Violations;
+    if (SS.IsArray) {
+      S.ArrayExecs += SS.Execs;
+      S.ArrayElided += SS.Elided;
+    } else {
+      S.FieldExecs += SS.Execs;
+      S.FieldElided += SS.Elided;
     }
+    if (SS.PreNull == SS.Execs)
+      S.PotentiallyPreNullExecs += SS.Execs;
   }
   return S;
 }
@@ -54,9 +51,9 @@ BarrierStats::Summary BarrierStats::summarize() const {
 std::vector<BarrierStats::SiteRow> BarrierStats::topSites(size_t N,
                                                           bool OnlyKept) const {
   std::vector<SiteRow> Rows;
-  for (MethodId M = 0; M != PerMethod.size(); ++M)
-    for (uint32_t I = 0; I != PerMethod[M].size(); ++I) {
-      const SiteStats &SS = PerMethod[M][I];
+  for (MethodId M = 0; M + 1 < Offsets.size(); ++M)
+    for (uint32_t I = 0, E = Offsets[M + 1] - Offsets[M]; I != E; ++I) {
+      const SiteStats &SS = Flat[Offsets[M] + I];
       if (SS.Execs == 0)
         continue;
       if (OnlyKept && SS.ElideDecision)

@@ -38,17 +38,44 @@ struct SiteStats {
   bool ElideDecision = false;
   bool RearrangeDecision = false;
   ElisionReason Reason = ElisionReason::None;
+
+  friend bool operator==(const SiteStats &A, const SiteStats &B) {
+    return A.Execs == B.Execs && A.PreNull == B.PreNull &&
+           A.Elided == B.Elided && A.Rearranged == B.Rearranged &&
+           A.Violations == B.Violations && A.IsArray == B.IsArray &&
+           A.ElideDecision == B.ElideDecision &&
+           A.RearrangeDecision == B.RearrangeDecision &&
+           A.Reason == B.Reason;
+  }
+  friend bool operator!=(const SiteStats &A, const SiteStats &B) {
+    return !(A == B);
+  }
 };
 
+/// Per-site counters stored flat: one contiguous SiteStats array over the
+/// whole program, indexed by CompiledProgram::instrOffsets()[M] + PC. The
+/// flat layout lets the fast interpreter resolve a site to a direct
+/// pointer at translation time, and makes site() a single add + index for
+/// the reference engine.
 class BarrierStats {
 public:
   /// Prepares per-site slots from the compiled program's decisions.
   void init(const CompiledProgram &CP);
 
   SiteStats &site(MethodId M, uint32_t Instr) {
-    assert(M < PerMethod.size() && Instr < PerMethod[M].size() &&
+    assert(M + 1 < Offsets.size() &&
+           Offsets[M] + Instr < Offsets[M + 1] && "unknown site");
+    return Flat[Offsets[M] + Instr];
+  }
+
+  /// Direct pointer to the flat site array (stable after init); the fast
+  /// interpreter's translated code indexes into it.
+  SiteStats *flatData() { return Flat.data(); }
+  const std::vector<SiteStats> &flat() const { return Flat; }
+  uint32_t flatIndex(MethodId M, uint32_t Instr) const {
+    assert(M + 1 < Offsets.size() && Offsets[M] + Instr < Offsets[M + 1] &&
            "unknown site");
-    return PerMethod[M][Instr];
+    return Offsets[M] + Instr;
   }
 
   struct Summary {
@@ -91,7 +118,8 @@ public:
   std::vector<SiteRow> topSites(size_t N, bool OnlyKept) const;
 
 private:
-  std::vector<std::vector<SiteStats>> PerMethod;
+  std::vector<SiteStats> Flat;    ///< one slot per instruction, all methods
+  std::vector<uint32_t> Offsets;  ///< per-method start into Flat (size M+1)
 };
 
 } // namespace satb

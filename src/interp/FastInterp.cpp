@@ -1,0 +1,778 @@
+//===- interp/FastInterp.cpp - Threaded-dispatch mutator engine -----------===//
+//
+// Dispatch is direct-threaded: DISPATCH() pays the fuel check and jumps
+// through a label table indexed by the pre-decoded opcode; handlers jump
+// straight to the next handler with no central loop. The portable
+// fallback (SATB_FASTINTERP_SWITCH, or any non-GNU compiler) routes
+// DISPATCH() to a single switch; handler bodies are shared between the
+// two builds via the CASE/DISPATCH/NEXT macros, so the engines cannot
+// diverge.
+//
+// Fidelity notes, load-bearing for the equivalence test:
+//  - the fuel decrement precedes execution, matching the reference
+//    engine's ++Steps-before-stepOne accounting;
+//  - handlers pop operands in the reference engine's order *before*
+//    trap checks, so operand stacks match slot-for-slot after a trap;
+//  - the StackOverflow check precedes argument popping, as in the
+//    reference Invoke.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/FastInterp.h"
+
+using namespace satb;
+
+namespace {
+/// JVM int semantics: wrap to 32 bits.
+int64_t wrap32(int64_t V) { return static_cast<int32_t>(V); }
+} // namespace
+
+FastInterp::FastInterp(const FastProgram &FP, const CompiledProgram &CP,
+                       Heap &H)
+    : FP(FP), H(H) {
+  Stats.init(CP);
+  Sites = Stats.flatData();
+  StaticR = H.staticRefsData();
+  StaticI = H.staticIntsData();
+}
+
+void FastInterp::start(MethodId Entry, const std::vector<int64_t> &IntArgs) {
+  size_t Need = static_cast<size_t>(MaxCallDepth) * FP.MaxFrameSlots;
+  if (Arena.size() < Need)
+    Arena.resize(Need);
+  Frames.clear();
+  Frames.reserve(MaxCallDepth); // push_back never moves live frames
+  Status = RunStatus::Running;
+  Trap = TrapKind::None;
+  Result = Slot();
+
+  const FastMethod &FM = FP.Methods[Entry];
+  Frame F;
+  F.FM = &FM;
+  F.IP = FM.Code.data();
+  F.Base = Arena.data();
+  for (uint32_t L = 0; L != FM.NumLocals; ++L)
+    F.Base[L] = Slot();
+  for (uint32_t A = 0; A != FM.NumArgs; ++A)
+    F.Base[A] = Slot::ofInt(A < IntArgs.size() ? wrap32(IntArgs[A]) : 0);
+  F.SP = F.Base + FM.NumLocals;
+  Frames.push_back(F);
+}
+
+RunStatus FastInterp::run(MethodId Entry, const std::vector<int64_t> &IntArgs,
+                          uint64_t StepLimit) {
+  start(Entry, IntArgs);
+  uint64_t Before = Steps;
+  step(StepLimit);
+  if (Status == RunStatus::Running && Steps - Before >= StepLimit)
+    setTrap(TrapKind::StepLimit);
+  return Status;
+}
+
+void FastInterp::collectRoots(std::vector<ObjRef> &Out) const {
+  Out.clear();
+  for (const Frame &F : Frames) {
+    const Slot *StackBegin = F.Base + F.FM->NumLocals;
+    for (const Slot *S = F.Base; S != StackBegin; ++S)
+      if (S->Ref != NullRef)
+        Out.push_back(S->Ref);
+    for (const Slot *S = StackBegin; S != F.SP; ++S)
+      if (S->Ref != NullRef)
+        Out.push_back(S->Ref);
+  }
+}
+
+#if defined(SATB_FASTINTERP_SWITCH) || !defined(__GNUC__)
+#define SATB_SWITCH_DISPATCH 1
+#endif
+
+#ifdef SATB_SWITCH_DISPATCH
+#define DISPATCH() goto DispatchTop
+#define CASE(name) case FastOp::name:
+#else
+#define DISPATCH()                                                             \
+  do {                                                                         \
+    if (Fuel == 0)                                                             \
+      goto ExitLoop;                                                           \
+    --Fuel;                                                                    \
+    goto *Labels[IP->Op];                                                      \
+  } while (0)
+#define CASE(name) L_##name:
+#endif
+
+#define NEXT()                                                                 \
+  do {                                                                         \
+    ++IP;                                                                      \
+    DISPATCH();                                                                \
+  } while (0)
+
+#define TRAP(K)                                                                \
+  do {                                                                         \
+    setTrap(TrapKind::K);                                                      \
+    goto ExitLoop;                                                             \
+  } while (0)
+
+#define PUSH(V) (*SP++ = (V))
+#define POP() (*--SP)
+
+// Barrier tails shared by the field / static / array store variants.
+// `Pre` is the overwritten value, in scope at expansion.
+#define BARRIER_SATB()                                                         \
+  do {                                                                         \
+    BarrierCost += 2;                                                          \
+    if (Satb && Satb->isActive()) {                                            \
+      BarrierCost += 3;                                                        \
+      if (Pre != NullRef) {                                                    \
+        BarrierCost += 6;                                                      \
+        Satb->logPreValue(Pre);                                                \
+      }                                                                        \
+    }                                                                          \
+  } while (0)
+
+#define BARRIER_ALWAYSLOG()                                                    \
+  do {                                                                         \
+    BarrierCost += 3;                                                          \
+    if (Pre != NullRef) {                                                      \
+      BarrierCost += 6;                                                        \
+      if (Satb)                                                                \
+        Satb->logPreValue(Pre);                                                \
+    }                                                                          \
+  } while (0)
+
+#ifndef SATB_NO_JUSTIFICATION_CHECK
+#define BARRIER_ELIDED(NewRef)                                                 \
+  do {                                                                         \
+    ++SS.Elided;                                                               \
+    bool Justified = SS.Reason == ElisionReason::NullOrSame                    \
+                         ? (Pre == NullRef || Pre == (NewRef))                 \
+                         : (Pre == NullRef);                                   \
+    if (!Justified)                                                            \
+      ++SS.Violations;                                                         \
+  } while (0)
+#else
+#define BARRIER_ELIDED(NewRef) ++SS.Elided
+#endif
+
+// Pop / trap-check / stat prologues for the specialized store families.
+#define PUTFIELD_REF_PROLOGUE()                                                \
+  Slot Val = POP();                                                            \
+  ObjRef Obj = POP().Ref;                                                      \
+  if (Obj == NullRef)                                                          \
+    TRAP(NullPointer);                                                         \
+  HeapObject &O = *Tbl[Obj];                                                \
+  if (O.Kind != ObjectKind::Object ||                                          \
+      O.Class != static_cast<ClassId>(IP->B))                                  \
+    TRAP(BadFieldAccess);                                                      \
+  ObjRef *SlotP = O.refs() + IP->A;                                            \
+  ObjRef Pre = *SlotP;                                                         \
+  SiteStats &SS = Sites[IP->Site];                                             \
+  ++SS.Execs;                                                                  \
+  if (Pre == NullRef)                                                          \
+  ++SS.PreNull
+
+#define PUTSTATIC_REF_PROLOGUE()                                               \
+  Slot Val = POP();                                                            \
+  ObjRef *SlotP = StaticR + IP->A;                                             \
+  ObjRef Pre = *SlotP;                                                         \
+  SiteStats &SS = Sites[IP->Site];                                             \
+  ++SS.Execs;                                                                  \
+  if (Pre == NullRef)                                                          \
+  ++SS.PreNull
+
+#define AASTORE_PROLOGUE()                                                     \
+  Slot Val = POP();                                                            \
+  int64_t Idx = POP().Int;                                                     \
+  ObjRef Arr = POP().Ref;                                                      \
+  if (Arr == NullRef)                                                          \
+    TRAP(NullPointer);                                                         \
+  HeapObject &O = *Tbl[Arr];                                                \
+  if (O.Kind != ObjectKind::RefArray)                                          \
+    TRAP(BadFieldAccess);                                                      \
+  if (Idx < 0 || Idx >= O.arrayLength())                                       \
+    TRAP(OutOfBounds);                                                         \
+  ObjRef *SlotP = O.refs() + Idx;                                              \
+  ObjRef Pre = *SlotP;                                                         \
+  SiteStats &SS = Sites[IP->Site];                                             \
+  ++SS.Execs;                                                                  \
+  if (Pre == NullRef)                                                          \
+  ++SS.PreNull
+
+RunStatus FastInterp::step(uint64_t MaxSteps) {
+  if (Status != RunStatus::Running)
+    return Status;
+  uint64_t Fuel = MaxSteps;
+  const FastInst *IP = Frames.back().IP;
+  Slot *Base = Frames.back().Base;
+  Slot *SP = Frames.back().SP;
+  // Object-table base, cached across heap accesses; only allocation can
+  // grow the table, so only the New* handlers refresh it.
+  HeapObject *const *Tbl = H.tableData();
+
+#ifndef SATB_SWITCH_DISPATCH
+  static const void *const Labels[] = {
+#define X(name) &&L_##name,
+      SATB_FAST_OPS(X)
+#undef X
+  };
+  DISPATCH();
+#else
+DispatchTop:
+  if (Fuel == 0)
+    goto ExitLoop;
+  --Fuel;
+  switch (static_cast<FastOp>(IP->Op)) {
+#endif
+
+  CASE(IConst) {
+    PUSH(Slot::ofInt(IP->A));
+    NEXT();
+  }
+  CASE(AConstNull) {
+    PUSH(Slot::ofRef(NullRef));
+    NEXT();
+  }
+  CASE(Load) {
+    PUSH(Base[IP->A]);
+    NEXT();
+  }
+  CASE(Store) {
+    Base[IP->A] = POP();
+    NEXT();
+  }
+  CASE(IInc) {
+    Slot &L = Base[IP->A];
+    L = Slot::ofInt(wrap32(L.Int + IP->B));
+    NEXT();
+  }
+  CASE(Dup) {
+    Slot S = SP[-1];
+    PUSH(S);
+    NEXT();
+  }
+  CASE(Pop) {
+    --SP;
+    NEXT();
+  }
+  CASE(Swap) {
+    Slot A = POP(), B = POP();
+    PUSH(A);
+    PUSH(B);
+    NEXT();
+  }
+  CASE(IAdd) {
+    int64_t B = POP().Int, A = POP().Int;
+    PUSH(Slot::ofInt(wrap32(A + B)));
+    NEXT();
+  }
+  CASE(ISub) {
+    int64_t B = POP().Int, A = POP().Int;
+    PUSH(Slot::ofInt(wrap32(A - B)));
+    NEXT();
+  }
+  CASE(IMul) {
+    int64_t B = POP().Int, A = POP().Int;
+    PUSH(Slot::ofInt(wrap32(A * B)));
+    NEXT();
+  }
+  CASE(IDiv) {
+    int64_t B = POP().Int, A = POP().Int;
+    if (B == 0)
+      TRAP(DivisionByZero);
+    PUSH(Slot::ofInt(wrap32(A / B))); // int64 math: INT_MIN / -1 is defined
+    NEXT();
+  }
+  CASE(IRem) {
+    int64_t B = POP().Int, A = POP().Int;
+    if (B == 0)
+      TRAP(DivisionByZero);
+    PUSH(Slot::ofInt(wrap32(A % B)));
+    NEXT();
+  }
+  CASE(INeg) {
+    int64_t A = POP().Int;
+    PUSH(Slot::ofInt(wrap32(-A)));
+    NEXT();
+  }
+  CASE(GetFieldRef) {
+    ObjRef Obj = POP().Ref;
+    if (Obj == NullRef)
+      TRAP(NullPointer);
+    HeapObject &O = *Tbl[Obj];
+    if (O.Kind != ObjectKind::Object ||
+        O.Class != static_cast<ClassId>(IP->B))
+      TRAP(BadFieldAccess);
+    PUSH(Slot::ofRef(O.refs()[IP->A]));
+    NEXT();
+  }
+  CASE(GetFieldInt) {
+    ObjRef Obj = POP().Ref;
+    if (Obj == NullRef)
+      TRAP(NullPointer);
+    HeapObject &O = *Tbl[Obj];
+    if (O.Kind != ObjectKind::Object ||
+        O.Class != static_cast<ClassId>(IP->B))
+      TRAP(BadFieldAccess);
+    PUSH(Slot::ofInt(O.ints()[IP->A]));
+    NEXT();
+  }
+  CASE(PutFieldInt) {
+    Slot Val = POP();
+    ObjRef Obj = POP().Ref;
+    if (Obj == NullRef)
+      TRAP(NullPointer);
+    HeapObject &O = *Tbl[Obj];
+    if (O.Kind != ObjectKind::Object ||
+        O.Class != static_cast<ClassId>(IP->B))
+      TRAP(BadFieldAccess);
+    O.ints()[IP->A] = Val.Int;
+    NEXT();
+  }
+  CASE(PutFieldRef_Elided) {
+    PUTFIELD_REF_PROLOGUE();
+    BARRIER_ELIDED(Val.Ref);
+    *SlotP = Val.Ref;
+    NEXT();
+  }
+  CASE(PutFieldRef_NoBarrier) {
+    PUTFIELD_REF_PROLOGUE();
+    *SlotP = Val.Ref;
+    NEXT();
+  }
+  CASE(PutFieldRef_Satb) {
+    PUTFIELD_REF_PROLOGUE();
+    BARRIER_SATB();
+    *SlotP = Val.Ref;
+    NEXT();
+  }
+  CASE(PutFieldRef_AlwaysLog) {
+    PUTFIELD_REF_PROLOGUE();
+    BARRIER_ALWAYSLOG();
+    *SlotP = Val.Ref;
+    NEXT();
+  }
+  CASE(PutFieldRef_Card) {
+    PUTFIELD_REF_PROLOGUE();
+    BarrierCost += 2;
+    if (Inc)
+      Inc->recordWrite(Obj);
+    *SlotP = Val.Ref;
+    NEXT();
+  }
+  CASE(GetStaticRef) {
+    PUSH(Slot::ofRef(StaticR[IP->A]));
+    NEXT();
+  }
+  CASE(GetStaticInt) {
+    PUSH(Slot::ofInt(StaticI[IP->A]));
+    NEXT();
+  }
+  CASE(PutStaticInt) {
+    StaticI[IP->A] = POP().Int;
+    NEXT();
+  }
+  CASE(PutStaticRef_Elided) {
+    PUTSTATIC_REF_PROLOGUE();
+    BARRIER_ELIDED(Val.Ref);
+    *SlotP = Val.Ref;
+    NEXT();
+  }
+  CASE(PutStaticRef_NoBarrier) {
+    PUTSTATIC_REF_PROLOGUE();
+    *SlotP = Val.Ref;
+    NEXT();
+  }
+  CASE(PutStaticRef_Satb) {
+    PUTSTATIC_REF_PROLOGUE();
+    BARRIER_SATB();
+    *SlotP = Val.Ref;
+    NEXT();
+  }
+  CASE(PutStaticRef_AlwaysLog) {
+    PUTSTATIC_REF_PROLOGUE();
+    BARRIER_ALWAYSLOG();
+    *SlotP = Val.Ref;
+    NEXT();
+  }
+  CASE(PutStaticRef_Card) {
+    PUTSTATIC_REF_PROLOGUE();
+    // The written "object" is the statics area: no card to dirty (the
+    // reference engine passes Base = NullRef).
+    BarrierCost += 2;
+    *SlotP = Val.Ref;
+    NEXT();
+  }
+  CASE(NewInstance) {
+    ObjRef R = H.allocateObject(static_cast<ClassId>(IP->A));
+    Tbl = H.tableData();
+    if (Inc && Inc->isActive())
+      Inc->recordWrite(R); // new objects must be examined (Section 1)
+    PUSH(Slot::ofRef(R));
+    NEXT();
+  }
+  CASE(NewRefArray) {
+    int64_t Len = POP().Int;
+    if (Len < 0)
+      TRAP(NegativeArraySize);
+    ObjRef R = H.allocateRefArray(static_cast<uint32_t>(Len));
+    Tbl = H.tableData();
+    if (Inc && Inc->isActive())
+      Inc->recordWrite(R);
+    PUSH(Slot::ofRef(R));
+    NEXT();
+  }
+  CASE(NewIntArray) {
+    int64_t Len = POP().Int;
+    if (Len < 0)
+      TRAP(NegativeArraySize);
+    ObjRef R = H.allocateIntArray(static_cast<uint32_t>(Len));
+    Tbl = H.tableData();
+    if (Inc && Inc->isActive())
+      Inc->recordWrite(R);
+    PUSH(Slot::ofRef(R));
+    NEXT();
+  }
+  CASE(AALoad) {
+    int64_t Idx = POP().Int;
+    ObjRef Arr = POP().Ref;
+    if (Arr == NullRef)
+      TRAP(NullPointer);
+    HeapObject &O = *Tbl[Arr];
+    if (O.Kind != ObjectKind::RefArray)
+      TRAP(BadFieldAccess);
+    if (Idx < 0 || Idx >= O.arrayLength())
+      TRAP(OutOfBounds);
+    PUSH(Slot::ofRef(O.refs()[Idx]));
+    NEXT();
+  }
+  CASE(IALoad) {
+    int64_t Idx = POP().Int;
+    ObjRef Arr = POP().Ref;
+    if (Arr == NullRef)
+      TRAP(NullPointer);
+    HeapObject &O = *Tbl[Arr];
+    if (O.Kind != ObjectKind::IntArray)
+      TRAP(BadFieldAccess);
+    if (Idx < 0 || Idx >= O.arrayLength())
+      TRAP(OutOfBounds);
+    PUSH(Slot::ofInt(O.ints()[Idx]));
+    NEXT();
+  }
+  CASE(IAStore) {
+    Slot Val = POP();
+    int64_t Idx = POP().Int;
+    ObjRef Arr = POP().Ref;
+    if (Arr == NullRef)
+      TRAP(NullPointer);
+    HeapObject &O = *Tbl[Arr];
+    if (O.Kind != ObjectKind::IntArray)
+      TRAP(BadFieldAccess);
+    if (Idx < 0 || Idx >= O.arrayLength())
+      TRAP(OutOfBounds);
+    O.ints()[Idx] = Val.Int;
+    NEXT();
+  }
+  CASE(ArrayLength) {
+    ObjRef Arr = POP().Ref;
+    if (Arr == NullRef)
+      TRAP(NullPointer);
+    HeapObject &O = *Tbl[Arr];
+    if (O.Kind == ObjectKind::Object)
+      TRAP(BadFieldAccess);
+    PUSH(Slot::ofInt(O.arrayLength()));
+    NEXT();
+  }
+  CASE(AAStore_Elided) {
+    AASTORE_PROLOGUE();
+    BARRIER_ELIDED(Val.Ref);
+    *SlotP = Val.Ref;
+    NEXT();
+  }
+  CASE(AAStore_NoBarrier) {
+    AASTORE_PROLOGUE();
+    *SlotP = Val.Ref;
+    NEXT();
+  }
+  CASE(AAStore_Satb) {
+    AASTORE_PROLOGUE();
+    BARRIER_SATB();
+    *SlotP = Val.Ref;
+    NEXT();
+  }
+  CASE(AAStore_AlwaysLog) {
+    AASTORE_PROLOGUE();
+    BARRIER_ALWAYSLOG();
+    *SlotP = Val.Ref;
+    NEXT();
+  }
+  CASE(AAStore_Card) {
+    AASTORE_PROLOGUE();
+    BarrierCost += 2;
+    if (Inc)
+      Inc->recordWrite(Arr);
+    *SlotP = Val.Ref;
+    NEXT();
+  }
+  CASE(AAStore_Rearr_Satb) {
+    AASTORE_PROLOGUE();
+    if (Satb && Satb->isActive() && Satb->inActiveRearrange(Arr)) {
+      ++SS.Rearranged;
+      BarrierCost += 1; // the in-bracket check; state reads are hoisted
+    } else {
+      BARRIER_SATB();
+    }
+    *SlotP = Val.Ref;
+    NEXT();
+  }
+  CASE(AAStore_Rearr_AlwaysLog) {
+    AASTORE_PROLOGUE();
+    if (Satb && Satb->isActive() && Satb->inActiveRearrange(Arr)) {
+      ++SS.Rearranged;
+      BarrierCost += 1;
+    } else {
+      BARRIER_ALWAYSLOG();
+    }
+    *SlotP = Val.Ref;
+    NEXT();
+  }
+  CASE(Invoke) {
+    if (Frames.size() >= MaxCallDepth)
+      TRAP(StackOverflow);
+    const FastMethod &Callee = FP.Methods[static_cast<MethodId>(IP->A)];
+    uint32_t NumArgs = IP->C;
+    SP -= NumArgs;
+    Frame &Cur = Frames.back();
+    Cur.IP = IP + 1;
+    Cur.SP = SP;
+    Slot *NewBase = Cur.Base + Cur.FM->FrameSlots;
+    for (uint32_t A = 0; A != NumArgs; ++A)
+      NewBase[A] = SP[A];
+    for (uint32_t L = NumArgs; L != Callee.NumLocals; ++L)
+      NewBase[L] = Slot();
+    Frames.push_back(Frame{&Callee, Callee.Code.data(), NewBase, nullptr});
+    Base = NewBase;
+    SP = NewBase + Callee.NumLocals;
+    IP = Callee.Code.data();
+    DISPATCH();
+  }
+  CASE(Goto) {
+    IP += IP->A; // branch operands are self-relative displacements
+    DISPATCH();
+  }
+  CASE(IfEq) {
+    if (POP().Int == 0) {
+      IP += IP->A;
+      DISPATCH();
+    }
+    NEXT();
+  }
+  CASE(IfNe) {
+    if (POP().Int != 0) {
+      IP += IP->A;
+      DISPATCH();
+    }
+    NEXT();
+  }
+  CASE(IfLt) {
+    if (POP().Int < 0) {
+      IP += IP->A;
+      DISPATCH();
+    }
+    NEXT();
+  }
+  CASE(IfGe) {
+    if (POP().Int >= 0) {
+      IP += IP->A;
+      DISPATCH();
+    }
+    NEXT();
+  }
+  CASE(IfGt) {
+    if (POP().Int > 0) {
+      IP += IP->A;
+      DISPATCH();
+    }
+    NEXT();
+  }
+  CASE(IfLe) {
+    if (POP().Int <= 0) {
+      IP += IP->A;
+      DISPATCH();
+    }
+    NEXT();
+  }
+  CASE(IfICmpEq) {
+    int64_t B = POP().Int, A = POP().Int;
+    if (A == B) {
+      IP += IP->A;
+      DISPATCH();
+    }
+    NEXT();
+  }
+  CASE(IfICmpNe) {
+    int64_t B = POP().Int, A = POP().Int;
+    if (A != B) {
+      IP += IP->A;
+      DISPATCH();
+    }
+    NEXT();
+  }
+  CASE(IfICmpLt) {
+    int64_t B = POP().Int, A = POP().Int;
+    if (A < B) {
+      IP += IP->A;
+      DISPATCH();
+    }
+    NEXT();
+  }
+  CASE(IfICmpGe) {
+    int64_t B = POP().Int, A = POP().Int;
+    if (A >= B) {
+      IP += IP->A;
+      DISPATCH();
+    }
+    NEXT();
+  }
+  CASE(IfICmpGt) {
+    int64_t B = POP().Int, A = POP().Int;
+    if (A > B) {
+      IP += IP->A;
+      DISPATCH();
+    }
+    NEXT();
+  }
+  CASE(IfICmpLe) {
+    int64_t B = POP().Int, A = POP().Int;
+    if (A <= B) {
+      IP += IP->A;
+      DISPATCH();
+    }
+    NEXT();
+  }
+  CASE(IfNull) {
+    if (POP().Ref == NullRef) {
+      IP += IP->A;
+      DISPATCH();
+    }
+    NEXT();
+  }
+  CASE(IfNonNull) {
+    if (POP().Ref != NullRef) {
+      IP += IP->A;
+      DISPATCH();
+    }
+    NEXT();
+  }
+  CASE(IfACmpEq) {
+    ObjRef B = POP().Ref, A = POP().Ref;
+    if (A == B) {
+      IP += IP->A;
+      DISPATCH();
+    }
+    NEXT();
+  }
+  CASE(IfACmpNe) {
+    ObjRef B = POP().Ref, A = POP().Ref;
+    if (A != B) {
+      IP += IP->A;
+      DISPATCH();
+    }
+    NEXT();
+  }
+  CASE(Ret) {
+    Frames.pop_back();
+    if (Frames.empty()) {
+      Result = Slot();
+      Status = RunStatus::Finished;
+      goto ExitLoop;
+    }
+    Frame &Caller = Frames.back();
+    IP = Caller.IP;
+    Base = Caller.Base;
+    SP = Caller.SP;
+    DISPATCH();
+  }
+  CASE(IReturn) {
+    Slot Ret = POP();
+    Frames.pop_back();
+    if (Frames.empty()) {
+      Result = Ret;
+      Status = RunStatus::Finished;
+      goto ExitLoop;
+    }
+    Frame &Caller = Frames.back();
+    IP = Caller.IP;
+    Base = Caller.Base;
+    SP = Caller.SP;
+    PUSH(Ret);
+    DISPATCH();
+  }
+  CASE(AReturn) {
+    Slot Ret = POP();
+    Frames.pop_back();
+    if (Frames.empty()) {
+      Result = Ret;
+      Status = RunStatus::Finished;
+      goto ExitLoop;
+    }
+    Frame &Caller = Frames.back();
+    IP = Caller.IP;
+    Base = Caller.Base;
+    SP = Caller.SP;
+    PUSH(Ret);
+    DISPATCH();
+  }
+  CASE(RearrangeEnter) {
+    ObjRef Arr = Base[IP->A].Ref;
+    BarrierCost += 2; // marking-active check
+    if (Satb && Satb->isActive() && Arr != NullRef) {
+      HeapObject &O = *Tbl[Arr];
+      int64_t Idx = IP->B;
+      if (O.Kind == ObjectKind::RefArray && Idx >= 0 &&
+          Idx < O.arrayLength()) {
+        BarrierCost += 3; // log the dropped element + read tracing state
+        ObjRef Dropped = O.refs()[Idx];
+        if (Dropped != NullRef)
+          Satb->logPreValue(Dropped);
+        Satb->enterRearrange(Arr);
+      }
+    }
+    NEXT();
+  }
+  CASE(RearrangeEnterDyn) {
+    ObjRef Arr = Base[IP->A].Ref;
+    BarrierCost += 2;
+    if (Satb && Satb->isActive() && Arr != NullRef) {
+      HeapObject &O = *Tbl[Arr];
+      int64_t Idx = Base[IP->B].Int;
+      if (O.Kind == ObjectKind::RefArray && Idx >= 0 &&
+          Idx < O.arrayLength()) {
+        BarrierCost += 3;
+        ObjRef Dropped = O.refs()[Idx];
+        if (Dropped != NullRef)
+          Satb->logPreValue(Dropped);
+        Satb->enterRearrange(Arr);
+      }
+    }
+    NEXT();
+  }
+  CASE(RearrangeExit) {
+    ObjRef Arr = Base[IP->A].Ref;
+    BarrierCost += 2;
+    if (Satb && Arr != NullRef)
+      Satb->exitRearrange(Arr);
+    NEXT();
+  }
+
+#ifdef SATB_SWITCH_DISPATCH
+  }
+  assert(false && "unknown fast opcode");
+#endif
+
+ExitLoop:
+  if (!Frames.empty()) {
+    Frames.back().IP = IP;
+    Frames.back().SP = SP;
+  }
+  Steps += MaxSteps - Fuel;
+  return Status;
+}

@@ -1,0 +1,95 @@
+//===- interp/FastInterp.h - Threaded-dispatch mutator engine --*- C++ -*-===//
+///
+/// \file
+/// The fast mutator engine: executes the pre-decoded FastInst stream
+/// produced by translateProgram with direct-threaded dispatch (computed
+/// goto on GNU compilers; define SATB_FASTINTERP_SWITCH — or build on a
+/// non-GNU compiler — for the portable switch loop). Frames live in one
+/// contiguous slot arena sized from translation-time stack-depth bounds,
+/// and per-site barrier work is baked into specialized opcodes, so an
+/// elided store executes zero barrier instructions.
+///
+/// The engine mirrors the reference Interpreter observable-for-
+/// observable: statuses, traps, results, step counts, modeled barrier
+/// cost, per-site statistics, allocation order, and root-collection
+/// order are all bit-identical (tests/mutator_equivalence_test.cpp).
+/// The reference engine remains the semantics oracle; select an engine
+/// with CompilerOptions::Interp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_INTERP_FASTINTERP_H
+#define SATB_INTERP_FASTINTERP_H
+
+#include "interp/Interpreter.h"
+#include "jit/FastCode.h"
+
+namespace satb {
+
+class FastInterp {
+public:
+  /// \p FP must be the translation of \p CP; both must outlive the engine.
+  FastInterp(const FastProgram &FP, const CompiledProgram &CP, Heap &H);
+
+  void attachSatb(SatbMarker *M) { Satb = M; }
+  void attachIncUpdate(IncrementalUpdateMarker *M) { Inc = M; }
+
+  void start(MethodId Entry, const std::vector<int64_t> &IntArgs = {});
+  RunStatus step(uint64_t MaxSteps);
+  RunStatus run(MethodId Entry, const std::vector<int64_t> &IntArgs = {},
+                uint64_t StepLimit = 2'000'000'000);
+
+  RunStatus status() const { return Status; }
+  TrapKind trap() const { return Trap; }
+  Slot result() const { return Result; }
+  uint64_t stepsExecuted() const { return Steps; }
+  uint64_t barrierCostInstrs() const { return BarrierCost; }
+
+  void collectRoots(std::vector<ObjRef> &Out) const;
+  std::vector<ObjRef> collectRoots() const {
+    std::vector<ObjRef> Roots;
+    collectRoots(Roots);
+    return Roots;
+  }
+
+  BarrierStats &stats() { return Stats; }
+  const BarrierStats &stats() const { return Stats; }
+
+private:
+  /// A suspended frame. IP/SP are flushed from the dispatch loop's locals
+  /// when the engine suspends (fuel out, call, trap) and reloaded on
+  /// resume.
+  struct Frame {
+    const FastMethod *FM = nullptr;
+    const FastInst *IP = nullptr;
+    Slot *Base = nullptr; ///< locals at Base[0..NumLocals), stack after
+    Slot *SP = nullptr;   ///< one past top of operand stack
+  };
+
+  void setTrap(TrapKind K) {
+    Trap = K;
+    Status = RunStatus::Trapped;
+  }
+
+  const FastProgram &FP;
+  Heap &H;
+  SatbMarker *Satb = nullptr;
+  IncrementalUpdateMarker *Inc = nullptr;
+
+  std::vector<Slot> Arena; ///< MaxCallDepth * MaxFrameSlots, never resized
+  std::vector<Frame> Frames;
+  RunStatus Status = RunStatus::NotStarted;
+  TrapKind Trap = TrapKind::None;
+  Slot Result;
+  uint64_t Steps = 0;
+  uint64_t BarrierCost = 0;
+  static constexpr uint32_t MaxCallDepth = 1024;
+  BarrierStats Stats;
+  SiteStats *Sites = nullptr;  ///< Stats.flatData(), resolved once
+  ObjRef *StaticR = nullptr;   ///< H.staticRefsData()
+  int64_t *StaticI = nullptr;  ///< H.staticIntsData()
+};
+
+} // namespace satb
+
+#endif // SATB_INTERP_FASTINTERP_H

@@ -96,7 +96,15 @@ public:
   uint64_t modeledInstrsExecuted() const;
 
   /// Conservative roots: every non-null reference slot in live frames.
-  std::vector<ObjRef> collectRoots() const;
+  /// The overload appends into a caller-owned scratch vector (cleared
+  /// first) so per-slice root scans in the concurrent drivers do not
+  /// allocate.
+  void collectRoots(std::vector<ObjRef> &Out) const;
+  std::vector<ObjRef> collectRoots() const {
+    std::vector<ObjRef> Roots;
+    collectRoots(Roots);
+    return Roots;
+  }
 
   BarrierStats &stats() { return Stats; }
   const BarrierStats &stats() const { return Stats; }
@@ -162,18 +170,95 @@ struct ConcurrentRunResult {
 };
 
 /// Runs \p Entry with a SATB marking cycle interleaved after WarmupSteps,
-/// checking the snapshot oracle before sweeping.
+/// checking the snapshot oracle before sweeping. Templated over the
+/// engine so the reference Interpreter and the FastInterp run the same
+/// deterministic schedule (the equivalence test drives both).
+template <typename Engine>
 ConcurrentRunResult
-runWithConcurrentSatb(Interpreter &I, SatbMarker &M, Heap &H, MethodId Entry,
+runWithConcurrentSatb(Engine &I, SatbMarker &M, Heap &H, MethodId Entry,
                       const std::vector<int64_t> &IntArgs,
-                      const ConcurrentRunConfig &Cfg);
+                      const ConcurrentRunConfig &Cfg) {
+  ConcurrentRunResult R;
+  I.start(Entry, IntArgs);
+  I.step(Cfg.WarmupSteps);
+
+  std::vector<ObjRef> Roots = I.collectRoots();
+  std::vector<bool> Snapshot = computeReachable(H, Roots);
+  for (bool B : Snapshot)
+    R.OracleLive += B;
+  M.beginMarking(Roots);
+
+  uint64_t Remaining = Cfg.StepLimit;
+  bool MarkerDone = false;
+  while (I.status() == RunStatus::Running && !MarkerDone && Remaining > 0) {
+    uint64_t Quantum = Cfg.MutatorQuantum < Remaining ? Cfg.MutatorQuantum
+                                                      : Remaining;
+    I.step(Quantum);
+    Remaining -= Quantum;
+    MarkerDone = M.markStep(Cfg.MarkerQuantum);
+  }
+  R.FinalPauseWork = M.finishMarking();
+
+  // The SATB oracle: the snapshot is entirely marked.
+  R.OracleHolds = true;
+  for (ObjRef Ref = 1; Ref < Snapshot.size(); ++Ref)
+    if (Snapshot[Ref] && !(H.isLive(Ref) && H.isMarked(Ref)))
+      R.OracleHolds = false;
+  R.Marked = M.stats().MarkedObjects;
+  R.Swept = M.sweep();
+
+  // Let the mutator finish (barriers now inactive).
+  if (I.status() == RunStatus::Running && Remaining > 0)
+    I.step(Remaining);
+  R.Status = I.status();
+  R.Trap = I.trap();
+  return R;
+}
 
 /// Incremental-update counterpart (end-of-marking reachability oracle).
-ConcurrentRunResult runWithConcurrentIncUpdate(Interpreter &I,
-                                               IncrementalUpdateMarker &M,
-                                               Heap &H, MethodId Entry,
-                                               const std::vector<int64_t> &IntArgs,
-                                               const ConcurrentRunConfig &Cfg);
+template <typename Engine>
+ConcurrentRunResult
+runWithConcurrentIncUpdate(Engine &I, IncrementalUpdateMarker &M, Heap &H,
+                           MethodId Entry,
+                           const std::vector<int64_t> &IntArgs,
+                           const ConcurrentRunConfig &Cfg) {
+  ConcurrentRunResult R;
+  I.start(Entry, IntArgs);
+  I.step(Cfg.WarmupSteps);
+
+  M.beginMarking(I.collectRoots());
+  uint64_t Remaining = Cfg.StepLimit;
+  bool MarkerDone = false;
+  while (I.status() == RunStatus::Running && !MarkerDone && Remaining > 0) {
+    uint64_t Quantum = Cfg.MutatorQuantum < Remaining ? Cfg.MutatorQuantum
+                                                      : Remaining;
+    I.step(Quantum);
+    Remaining -= Quantum;
+    MarkerDone = M.markStep(Cfg.MarkerQuantum);
+  }
+  std::vector<ObjRef> FinalRoots = I.collectRoots();
+  R.FinalPauseWork = M.finishMarking(FinalRoots);
+
+  // The incremental-update oracle: everything reachable at the final pause
+  // is marked.
+  std::vector<bool> LiveNow = computeReachable(H, FinalRoots);
+  R.OracleHolds = true;
+  for (ObjRef Ref = 1; Ref < LiveNow.size(); ++Ref) {
+    if (!LiveNow[Ref])
+      continue;
+    ++R.OracleLive;
+    if (!(H.isLive(Ref) && H.isMarked(Ref)))
+      R.OracleHolds = false;
+  }
+  R.Marked = M.stats().MarkedObjects;
+  R.Swept = M.sweep();
+
+  if (I.status() == RunStatus::Running && Remaining > 0)
+    I.step(Remaining);
+  R.Status = I.status();
+  R.Trap = I.trap();
+  return R;
+}
 
 } // namespace satb
 

@@ -61,13 +61,9 @@ satb::runWithThreadedSatb(Interpreter &I, SatbMarker &M, Heap &H,
   R.FinalPauseWork = M.finishMarking();
 
   R.OracleHolds = true;
-  for (ObjRef Ref = 1; Ref < Snapshot.size(); ++Ref) {
-    if (!Snapshot[Ref])
-      continue;
-    HeapObject *Obj = H.objectOrNull(Ref);
-    if (!Obj || !Obj->Marked)
+  for (ObjRef Ref = 1; Ref < Snapshot.size(); ++Ref)
+    if (Snapshot[Ref] && !(H.isLive(Ref) && H.isMarked(Ref)))
       R.OracleHolds = false;
-  }
   R.Marked = M.stats().MarkedObjects;
   R.Swept = M.sweep();
 

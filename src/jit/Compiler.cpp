@@ -126,6 +126,15 @@ uint32_t CompiledProgram::totalBarrierSites() const {
   return Total;
 }
 
+std::vector<uint32_t> CompiledProgram::instrOffsets() const {
+  std::vector<uint32_t> Offsets(Methods.size() + 1, 0);
+  for (size_t M = 0; M != Methods.size(); ++M)
+    Offsets[M + 1] =
+        Offsets[M] +
+        static_cast<uint32_t>(Methods[M].Body.Instructions.size());
+  return Offsets;
+}
+
 uint32_t CompiledProgram::totalElidedSites() const {
   uint32_t Total = 0;
   for (const CompiledMethod &M : Methods)

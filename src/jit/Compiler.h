@@ -26,6 +26,12 @@ enum class BarrierMode : uint8_t {
   CardMarking    ///< incremental-update comparison collector
 };
 
+/// Which execution engine runs the compiled program: the reference
+/// switch-dispatch Interpreter or the pre-decoded threaded-dispatch
+/// FastInterp (see interp/FastInterp.h). Both produce bit-identical
+/// results; the fast engine is the measured configuration.
+enum class InterpMode : uint8_t { Reference, Fast };
+
 struct CompilerOptions {
   InlineOptions Inline;
   AnalysisConfig Analysis;
@@ -43,6 +49,8 @@ struct CompilerOptions {
   /// index-ordered slots, making the output identical to a serial compile
   /// regardless of scheduling. 0 = hardware concurrency, 1 = serial.
   unsigned CompileThreads = 0;
+  /// Which mutator engine executes the compiled program (see InterpMode).
+  InterpMode Interp = InterpMode::Reference;
 };
 
 struct CompiledMethod {
@@ -78,6 +86,12 @@ struct CompiledProgram {
   double totalAnalysisTimeUs() const;
   uint32_t totalBarrierSites() const;
   uint32_t totalElidedSites() const;
+
+  /// Prefix sums of per-method instruction counts (size numMethods + 1).
+  /// Offsets[M] + PC is the program-wide flat index of instruction PC of
+  /// method M — the O(1) site-index space shared by BarrierStats and the
+  /// fast-interpreter translation.
+  std::vector<uint32_t> instrOffsets() const;
 };
 
 /// Compiles one method. \p M must be a member of \p P (given by id).

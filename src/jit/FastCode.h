@@ -1,0 +1,153 @@
+//===- jit/FastCode.h - Pre-decoded threaded instruction stream -*- C++ -*-===//
+///
+/// \file
+/// The fast mutator engine's instruction format. translateProgram lowers
+/// each CompiledMethod into a stream of FastInsts in which everything the
+/// reference interpreter decides per-execution is decided once, at
+/// translation time:
+///
+///  - field accesses carry their payload slot index and owner class
+///    (no FieldDecl / FieldSlot lookups at run time),
+///  - every reference-store site is lowered to a *barrier-specialized*
+///    opcode baking in the compiler's per-site verdict — an elided store
+///    executes zero barrier instructions, a kept store executes exactly
+///    its BarrierMode's sequence, with no per-execution decision tree,
+///  - each store site carries its flat BarrierStats index
+///    (CompiledProgram::instrOffsets()[M] + PC), so counter updates are a
+///    single indexed add.
+///
+/// The translation is 1:1 with the compiled body's instructions, so
+/// branch targets, PCs, and step counts are unchanged — the equivalence
+/// test relies on this to compare the engines instruction-for-
+/// instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_JIT_FASTCODE_H
+#define SATB_JIT_FASTCODE_H
+
+#include "jit/Compiler.h"
+
+namespace satb {
+
+/// The specialized opcode set, as an X-macro so the dispatch label table
+/// in FastInterp.cpp can never fall out of sync with the enum.
+#define SATB_FAST_OPS(X)                                                       \
+  X(IConst)                                                                    \
+  X(AConstNull)                                                                \
+  X(Load)                                                                      \
+  X(Store)                                                                     \
+  X(IInc)                                                                      \
+  X(Dup)                                                                       \
+  X(Pop)                                                                       \
+  X(Swap)                                                                      \
+  X(IAdd)                                                                      \
+  X(ISub)                                                                      \
+  X(IMul)                                                                      \
+  X(IDiv)                                                                      \
+  X(IRem)                                                                      \
+  X(INeg)                                                                      \
+  X(GetFieldRef)                                                               \
+  X(GetFieldInt)                                                               \
+  X(PutFieldInt)                                                               \
+  X(PutFieldRef_Elided)                                                        \
+  X(PutFieldRef_NoBarrier)                                                     \
+  X(PutFieldRef_Satb)                                                          \
+  X(PutFieldRef_AlwaysLog)                                                     \
+  X(PutFieldRef_Card)                                                          \
+  X(GetStaticRef)                                                              \
+  X(GetStaticInt)                                                              \
+  X(PutStaticInt)                                                              \
+  X(PutStaticRef_Elided)                                                       \
+  X(PutStaticRef_NoBarrier)                                                    \
+  X(PutStaticRef_Satb)                                                         \
+  X(PutStaticRef_AlwaysLog)                                                    \
+  X(PutStaticRef_Card)                                                         \
+  X(NewInstance)                                                               \
+  X(NewRefArray)                                                               \
+  X(NewIntArray)                                                               \
+  X(AALoad)                                                                    \
+  X(IALoad)                                                                    \
+  X(IAStore)                                                                   \
+  X(ArrayLength)                                                               \
+  X(AAStore_Elided)                                                            \
+  X(AAStore_NoBarrier)                                                         \
+  X(AAStore_Satb)                                                              \
+  X(AAStore_AlwaysLog)                                                         \
+  X(AAStore_Card)                                                              \
+  X(AAStore_Rearr_Satb)                                                        \
+  X(AAStore_Rearr_AlwaysLog)                                                   \
+  X(Invoke)                                                                    \
+  X(Goto)                                                                      \
+  X(IfEq)                                                                      \
+  X(IfNe)                                                                      \
+  X(IfLt)                                                                      \
+  X(IfGe)                                                                      \
+  X(IfGt)                                                                      \
+  X(IfLe)                                                                      \
+  X(IfICmpEq)                                                                  \
+  X(IfICmpNe)                                                                  \
+  X(IfICmpLt)                                                                  \
+  X(IfICmpGe)                                                                  \
+  X(IfICmpGt)                                                                  \
+  X(IfICmpLe)                                                                  \
+  X(IfNull)                                                                    \
+  X(IfNonNull)                                                                 \
+  X(IfACmpEq)                                                                  \
+  X(IfACmpNe)                                                                  \
+  X(Ret)                                                                       \
+  X(IReturn)                                                                   \
+  X(AReturn)                                                                   \
+  X(RearrangeEnter)                                                            \
+  X(RearrangeEnterDyn)                                                         \
+  X(RearrangeExit)
+
+enum class FastOp : uint16_t {
+#define X(name) name,
+  SATB_FAST_OPS(X)
+#undef X
+};
+
+/// One pre-decoded instruction, 16 bytes. Operand meanings:
+///  - Load/Store/IInc: A = local index (IInc: B = increment)
+///  - field ops: A = payload slot index, B = owner ClassId
+///  - static ops: A = StaticFieldId
+///  - NewInstance: A = ClassId
+///  - Invoke: A = callee MethodId, C = callee arg count
+///  - branches: A = self-relative displacement (target - branch PC)
+///  - Rearrange*: A, B as in Opcode.h
+///  - Site: flat BarrierStats index (store sites only)
+struct FastInst {
+  uint16_t Op = 0;
+  uint16_t C = 0;
+  int32_t A = 0;
+  int32_t B = 0;
+  uint32_t Site = 0;
+};
+
+static_assert(sizeof(FastInst) == 16, "keep the stream dense");
+
+struct FastMethod {
+  std::vector<FastInst> Code;
+  uint32_t NumLocals = 0;
+  uint32_t NumArgs = 0;
+  /// Locals + worst-case operand stack depth (a translation-time dataflow
+  /// over the verified body): the frame's slot footprint in the engine's
+  /// contiguous slot arena.
+  uint32_t FrameSlots = 0;
+};
+
+struct FastProgram {
+  std::vector<FastMethod> Methods; ///< indexed by MethodId
+  /// max over methods of FrameSlots; sizes the engine's slot arena.
+  uint32_t MaxFrameSlots = 0;
+};
+
+/// Lowers \p CP (compiled from \p P) into the specialized stream. Field
+/// layout comes from computeFieldLayout(P) — the same function the Heap
+/// uses — so baked slot indices can never disagree with the heap.
+FastProgram translateProgram(const Program &P, const CompiledProgram &CP);
+
+} // namespace satb
+
+#endif // SATB_JIT_FASTCODE_H

@@ -1,0 +1,425 @@
+//===- jit/FastTranslate.cpp - CompiledMethod -> FastInst stream ----------===//
+
+#include "jit/FastCode.h"
+
+#include "heap/Heap.h"
+
+#include <algorithm>
+
+using namespace satb;
+
+namespace {
+
+/// Which specialized body a reference-store site gets. Mirrors the
+/// decision order of Interpreter::refStoreBarrier, evaluated once here
+/// instead of per execution.
+enum class StoreVariant {
+  Elided,
+  NoBarrier,
+  Satb,
+  AlwaysLog,
+  Card,
+  RearrSatb,
+  RearrAlwaysLog
+};
+
+StoreVariant storeVariant(const CompiledProgram &CP, const CompiledMethod &CM,
+                          uint32_t PC) {
+  const BarrierDecision &D = CM.Analysis.Decisions[PC];
+  assert(D.IsBarrierSite && "specializing a non-store site");
+  if (D.Elide && CP.Options.ApplyElision)
+    return StoreVariant::Elided;
+  if (!(PC < CM.BarrierKept.size() && CM.BarrierKept[PC]))
+    return StoreVariant::NoBarrier; // BarrierMode::None lands here too
+  bool Rearr = PC < CM.RearrangeStores.size() && CM.RearrangeStores[PC] &&
+               CP.Options.Barrier != BarrierMode::CardMarking;
+  switch (CP.Options.Barrier) {
+  case BarrierMode::Satb:
+    return Rearr ? StoreVariant::RearrSatb : StoreVariant::Satb;
+  case BarrierMode::SatbAlwaysLog:
+    return Rearr ? StoreVariant::RearrAlwaysLog : StoreVariant::AlwaysLog;
+  case BarrierMode::CardMarking:
+    return StoreVariant::Card;
+  case BarrierMode::None:
+    break;
+  }
+  assert(false && "kept barrier under BarrierMode::None");
+  return StoreVariant::NoBarrier;
+}
+
+FastOp selectPutField(StoreVariant V) {
+  switch (V) {
+  case StoreVariant::Elided:
+    return FastOp::PutFieldRef_Elided;
+  case StoreVariant::NoBarrier:
+    return FastOp::PutFieldRef_NoBarrier;
+  case StoreVariant::Satb:
+    return FastOp::PutFieldRef_Satb;
+  case StoreVariant::AlwaysLog:
+    return FastOp::PutFieldRef_AlwaysLog;
+  case StoreVariant::Card:
+    return FastOp::PutFieldRef_Card;
+  case StoreVariant::RearrSatb:
+  case StoreVariant::RearrAlwaysLog:
+    break;
+  }
+  assert(false && "rearrangement protocol marks only aastores");
+  return FastOp::PutFieldRef_NoBarrier;
+}
+
+FastOp selectPutStatic(StoreVariant V) {
+  switch (V) {
+  case StoreVariant::Elided:
+    return FastOp::PutStaticRef_Elided;
+  case StoreVariant::NoBarrier:
+    return FastOp::PutStaticRef_NoBarrier;
+  case StoreVariant::Satb:
+    return FastOp::PutStaticRef_Satb;
+  case StoreVariant::AlwaysLog:
+    return FastOp::PutStaticRef_AlwaysLog;
+  case StoreVariant::Card:
+    return FastOp::PutStaticRef_Card;
+  case StoreVariant::RearrSatb:
+  case StoreVariant::RearrAlwaysLog:
+    break;
+  }
+  assert(false && "rearrangement protocol marks only aastores");
+  return FastOp::PutStaticRef_NoBarrier;
+}
+
+FastOp selectAAStore(StoreVariant V) {
+  switch (V) {
+  case StoreVariant::Elided:
+    return FastOp::AAStore_Elided;
+  case StoreVariant::NoBarrier:
+    return FastOp::AAStore_NoBarrier;
+  case StoreVariant::Satb:
+    return FastOp::AAStore_Satb;
+  case StoreVariant::AlwaysLog:
+    return FastOp::AAStore_AlwaysLog;
+  case StoreVariant::Card:
+    return FastOp::AAStore_Card;
+  case StoreVariant::RearrSatb:
+    return FastOp::AAStore_Rearr_Satb;
+  case StoreVariant::RearrAlwaysLog:
+    return FastOp::AAStore_Rearr_AlwaysLog;
+  }
+  assert(false && "unhandled store variant");
+  return FastOp::AAStore_NoBarrier;
+}
+
+/// Net operand-stack effect of one instruction (callee effects folded in
+/// for Invoke).
+int stackDelta(const CompiledProgram &CP, const Instruction &Ins) {
+  switch (Ins.Op) {
+  case Opcode::IConst:
+  case Opcode::AConstNull:
+  case Opcode::ILoad:
+  case Opcode::ALoad:
+  case Opcode::GetStatic:
+  case Opcode::NewInstance:
+  case Opcode::Dup:
+    return 1;
+  case Opcode::IInc:
+  case Opcode::Swap:
+  case Opcode::INeg:
+  case Opcode::GetField:
+  case Opcode::NewRefArray:
+  case Opcode::NewIntArray:
+  case Opcode::ArrayLength:
+  case Opcode::Goto:
+  case Opcode::Ret:
+  case Opcode::RearrangeEnter:
+  case Opcode::RearrangeEnterDyn:
+  case Opcode::RearrangeExit:
+    return 0;
+  case Opcode::IStore:
+  case Opcode::AStore:
+  case Opcode::Pop:
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+  case Opcode::IDiv:
+  case Opcode::IRem:
+  case Opcode::PutStatic:
+  case Opcode::AALoad:
+  case Opcode::IALoad:
+  case Opcode::IfEq:
+  case Opcode::IfNe:
+  case Opcode::IfLt:
+  case Opcode::IfGe:
+  case Opcode::IfGt:
+  case Opcode::IfLe:
+  case Opcode::IfNull:
+  case Opcode::IfNonNull:
+  case Opcode::IReturn:
+  case Opcode::AReturn:
+    return -1;
+  case Opcode::PutField:
+  case Opcode::IfICmpEq:
+  case Opcode::IfICmpNe:
+  case Opcode::IfICmpLt:
+  case Opcode::IfICmpGe:
+  case Opcode::IfICmpGt:
+  case Opcode::IfICmpLe:
+  case Opcode::IfACmpEq:
+  case Opcode::IfACmpNe:
+    return -2;
+  case Opcode::AAStore:
+  case Opcode::IAStore:
+    return -3;
+  case Opcode::Invoke: {
+    const Method &Callee = CP.method(static_cast<MethodId>(Ins.A)).Body;
+    return -static_cast<int>(Callee.numArgs()) +
+           (Callee.ReturnType.has_value() ? 1 : 0);
+  }
+  }
+  assert(false && "unknown opcode");
+  return 0;
+}
+
+/// Worst-case operand stack depth of the verified body: forward dataflow
+/// of entry depths (verification guarantees path-independence).
+uint32_t maxStackDepth(const CompiledProgram &CP, const Method &Body) {
+  const std::vector<Instruction> &Code = Body.Instructions;
+  if (Code.empty())
+    return 0;
+  std::vector<int> Depth(Code.size(), -1);
+  std::vector<uint32_t> Work;
+  Depth[0] = 0;
+  Work.push_back(0);
+  int Max = 0;
+  while (!Work.empty()) {
+    uint32_t I = Work.back();
+    Work.pop_back();
+    int In = Depth[I];
+    int Out = In + stackDelta(CP, Code[I]);
+    Max = std::max({Max, In, Out});
+    auto Flow = [&](uint32_t Succ) {
+      assert(Succ < Code.size() && "branch target out of range");
+      if (Depth[Succ] == -1) {
+        Depth[Succ] = Out;
+        Work.push_back(Succ);
+      } else {
+        assert(Depth[Succ] == Out && "inconsistent stack depths");
+      }
+    };
+    if (isBranch(Code[I].Op))
+      Flow(static_cast<uint32_t>(Code[I].A));
+    if (!isTerminator(Code[I].Op))
+      Flow(I + 1);
+  }
+  return static_cast<uint32_t>(Max);
+}
+
+} // namespace
+
+FastProgram satb::translateProgram(const Program &P,
+                                   const CompiledProgram &CP) {
+  std::vector<FieldSlot> Layout = computeFieldLayout(P);
+  std::vector<uint32_t> Offsets = CP.instrOffsets();
+
+  FastProgram FP;
+  FP.Methods.resize(CP.Methods.size());
+  for (MethodId M = 0; M != CP.Methods.size(); ++M) {
+    const CompiledMethod &CM = CP.Methods[M];
+    const Method &Body = CM.Body;
+    FastMethod &FM = FP.Methods[M];
+    FM.NumLocals = Body.NumLocals;
+    FM.NumArgs = Body.numArgs();
+    FM.FrameSlots = Body.NumLocals + maxStackDepth(CP, Body);
+    FP.MaxFrameSlots = std::max(FP.MaxFrameSlots, FM.FrameSlots);
+
+    FM.Code.resize(Body.Instructions.size());
+    for (uint32_t PC = 0; PC != Body.Instructions.size(); ++PC) {
+      const Instruction &Ins = Body.Instructions[PC];
+      FastInst &FI = FM.Code[PC];
+      FI.A = Ins.A;
+      FI.B = Ins.B;
+      auto Set = [&FI](FastOp Op) { FI.Op = static_cast<uint16_t>(Op); };
+      switch (Ins.Op) {
+      case Opcode::IConst:
+        Set(FastOp::IConst);
+        break;
+      case Opcode::AConstNull:
+        Set(FastOp::AConstNull);
+        break;
+      case Opcode::ILoad:
+      case Opcode::ALoad:
+        Set(FastOp::Load);
+        break;
+      case Opcode::IStore:
+      case Opcode::AStore:
+        Set(FastOp::Store);
+        break;
+      case Opcode::IInc:
+        Set(FastOp::IInc);
+        break;
+      case Opcode::Dup:
+        Set(FastOp::Dup);
+        break;
+      case Opcode::Pop:
+        Set(FastOp::Pop);
+        break;
+      case Opcode::Swap:
+        Set(FastOp::Swap);
+        break;
+      case Opcode::IAdd:
+        Set(FastOp::IAdd);
+        break;
+      case Opcode::ISub:
+        Set(FastOp::ISub);
+        break;
+      case Opcode::IMul:
+        Set(FastOp::IMul);
+        break;
+      case Opcode::IDiv:
+        Set(FastOp::IDiv);
+        break;
+      case Opcode::IRem:
+        Set(FastOp::IRem);
+        break;
+      case Opcode::INeg:
+        Set(FastOp::INeg);
+        break;
+      case Opcode::GetField:
+      case Opcode::PutField: {
+        FieldId FId = static_cast<FieldId>(Ins.A);
+        const FieldDecl &FD = P.fieldDecl(FId);
+        FI.A = static_cast<int32_t>(Layout[FId].Slot);
+        FI.B = static_cast<int32_t>(FD.Owner);
+        if (Ins.Op == Opcode::GetField) {
+          Set(FD.Type == JType::Ref ? FastOp::GetFieldRef
+                                    : FastOp::GetFieldInt);
+        } else if (FD.Type == JType::Int) {
+          Set(FastOp::PutFieldInt);
+        } else {
+          Set(selectPutField(storeVariant(CP, CM, PC)));
+          FI.Site = Offsets[M] + PC;
+        }
+        break;
+      }
+      case Opcode::GetStatic: {
+        StaticFieldId SId = static_cast<StaticFieldId>(Ins.A);
+        Set(P.staticDecl(SId).Type == JType::Ref ? FastOp::GetStaticRef
+                                                 : FastOp::GetStaticInt);
+        break;
+      }
+      case Opcode::PutStatic: {
+        StaticFieldId SId = static_cast<StaticFieldId>(Ins.A);
+        if (P.staticDecl(SId).Type == JType::Int) {
+          Set(FastOp::PutStaticInt);
+        } else {
+          Set(selectPutStatic(storeVariant(CP, CM, PC)));
+          FI.Site = Offsets[M] + PC;
+        }
+        break;
+      }
+      case Opcode::NewInstance:
+        Set(FastOp::NewInstance);
+        break;
+      case Opcode::NewRefArray:
+        Set(FastOp::NewRefArray);
+        break;
+      case Opcode::NewIntArray:
+        Set(FastOp::NewIntArray);
+        break;
+      case Opcode::AALoad:
+        Set(FastOp::AALoad);
+        break;
+      case Opcode::IALoad:
+        Set(FastOp::IALoad);
+        break;
+      case Opcode::IAStore:
+        Set(FastOp::IAStore);
+        break;
+      case Opcode::AAStore:
+        Set(selectAAStore(storeVariant(CP, CM, PC)));
+        FI.Site = Offsets[M] + PC;
+        break;
+      case Opcode::ArrayLength:
+        Set(FastOp::ArrayLength);
+        break;
+      case Opcode::Invoke:
+        Set(FastOp::Invoke);
+        FI.C = static_cast<uint16_t>(
+            CP.method(static_cast<MethodId>(Ins.A)).Body.numArgs());
+        break;
+      case Opcode::Goto:
+        Set(FastOp::Goto);
+        break;
+      case Opcode::IfEq:
+        Set(FastOp::IfEq);
+        break;
+      case Opcode::IfNe:
+        Set(FastOp::IfNe);
+        break;
+      case Opcode::IfLt:
+        Set(FastOp::IfLt);
+        break;
+      case Opcode::IfGe:
+        Set(FastOp::IfGe);
+        break;
+      case Opcode::IfGt:
+        Set(FastOp::IfGt);
+        break;
+      case Opcode::IfLe:
+        Set(FastOp::IfLe);
+        break;
+      case Opcode::IfICmpEq:
+        Set(FastOp::IfICmpEq);
+        break;
+      case Opcode::IfICmpNe:
+        Set(FastOp::IfICmpNe);
+        break;
+      case Opcode::IfICmpLt:
+        Set(FastOp::IfICmpLt);
+        break;
+      case Opcode::IfICmpGe:
+        Set(FastOp::IfICmpGe);
+        break;
+      case Opcode::IfICmpGt:
+        Set(FastOp::IfICmpGt);
+        break;
+      case Opcode::IfICmpLe:
+        Set(FastOp::IfICmpLe);
+        break;
+      case Opcode::IfNull:
+        Set(FastOp::IfNull);
+        break;
+      case Opcode::IfNonNull:
+        Set(FastOp::IfNonNull);
+        break;
+      case Opcode::IfACmpEq:
+        Set(FastOp::IfACmpEq);
+        break;
+      case Opcode::IfACmpNe:
+        Set(FastOp::IfACmpNe);
+        break;
+      case Opcode::Ret:
+        Set(FastOp::Ret);
+        break;
+      case Opcode::IReturn:
+        Set(FastOp::IReturn);
+        break;
+      case Opcode::AReturn:
+        Set(FastOp::AReturn);
+        break;
+      case Opcode::RearrangeEnter:
+        Set(FastOp::RearrangeEnter);
+        break;
+      case Opcode::RearrangeEnterDyn:
+        Set(FastOp::RearrangeEnterDyn);
+        break;
+      case Opcode::RearrangeExit:
+        Set(FastOp::RearrangeExit);
+        break;
+      }
+      // Branches become self-relative displacements: a taken branch is a
+      // single IP += A with no code-base register in the dispatch loop.
+      if (isBranch(Ins.Op))
+        FI.A = Ins.A - static_cast<int32_t>(PC);
+    }
+  }
+  return FP;
+}

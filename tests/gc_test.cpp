@@ -26,7 +26,7 @@ struct GcFixture : ::testing::Test {
 
   ObjRef node() { return H.allocateObject(C); }
   void link(ObjRef From, unsigned Slot, ObjRef To) {
-    H.object(From).RefSlots[Slot] = To;
+    H.object(From).refs()[Slot] = To;
   }
 };
 
@@ -42,10 +42,10 @@ TEST_F(GcFixture, SatbMarksRootsTransitively) {
   while (!M.markStep(8))
     ;
   M.finishMarking();
-  EXPECT_TRUE(H.object(A).Marked);
-  EXPECT_TRUE(H.object(B).Marked);
-  EXPECT_TRUE(H.object(D).Marked);
-  EXPECT_FALSE(H.object(Garbage).Marked);
+  EXPECT_TRUE(H.isMarked(A));
+  EXPECT_TRUE(H.isMarked(B));
+  EXPECT_TRUE(H.isMarked(D));
+  EXPECT_FALSE(H.isMarked(Garbage));
   EXPECT_EQ(M.sweep(), 1u);
   EXPECT_EQ(H.objectOrNull(Garbage), nullptr);
 }
@@ -64,7 +64,7 @@ TEST_F(GcFixture, SatbSnapshotPreservedThroughUnlink) {
   while (!M.markStep(8))
     ;
   M.finishMarking();
-  EXPECT_TRUE(H.object(B).Marked) << "snapshot object lost";
+  EXPECT_TRUE(H.isMarked(B)) << "snapshot object lost";
   EXPECT_EQ(M.sweep(), 0u);
 }
 
@@ -80,7 +80,7 @@ TEST_F(GcFixture, SatbUnlinkWithoutLoggingLosesSnapshot) {
   while (!M.markStep(8))
     ;
   M.finishMarking();
-  EXPECT_FALSE(H.object(B).Marked);
+  EXPECT_FALSE(H.isMarked(B));
   EXPECT_EQ(M.sweep(), 1u); // B collected despite being in the snapshot
 }
 
@@ -93,8 +93,8 @@ TEST_F(GcFixture, SatbElidedPreNullStoreIsHarmless) {
   while (!M.markStep(8))
     ;
   M.finishMarking();
-  EXPECT_TRUE(H.object(A).Marked);
-  EXPECT_TRUE(H.object(B).Marked);
+  EXPECT_TRUE(H.isMarked(A));
+  EXPECT_TRUE(H.isMarked(B));
   EXPECT_EQ(M.sweep(), 0u);
 }
 
@@ -103,13 +103,13 @@ TEST_F(GcFixture, SatbAllocateBlack) {
   SatbMarker M(H);
   M.beginMarking({A});
   ObjRef New = node(); // allocated during marking: implicitly marked
-  EXPECT_TRUE(H.object(New).Marked);
+  EXPECT_TRUE(H.isMarked(New));
   while (!M.markStep(8))
     ;
   M.finishMarking();
   EXPECT_EQ(M.sweep(), 0u);
   // After the cycle the flag is off again.
-  EXPECT_FALSE(H.object(node()).Marked);
+  EXPECT_FALSE(H.isMarked(node()));
 }
 
 TEST_F(GcFixture, SatbBuffersFlushAtCapacity) {
@@ -159,9 +159,9 @@ TEST_F(GcFixture, IncUpdateMarksEndReachable) {
     ;
   size_t Pause = M.finishMarking({A});
   (void)Pause;
-  EXPECT_TRUE(H.object(A).Marked);
-  EXPECT_TRUE(H.object(B).Marked);
-  EXPECT_FALSE(H.object(Garbage).Marked);
+  EXPECT_TRUE(H.isMarked(A));
+  EXPECT_TRUE(H.isMarked(B));
+  EXPECT_FALSE(H.isMarked(Garbage));
   EXPECT_EQ(M.sweep(), 1u);
 }
 
@@ -175,7 +175,7 @@ TEST_F(GcFixture, IncUpdateMissesUnrecordedWrite_NegativeControl) {
     ; // A fully scanned (a is null)
   link(A, 0, B); // no recordWrite
   M.finishMarking({A});
-  EXPECT_FALSE(H.object(B).Marked);
+  EXPECT_FALSE(H.isMarked(B));
 }
 
 TEST_F(GcFixture, IncUpdateFinalRootRescanCatchesRootStores) {
@@ -186,7 +186,7 @@ TEST_F(GcFixture, IncUpdateFinalRootRescanCatchesRootStores) {
     ;
   // B becomes reachable only through a root at pause time.
   M.finishMarking({A, B});
-  EXPECT_TRUE(H.object(B).Marked);
+  EXPECT_TRUE(H.isMarked(B));
 }
 
 TEST_F(GcFixture, IncUpdateNewObjectsNeedExamination) {
@@ -196,11 +196,11 @@ TEST_F(GcFixture, IncUpdateNewObjectsNeedExamination) {
   IncrementalUpdateMarker M(H);
   M.beginMarking({A});
   ObjRef New = node();
-  EXPECT_FALSE(H.object(New).Marked);
+  EXPECT_FALSE(H.isMarked(New));
   link(A, 0, New);
   M.recordWrite(A);
   M.finishMarking({A});
-  EXPECT_TRUE(H.object(New).Marked);
+  EXPECT_TRUE(H.isMarked(New));
 }
 
 TEST_F(GcFixture, CardTableBasics) {

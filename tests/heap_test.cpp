@@ -31,11 +31,11 @@ TEST_F(HeapFixture, AllocatorZeroesFields) {
   const HeapObject &O = H.object(R);
   EXPECT_EQ(O.Kind, ObjectKind::Object);
   EXPECT_EQ(O.Class, C);
-  ASSERT_EQ(O.RefSlots.size(), 2u); // r1, r2
-  ASSERT_EQ(O.IntSlots.size(), 1u);
-  EXPECT_EQ(O.RefSlots[0], NullRef);
-  EXPECT_EQ(O.RefSlots[1], NullRef);
-  EXPECT_EQ(O.IntSlots[0], 0);
+  ASSERT_EQ(O.refSlots().size(), 2u); // r1, r2
+  ASSERT_EQ(O.NumInts, 1u);
+  EXPECT_EQ(O.refs()[0], NullRef);
+  EXPECT_EQ(O.refs()[1], NullRef);
+  EXPECT_EQ(O.ints()[0], 0);
 }
 
 TEST_F(HeapFixture, ArrayAllocationZeroed) {
@@ -44,11 +44,11 @@ TEST_F(HeapFixture, ArrayAllocationZeroed) {
   const HeapObject &O = H.object(A);
   EXPECT_EQ(O.Kind, ObjectKind::RefArray);
   EXPECT_EQ(O.arrayLength(), 5u);
-  for (ObjRef E : O.RefSlots)
+  for (ObjRef E : O.refSlots())
     EXPECT_EQ(E, NullRef);
   ObjRef I = H.allocateIntArray(3);
   EXPECT_EQ(H.object(I).arrayLength(), 3u);
-  EXPECT_EQ(H.object(I).IntSlots[2], 0);
+  EXPECT_EQ(H.object(I).ints()[2], 0);
 }
 
 TEST_F(HeapFixture, FieldSlotLayoutSeparatesKinds) {
@@ -85,21 +85,21 @@ TEST_F(HeapFixture, FreeAndReuse) {
 TEST_F(HeapFixture, AllocateMarkedFlag) {
   Heap H(P);
   ObjRef A = H.allocateObject(C);
-  EXPECT_FALSE(H.object(A).Marked);
+  EXPECT_FALSE(H.isMarked(A));
   H.setAllocateMarked(true);
   ObjRef B = H.allocateObject(C);
-  EXPECT_TRUE(H.object(B).Marked);
+  EXPECT_TRUE(H.isMarked(B));
   H.setAllocateMarked(false);
-  EXPECT_FALSE(H.object(H.allocateObject(C)).Marked);
+  EXPECT_FALSE(H.isMarked(H.allocateObject(C)));
 }
 
 TEST_F(HeapFixture, ClearMarksResetsTracingState) {
   Heap H(P);
   ObjRef A = H.allocateObject(C);
-  H.object(A).Marked = true;
+  H.setMarked(A);
   H.object(A).Tracing = TraceState::Traced;
   H.clearMarks();
-  EXPECT_FALSE(H.object(A).Marked);
+  EXPECT_FALSE(H.isMarked(A));
   EXPECT_EQ(H.object(A).Tracing, TraceState::Untraced);
 }
 
@@ -109,8 +109,8 @@ TEST_F(HeapFixture, ComputeReachableFollowsFieldsAndStatics) {
   ObjRef B = H.allocateObject(C);
   ObjRef D = H.allocateObject(C);
   ObjRef Unreached = H.allocateObject(C);
-  H.object(A).RefSlots[0] = B;
-  H.object(B).RefSlots[1] = D;
+  H.object(A).refs()[0] = B;
+  H.object(B).refs()[1] = D;
   H.setStaticRef(SRef, A);
   std::vector<bool> Reached = computeReachable(H, {});
   EXPECT_TRUE(Reached[A]);
@@ -123,7 +123,7 @@ TEST_F(HeapFixture, ComputeReachableThroughArraysAndRoots) {
   Heap H(P);
   ObjRef Arr = H.allocateRefArray(3);
   ObjRef X = H.allocateObject(C);
-  H.object(Arr).RefSlots[1] = X;
+  H.object(Arr).refs()[1] = X;
   std::vector<bool> Reached = computeReachable(H, {Arr});
   EXPECT_TRUE(Reached[Arr]);
   EXPECT_TRUE(Reached[X]);
@@ -133,8 +133,8 @@ TEST_F(HeapFixture, ComputeReachableHandlesCycles) {
   Heap H(P);
   ObjRef A = H.allocateObject(C);
   ObjRef B = H.allocateObject(C);
-  H.object(A).RefSlots[0] = B;
-  H.object(B).RefSlots[0] = A;
+  H.object(A).refs()[0] = B;
+  H.object(B).refs()[0] = A;
   std::vector<bool> Reached = computeReachable(H, {A});
   EXPECT_TRUE(Reached[A]);
   EXPECT_TRUE(Reached[B]);
