@@ -28,6 +28,22 @@ inline int64_t benchScale(int64_t Default) {
   return Default;
 }
 
+/// Which mutator engine the timing benches run. Defaults to the fast
+/// engine (the representative substrate for wall-clock numbers; the
+/// engines are observable-equivalent, so counter-based tables are
+/// unaffected). SATB_BENCH_ENGINE=reference selects the reference
+/// interpreter, e.g. to compare dispatch overheads.
+inline InterpMode benchEngine() {
+  if (const char *Env = std::getenv("SATB_BENCH_ENGINE"))
+    if (std::string(Env) == "reference")
+      return InterpMode::Reference;
+  return InterpMode::Fast;
+}
+
+inline const char *engineName(InterpMode M) {
+  return M == InterpMode::Fast ? "fast" : "reference";
+}
+
 struct WorkloadRun {
   BarrierStats::Summary Stats;
   double WallSeconds = 0.0;

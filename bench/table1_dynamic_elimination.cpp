@@ -39,12 +39,13 @@ const PaperRow PaperRows[] = {
 int main(int argc, char **argv) {
   int64_t Scale = benchScale(20000);
   CompilerOptions Opts; // inline limit 100, mode A: the paper's setup
+  Opts.Interp = benchEngine();
 
   JsonBench Json(argc, argv, "table1_dynamic_elimination", Scale);
   if (!Json.quiet()) {
-    std::printf("Table 1: Analysis results, dynamic  (scale %lld; ours vs. "
-                "paper '[p]')\n",
-                static_cast<long long>(Scale));
+    std::printf("Table 1: Analysis results, dynamic  (scale %lld, %s engine; "
+                "ours vs. paper '[p]')\n",
+                static_cast<long long>(Scale), engineName(Opts.Interp));
     printRule(98);
     std::printf("%-6s %10s %7s %7s %9s %9s %9s %9s %9s %9s\n", "bench",
                 "total", "%elim", "[p]", "%potent", "[p]", "fld/arr", "[p]",
@@ -60,6 +61,7 @@ int main(int argc, char **argv) {
     const PaperRow &P = PaperRows[I];
     Json.beginRow();
     Json.field("bench", W.Name);
+    Json.field("engine", std::string(engineName(Opts.Interp)));
     Json.field("wall_us", R.WallSeconds * 1e6);
     Json.field("compile_wall_us", R.CompileWallUs);
     Json.field("analysis_us", R.AnalysisUs);

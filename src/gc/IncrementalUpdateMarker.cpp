@@ -6,8 +6,11 @@ using namespace satb;
 
 void IncrementalUpdateMarker::beginMarking(
     const std::vector<ObjRef> &MutatorRoots) {
-  assert(!Active && "marking already in progress");
-  Active = true;
+  assert(!isActive() && "marking already in progress");
+  // Runs at a stop-the-world point; fix the card table's footprint first
+  // so concurrent recordWrite can never resize it under the collector.
+  Cards.ensureCapacity(H.maxRef());
+  Active.store(true, std::memory_order_relaxed);
   MarkStack.clear();
   size_t Work = 0;
   for (ObjRef R : MutatorRoots)
@@ -27,13 +30,17 @@ void IncrementalUpdateMarker::pushIfUnmarked(ObjRef R, size_t &Work) {
 
 void IncrementalUpdateMarker::scanObject(ObjRef R, size_t &Work) {
   HeapObject &Obj = H.object(R);
-  for (ObjRef Child : Obj.refSlots())
-    pushIfUnmarked(Child, Work);
+  const ObjRef *Slots = Obj.refs();
+  for (uint32_t I = 0, E = Obj.NumRefs; I != E; ++I)
+    pushIfUnmarked(loadRefAcquire(&Slots[I]), Work);
   ++Work;
 }
 
 void IncrementalUpdateMarker::rescanCard(uint32_t Card, size_t &Work) {
-  Cards.clean(Card);
+  // Clean-then-scan: a store racing past the scan re-dirties the card for
+  // the next pass (the testAndClean RMW orders the scan's reads after the
+  // clean becomes visible).
+  Cards.testAndClean(Card);
   ObjRef Begin = Card << CardTable::CardShift;
   ObjRef End = Begin + (1u << CardTable::CardShift);
   for (ObjRef R = Begin == 0 ? 1 : Begin; R < End && R <= H.maxRef(); ++R) {
@@ -45,15 +52,16 @@ void IncrementalUpdateMarker::rescanCard(uint32_t Card, size_t &Work) {
     // examination: if they become reachable, the write that made them so
     // dirtied a card holding a marked object.)
     if (H.isMarked(R)) {
-      for (ObjRef Child : Obj->refSlots())
-        pushIfUnmarked(Child, Work);
+      const ObjRef *Slots = Obj->refs();
+      for (uint32_t I = 0, E2 = Obj->NumRefs; I != E2; ++I)
+        pushIfUnmarked(loadRefAcquire(&Slots[I]), Work);
     }
     ++Work;
   }
 }
 
 bool IncrementalUpdateMarker::markStep(size_t Budget) {
-  assert(Active && "markStep outside a marking cycle");
+  assert(isActive() && "markStep outside a marking cycle");
   size_t Work = 0;
   while (Work < Budget) {
     if (!MarkStack.empty()) {
@@ -80,7 +88,7 @@ bool IncrementalUpdateMarker::markStep(size_t Budget) {
 
 size_t IncrementalUpdateMarker::finishMarking(
     const std::vector<ObjRef> &MutatorRoots) {
-  assert(Active && "finishMarking outside a marking cycle");
+  assert(isActive() && "finishMarking outside a marking cycle");
   size_t Pause = 0;
   // Roots must be re-scanned: the mutator may have stored the only
   // reference to an object into a root after the concurrent phase visited
@@ -108,12 +116,12 @@ size_t IncrementalUpdateMarker::finishMarking(
     }
   }
   Stats.FinalPauseWork += Pause;
-  Active = false;
+  Active.store(false, std::memory_order_relaxed);
   return Pause;
 }
 
 size_t IncrementalUpdateMarker::sweep() {
-  assert(!Active && "sweep during marking");
+  assert(!isActive() && "sweep during marking");
   size_t Freed = H.sweepUnmarked();
   Stats.SweptObjects += Freed;
   return Freed;

@@ -20,34 +20,57 @@
 
 namespace satb {
 
-/// A card table over ObjRefs: CardShift objects per card.
+/// A card table over ObjRefs: CardShift objects per card. Bytes, not
+/// vector<bool> — mutators dirty cards concurrently and packed bits would
+/// race on the shared word.
+///
+/// Memory protocol: dirty() is a release store and the collector's
+/// testAndClean() an acq_rel exchange, so observing a dirty card also
+/// observes the slot store that preceded it in the barrier ("store the
+/// reference, then dirty the card"). A dirty the exchange races past
+/// survives as a 1 for the next scan pass; the final pause iterates with
+/// the world stopped until no pass finds one.
 class CardTable {
 public:
   static constexpr uint32_t CardShift = 7; ///< 128 objects per card
 
+  /// Pre-sizes the table for refs up to \p MaxRef so no mutator-side
+  /// dirty() can ever resize it while the collector scans (required in
+  /// multi-mutator mode, where heap capacity is fixed up front).
+  void ensureCapacity(ObjRef MaxRef) {
+    uint32_t Cards = (MaxRef >> CardShift) + 1;
+    if (Cards > Dirty.size())
+      Dirty.resize(Cards, 0);
+  }
+
   void dirty(ObjRef R) {
     uint32_t Card = R >> CardShift;
     if (Card >= Dirty.size())
-      Dirty.resize(Card + 1, false);
-    Dirty[Card] = true;
+      Dirty.resize(Card + 1, 0); // single-mutator growth path only
+    __atomic_store_n(&Dirty[Card], uint8_t(1), __ATOMIC_RELEASE);
   }
   bool isDirty(uint32_t Card) const {
-    return Card < Dirty.size() && Dirty[Card];
+    return Card < Dirty.size() &&
+           __atomic_load_n(&Dirty[Card], __ATOMIC_ACQUIRE);
   }
-  void clean(uint32_t Card) {
-    if (Card < Dirty.size())
-      Dirty[Card] = false;
+  /// Cleans the card and \returns whether it was dirty. The acq_rel RMW
+  /// (a locked instruction on x86) keeps the subsequent slot reads from
+  /// starting before the clean is visible — the classic card-scan fence.
+  bool testAndClean(uint32_t Card) {
+    if (Card >= Dirty.size())
+      return false;
+    return __atomic_exchange_n(&Dirty[Card], uint8_t(0), __ATOMIC_ACQ_REL);
   }
   uint32_t numCards() const { return static_cast<uint32_t>(Dirty.size()); }
   bool anyDirty() const {
-    for (bool B : Dirty)
-      if (B)
+    for (size_t I = 0, E = Dirty.size(); I != E; ++I)
+      if (__atomic_load_n(&Dirty[I], __ATOMIC_RELAXED))
         return true;
     return false;
   }
 
 private:
-  std::vector<bool> Dirty;
+  std::vector<uint8_t> Dirty;
 };
 
 struct IncUpdateStats {
@@ -63,17 +86,20 @@ class IncrementalUpdateMarker {
 public:
   explicit IncrementalUpdateMarker(Heap &H) : H(H) {}
 
-  bool isActive() const { return Active; }
+  /// Relaxed: polled by mutators on every ref store; transitions only at
+  /// stop-the-world points ordered by the safepoint handshake.
+  bool isActive() const { return Active.load(std::memory_order_relaxed); }
 
   void beginMarking(const std::vector<ObjRef> &MutatorRoots);
 
   /// Mutator barrier: the card of the written object goes dirty. Also
-  /// called for objects allocated during marking.
+  /// called for objects allocated during marking. Thread-safe (release
+  /// byte store + relaxed counter).
   void recordWrite(ObjRef Obj) {
-    if (!Active)
+    if (!isActive())
       return;
     Cards.dirty(Obj);
-    ++Stats.CardsDirtied;
+    __atomic_fetch_add(&Stats.CardsDirtied, uint64_t(1), __ATOMIC_RELAXED);
   }
 
   /// Concurrent work: trace from the mark stack, refilling it from dirty
@@ -96,8 +122,8 @@ private:
 
   Heap &H;
   CardTable Cards;
-  bool Active = false;
-  std::vector<ObjRef> MarkStack;
+  std::atomic<bool> Active{false};
+  std::vector<ObjRef> MarkStack; ///< collector-thread private
   IncUpdateStats Stats;
 };
 

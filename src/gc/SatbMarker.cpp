@@ -5,8 +5,10 @@
 using namespace satb;
 
 void SatbMarker::beginMarking(const std::vector<ObjRef> &MutatorRoots) {
-  assert(!Active && "marking already in progress");
-  Active = true;
+  assert(!isActive() && "marking already in progress");
+  // Relaxed suffices: beginMarking runs at a stop-the-world point; the
+  // safepoint release ordering publishes the flag to every mutator.
+  Active.store(true, std::memory_order_relaxed);
   H.setAllocateMarked(true);
   MarkStack.clear();
   // Root snapshot: mutator stacks + statics. Roots are marked immediately
@@ -29,10 +31,13 @@ void SatbMarker::pushIfUnmarked(ObjRef R, size_t &Work) {
 
 void SatbMarker::scanObject(ObjRef R, size_t &Work) {
   HeapObject &Obj = H.object(R);
-  Obj.Tracing = TraceState::Tracing;
-  for (ObjRef Child : Obj.refSlots())
-    pushIfUnmarked(Child, Work);
-  Obj.Tracing = TraceState::Traced;
+  storeTracingRelaxed(Obj, TraceState::Tracing);
+  // Acquire per slot: a concurrently stored reference must publish its
+  // referent's table entry and zeroed payload before we push it.
+  const ObjRef *Slots = Obj.refs();
+  for (uint32_t I = 0, E = Obj.NumRefs; I != E; ++I)
+    pushIfUnmarked(loadRefAcquire(&Slots[I]), Work);
+  storeTracingRelaxed(Obj, TraceState::Traced);
   ++Work;
 }
 
@@ -47,7 +52,8 @@ void SatbMarker::logPreValue(ObjRef Pre) {
 void SatbMarker::flushCurrentBuffer() {
   if (CurrentBuffer.empty())
     return;
-  if (Active) {
+  if (isActive()) {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
     ++Stats.BuffersFlushed;
     CompletedBuffers.push_back(std::move(CurrentBuffer));
   } else {
@@ -57,8 +63,24 @@ void SatbMarker::flushCurrentBuffer() {
   CurrentBuffer.clear();
 }
 
+void SatbMarker::flushBuffer(std::vector<ObjRef> &&Buf) {
+  if (Buf.empty())
+    return;
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  // Count at hand-over time (not per logPreValue call) so per-thread
+  // shards need no separate counter merge: the queue lock makes the total
+  // exact regardless of flush interleaving.
+  Stats.LoggedPreValues += Buf.size();
+  if (isActive()) {
+    ++Stats.BuffersFlushed;
+    CompletedBuffers.push_back(std::move(Buf));
+  } else {
+    ++Stats.BuffersDiscarded;
+  }
+}
+
 bool SatbMarker::markStep(size_t Budget) {
-  assert(Active && "markStep outside a marking cycle");
+  assert(isActive() && "markStep outside a marking cycle");
   size_t Work = 0;
   while (Work < Budget) {
     if (!MarkStack.empty()) {
@@ -67,41 +89,48 @@ bool SatbMarker::markStep(size_t Budget) {
       scanObject(R, Work);
       continue;
     }
-    if (!CompletedBuffers.empty()) {
-      std::vector<ObjRef> Buf = std::move(CompletedBuffers.back());
+    std::vector<ObjRef> Buf;
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      if (CompletedBuffers.empty())
+        break;
+      Buf = std::move(CompletedBuffers.back());
       CompletedBuffers.pop_back();
-      for (ObjRef Pre : Buf)
-        pushIfUnmarked(Pre, Work);
-      ++Work;
-      continue;
     }
-    break;
+    for (ObjRef Pre : Buf)
+      pushIfUnmarked(Pre, Work);
+    ++Work;
   }
   Stats.ConcurrentWork += Work;
-  return MarkStack.empty() && CompletedBuffers.empty();
+  if (!MarkStack.empty())
+    return false;
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  return CompletedBuffers.empty();
 }
 
 bool SatbMarker::enterRearrange(ObjRef Arr) {
-  if (!Active || Arr == NullRef)
+  if (!isActive() || Arr == NullRef)
     return false;
   HeapObject *Obj = H.objectOrNull(Arr);
   if (!Obj)
     return false;
+  std::lock_guard<std::mutex> Lock(RearrangeMutex);
   ++Stats.RearrangesEntered;
-  ActiveRearranges[Arr] = Obj->Tracing;
+  ActiveRearranges[Arr] = loadTracingRelaxed(*Obj);
   return true;
 }
 
 void SatbMarker::exitRearrange(ObjRef Arr) {
+  std::lock_guard<std::mutex> Lock(RearrangeMutex);
   auto It = ActiveRearranges.find(Arr);
   if (It == ActiveRearranges.end())
     return;
   TraceState AtEnter = It->second;
   ActiveRearranges.erase(It);
-  if (!Active)
+  if (!isActive())
     return; // finishMarking already retraced the still-active set
   HeapObject *Obj = H.objectOrNull(Arr);
-  TraceState Now = Obj ? Obj->Tracing : TraceState::Traced;
+  TraceState Now = Obj ? loadTracingRelaxed(*Obj) : TraceState::Traced;
   // Safe cases: the marker finished with the array before the loop ran
   // (Traced -> Traced: it saw the pre-loop contents), or it never started
   // (Untraced -> Untraced: it will see the post-loop contents, plus the
@@ -118,49 +147,60 @@ void SatbMarker::exitRearrange(ObjRef Arr) {
 }
 
 size_t SatbMarker::finishMarking() {
-  assert(Active && "finishMarking outside a marking cycle");
-  // The pause: stop the mutator (implicit — the caller is sequential),
-  // flush its in-flight buffer, and drain to completion.
+  assert(isActive() && "finishMarking outside a marking cycle");
+  // The pause: every mutator is stopped (parked at a safepoint in the
+  // multi-mutator driver, or the caller is sequential) with its context
+  // buffer already flushed; drain everything to completion.
   size_t Pause = 0;
   flushCurrentBuffer();
   // Rearrangement loops still in flight, plus every array whose loop
   // overlapped the marker, are rescanned conservatively inside the pause.
-  for (const auto &[Arr, State] : ActiveRearranges) {
-    (void)State;
-    ++Stats.RearrangeRetraces;
-    RetraceList.push_back(Arr);
+  {
+    std::lock_guard<std::mutex> Lock(RearrangeMutex);
+    for (const auto &[Arr, State] : ActiveRearranges) {
+      (void)State;
+      ++Stats.RearrangeRetraces;
+      RetraceList.push_back(Arr);
+    }
+    ActiveRearranges.clear();
+    for (ObjRef Arr : RetraceList) {
+      HeapObject *Obj = H.objectOrNull(Arr);
+      if (!Obj)
+        continue;
+      const ObjRef *Slots = Obj->refs();
+      for (uint32_t I = 0, E = Obj->NumRefs; I != E; ++I)
+        pushIfUnmarked(loadRefAcquire(&Slots[I]), Pause);
+      ++Pause;
+    }
+    RetraceList.clear();
   }
-  ActiveRearranges.clear();
-  for (ObjRef Arr : RetraceList) {
-    HeapObject *Obj = H.objectOrNull(Arr);
-    if (!Obj)
-      continue;
-    for (ObjRef Child : Obj->refSlots())
-      pushIfUnmarked(Child, Pause);
-    ++Pause;
-  }
-  RetraceList.clear();
-  while (!MarkStack.empty() || !CompletedBuffers.empty()) {
+  for (;;) {
     if (!MarkStack.empty()) {
       ObjRef R = MarkStack.back();
       MarkStack.pop_back();
       scanObject(R, Pause);
       continue;
     }
-    std::vector<ObjRef> Buf = std::move(CompletedBuffers.back());
-    CompletedBuffers.pop_back();
+    std::vector<ObjRef> Buf;
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      if (CompletedBuffers.empty())
+        break;
+      Buf = std::move(CompletedBuffers.back());
+      CompletedBuffers.pop_back();
+    }
     for (ObjRef Pre : Buf)
       pushIfUnmarked(Pre, Pause);
     ++Pause;
   }
   Stats.FinalPauseWork += Pause;
-  Active = false;
+  Active.store(false, std::memory_order_relaxed);
   H.setAllocateMarked(false);
   return Pause;
 }
 
 size_t SatbMarker::sweep() {
-  assert(!Active && "sweep during marking");
+  assert(!isActive() && "sweep during marking");
   // A word-wise scan of the heap's live & ~marked bitmaps; the heap
   // clears marks and tracing states afterwards.
   size_t Freed = H.sweepUnmarked();

@@ -26,6 +26,7 @@
 #include "heap/Heap.h"
 
 #include <map>
+#include <mutex>
 
 namespace satb {
 
@@ -48,7 +49,12 @@ public:
   explicit SatbMarker(Heap &H, size_t BufferCapacity = 256)
       : H(H), BufferCapacity(BufferCapacity) {}
 
-  bool isActive() const { return Active; }
+  /// Relaxed: mutators poll this on every barrier slow path. Transitions
+  /// happen only at the stop-the-world edges of a cycle (beginMarking /
+  /// finishMarking), which the safepoint handshake orders against every
+  /// mutator's next step; a stale read in always-log mode only routes one
+  /// extra value through a buffer that gets discarded.
+  bool isActive() const { return Active.load(std::memory_order_relaxed); }
 
   /// Starts a marking cycle: snapshots the roots (mutator stacks passed in;
   /// statics read from the heap), arms allocate-black, and activates the
@@ -58,7 +64,15 @@ public:
   /// Mutator barrier slow path: record the non-null pre-value of an
   /// overwritten reference slot. Works even when marking is inactive (the
   /// Table 2 "always-log" mode); such buffers are recycled unread.
+  /// Single-mutator entry point — multi-mutator engines buffer in their
+  /// MutatorContext and hand over whole buffers via flushBuffer.
   void logPreValue(ObjRef Pre);
+
+  /// Thread-safe hand-over of a completed per-thread SATB buffer. The
+  /// buffer's pre-values count toward LoggedPreValues here (not at log
+  /// time) so the shard totals need no further aggregation. Buffers
+  /// arriving outside a cycle are discarded unread (always-log mode).
+  void flushBuffer(std::vector<ObjRef> &&Buf);
 
   /// Runs up to \p Budget units of concurrent marking (one unit = one
   /// object scanned or one buffer entry consumed). \returns true when no
@@ -90,7 +104,10 @@ public:
   bool enterRearrange(ObjRef Arr);
   /// \returns true if a protocol store on \p Arr may skip logging.
   bool inActiveRearrange(ObjRef Arr) const {
-    return Active && ActiveRearranges.count(Arr) != 0;
+    if (!isActive())
+      return false;
+    std::lock_guard<std::mutex> Lock(RearrangeMutex);
+    return ActiveRearranges.count(Arr) != 0;
   }
   void exitRearrange(ObjRef Arr);
 
@@ -104,10 +121,20 @@ private:
 
   Heap &H;
   size_t BufferCapacity;
-  bool Active = false;
+  std::atomic<bool> Active{false};
+  /// Marker-thread private.
   std::vector<ObjRef> MarkStack;
+  /// Single-mutator log (unused by multi-mutator contexts).
   std::vector<ObjRef> CurrentBuffer;
+  /// Shared hand-over queue: mutators push via flushBuffer, the marker
+  /// pops in markStep/finishMarking. QueueMutex also covers the buffer
+  /// counters so flushBuffer's bookkeeping stays exact under contention.
+  std::mutex QueueMutex;
   std::vector<std::vector<ObjRef>> CompletedBuffers;
+  /// Rearrangement protocol state (shared when several mutators bracket
+  /// arrays; the protocol itself is only sound single-mutator, see
+  /// DESIGN.md, but the bookkeeping must not race).
+  mutable std::mutex RearrangeMutex;
   std::map<ObjRef, TraceState> ActiveRearranges;
   std::vector<ObjRef> RetraceList;
   SatbStats Stats;

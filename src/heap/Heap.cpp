@@ -41,8 +41,21 @@ Heap::Heap(const Program &P) : P(P) {
   MarkWords.push_back(0);
 }
 
+char *Heap::carveFromSlab(uint32_t Bytes) {
+  if (static_cast<size_t>(SlabEnd - SlabCur) < Bytes) {
+    size_t Size = std::max<size_t>(SlabBytes, Bytes);
+    Slabs.push_back(std::make_unique<char[]>(Size));
+    SlabCur = Slabs.back().get();
+    SlabEnd = SlabCur + Size;
+  }
+  char *Mem = SlabCur;
+  SlabCur += Bytes;
+  return Mem;
+}
+
 HeapObject *Heap::allocateBlock(uint32_t Bytes) {
   assert(Bytes % 8 == 0 && "block sizes are 8-byte rounded");
+  assert(!MultiMutator && "single-mutator allocation in multi-mutator mode");
   char *Mem = nullptr;
   if (Bytes <= SmallClassBytes) {
     std::vector<char *> &Bucket = SmallFree[Bytes / 8];
@@ -60,16 +73,8 @@ HeapObject *Heap::allocateBlock(uint32_t Bytes) {
       }
     }
   }
-  if (!Mem) {
-    if (static_cast<size_t>(SlabEnd - SlabCur) < Bytes) {
-      size_t Size = std::max<size_t>(SlabBytes, Bytes);
-      Slabs.push_back(std::make_unique<char[]>(Size));
-      SlabCur = Slabs.back().get();
-      SlabEnd = SlabCur + Size;
-    }
-    Mem = SlabCur;
-    SlabCur += Bytes;
-  }
+  if (!Mem)
+    Mem = carveFromSlab(Bytes);
   HeapObject *Obj = new (Mem) HeapObject;
   return Obj;
 }
@@ -96,9 +101,107 @@ ObjRef Heap::install(HeapObject *Obj) {
     }
   }
   LiveWords[R >> 6] |= uint64_t(1) << (R & 63);
-  if (AllocateMarked)
+  if (AllocateMarked.load(std::memory_order_relaxed))
     MarkWords[R >> 6] |= uint64_t(1) << (R & 63);
   return R;
+}
+
+void Heap::enterMultiMutator(uint32_t CapacityRefs) {
+  assert(!MultiMutator && "already in multi-mutator mode");
+  assert(CapacityRefs > Table.size() && "capacity below current table size");
+  // Fix the table and bitmaps at full capacity up front: no mutator-side
+  // allocation may ever reallocate them while other threads hold raw
+  // pointers into them (tableData(), bitmap words).
+  ObjRef FirstFresh = static_cast<ObjRef>(Table.size());
+  Table.resize(CapacityRefs, nullptr);
+  LiveWords.resize((CapacityRefs + 63) / 64, 0);
+  MarkWords.resize((CapacityRefs + 63) / 64, 0);
+  // Start ref handout at the next 64-aligned block so TLAB ref blocks own
+  // whole bitmap words and never share one with pre-existing objects.
+  RefCursor = (FirstFresh + 63) & ~static_cast<ObjRef>(63);
+  MultiMutator = true;
+}
+
+void Heap::exitMultiMutator() {
+  assert(MultiMutator && "not in multi-mutator mode");
+  MultiMutator = false;
+}
+
+char *Heap::tlabBlock(Tlab &T, uint32_t Bytes) {
+  assert(Bytes % 8 == 0 && "block sizes are 8-byte rounded");
+  if (static_cast<size_t>(T.End - T.Cur) >= Bytes) {
+    char *Mem = T.Cur;
+    T.Cur += Bytes;
+    return Mem;
+  }
+  std::lock_guard<std::mutex> Lock(SlowLock);
+  if (Bytes >= TlabChunkBytes) {
+    // Large blocks are carved directly; refilling the TLAB with them
+    // would just discard the remainder.
+    return carveFromSlab(Bytes);
+  }
+  char *Chunk = carveFromSlab(TlabChunkBytes);
+  T.Cur = Chunk + Bytes;
+  T.End = Chunk + TlabChunkBytes;
+  return Chunk;
+}
+
+ObjRef Heap::tlabInstall(Tlab &T, HeapObject *Obj) {
+  std::memset(static_cast<void *>(Obj + 1), 0,
+              Obj->blockBytes() - sizeof(HeapObject));
+  __atomic_fetch_add(&NumAllocated, uint64_t(1), __ATOMIC_RELAXED);
+  __atomic_fetch_add(&NumLive, uint64_t(1), __ATOMIC_RELAXED);
+  __atomic_fetch_add(&BytesAllocated, uint64_t(Obj->blockBytes()),
+                     __ATOMIC_RELAXED);
+  if (T.NextRef == T.RefEnd) {
+    std::lock_guard<std::mutex> Lock(SlowLock);
+    T.NextRef = RefCursor;
+    RefCursor += RefBlockRefs;
+    T.RefEnd = RefCursor;
+    assert(T.RefEnd <= Table.size() &&
+           "heap over capacity — raise MultiMutatorConfig::HeapCapacityRefs");
+  }
+  ObjRef R = T.NextRef++;
+  // Live/mark bits first, table entry last: the release publication of
+  // Table[R] is what makes the object visible, and any observer then sees
+  // a fully formed (zeroed, live, maybe born-marked) object.
+  __atomic_fetch_or(&LiveWords[R >> 6], uint64_t(1) << (R & 63),
+                    __ATOMIC_RELAXED);
+  if (AllocateMarked.load(std::memory_order_relaxed))
+    __atomic_fetch_or(&MarkWords[R >> 6], uint64_t(1) << (R & 63),
+                      __ATOMIC_RELAXED);
+  __atomic_store_n(&Table[R], Obj, __ATOMIC_RELEASE);
+  return R;
+}
+
+ObjRef Heap::allocateObjectTlab(Tlab &T, ClassId C) {
+  const ClassLayout &L = Layouts[C];
+  HeapObject Header;
+  Header.Kind = ObjectKind::Object;
+  Header.Class = C;
+  Header.NumRefs = L.NumRefs;
+  Header.NumInts = L.NumInts;
+  HeapObject *Obj = new (tlabBlock(T, Header.blockBytes())) HeapObject;
+  *Obj = Header;
+  return tlabInstall(T, Obj);
+}
+
+ObjRef Heap::allocateRefArrayTlab(Tlab &T, uint32_t Length) {
+  HeapObject Header;
+  Header.Kind = ObjectKind::RefArray;
+  Header.NumRefs = Length;
+  HeapObject *Obj = new (tlabBlock(T, Header.blockBytes())) HeapObject;
+  *Obj = Header;
+  return tlabInstall(T, Obj);
+}
+
+ObjRef Heap::allocateIntArrayTlab(Tlab &T, uint32_t Length) {
+  HeapObject Header;
+  Header.Kind = ObjectKind::IntArray;
+  Header.NumInts = Length;
+  HeapObject *Obj = new (tlabBlock(T, Header.blockBytes())) HeapObject;
+  *Obj = Header;
+  return tlabInstall(T, Obj);
 }
 
 ObjRef Heap::allocateObject(ClassId C) {

@@ -26,14 +26,45 @@
 
 #include "bytecode/Program.h"
 
+#include <atomic>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace satb {
 
 using ObjRef = uint32_t;
 constexpr ObjRef NullRef = 0;
+
+// --- Shared-slot access helpers ---------------------------------------------
+//
+// In multi-mutator mode, heap reference slots are written by one thread and
+// read by mutator threads and the concurrent marker. The protocol:
+//
+//  - reference-slot *stores* are release: the store publishes the referent
+//    (whose header/payload writes and object-table entry precede it in
+//    program order);
+//  - reference-slot *loads* are acquire: a reader that observes the new
+//    value also observes the referent's initialization and table entry;
+//  - integer slots are relaxed: no data is published through them.
+//
+// On x86-64 all of these compile to plain MOVs — the helpers exist for the
+// memory model (and for ThreadSanitizer), not for speed. The single-mutator
+// engines use them too so the two paths cannot diverge.
+
+inline ObjRef loadRefAcquire(const ObjRef *P) {
+  return __atomic_load_n(P, __ATOMIC_ACQUIRE);
+}
+inline void storeRefRelease(ObjRef *P, ObjRef V) {
+  __atomic_store_n(P, V, __ATOMIC_RELEASE);
+}
+inline int64_t loadIntRelaxed(const int64_t *P) {
+  return __atomic_load_n(P, __ATOMIC_RELAXED);
+}
+inline void storeIntRelaxed(int64_t *P, int64_t V) {
+  __atomic_store_n(P, V, __ATOMIC_RELAXED);
+}
 
 enum class ObjectKind : uint8_t { Object, RefArray, IntArray };
 
@@ -87,6 +118,19 @@ struct alignas(8) HeapObject {
 static_assert(sizeof(HeapObject) == 16, "header must stay 16 bytes");
 static_assert(alignof(HeapObject) == 8, "payload int slots need 8-align");
 
+/// Tracing-state access shared by the marker (writer) and the mutators'
+/// rearrangement protocol (readers). Relaxed: the protocol tolerates stale
+/// states — a mis-read only sends an array to the conservative retrace
+/// list, never skips required work.
+inline TraceState loadTracingRelaxed(const HeapObject &O) {
+  return static_cast<TraceState>(__atomic_load_n(
+      reinterpret_cast<const uint8_t *>(&O.Tracing), __ATOMIC_RELAXED));
+}
+inline void storeTracingRelaxed(HeapObject &O, TraceState S) {
+  __atomic_store_n(reinterpret_cast<uint8_t *>(&O.Tracing),
+                   static_cast<uint8_t>(S), __ATOMIC_RELAXED);
+}
+
 /// Where a FieldId lives inside an object of its owning class.
 struct FieldSlot {
   JType Type = JType::Ref;
@@ -109,10 +153,49 @@ public:
   ObjRef allocateRefArray(uint32_t Length);
   ObjRef allocateIntArray(uint32_t Length);
 
+  // --- TLAB allocation (multi-mutator mode) -------------------------------
+  //
+  // Each MutatorContext owns a Tlab: a private bump region carved from the
+  // shared slabs plus a private block of 64 consecutive ObjRefs. The fast
+  // path (bump + ref from the block) touches no shared mutable state; both
+  // refills go through the mutex-guarded slow path. Ref blocks are aligned
+  // to 64 so each context owns whole live/mark bitmap words for the objects
+  // it installs; only the marker's setMarked can touch them concurrently,
+  // which is why the bit sets are fetch_or. TLAB allocation ignores the
+  // free lists and FreeRefs (valid only because frees happen solely in
+  // stop-the-world sweeps; recycled space is picked up again once the heap
+  // leaves multi-mutator mode).
+
+  struct Tlab {
+    char *Cur = nullptr;
+    char *End = nullptr;
+    ObjRef NextRef = 0;
+    ObjRef RefEnd = 0;
+  };
+
+  /// Fixes the object table and bitmaps at \p CapacityRefs entries so no
+  /// allocation can ever move them while mutator threads run, and switches
+  /// ref handout to 64-aligned private blocks. Call with no threads live.
+  void enterMultiMutator(uint32_t CapacityRefs);
+  /// Leaves multi-mutator mode (table stays at capacity; the cursor's
+  /// high-water mark is kept). Call with no threads live.
+  void exitMultiMutator();
+  bool multiMutator() const { return MultiMutator; }
+
+  ObjRef allocateObjectTlab(Tlab &T, ClassId C);
+  ObjRef allocateRefArrayTlab(Tlab &T, uint32_t Length);
+  ObjRef allocateIntArrayTlab(Tlab &T, uint32_t Length);
+
   /// While set, freshly allocated objects are born marked ("objects
   /// allocated during marking, while implicitly marked, are not part of
   /// the snapshot", Section 1). The SATB marker sets this during marking.
-  void setAllocateMarked(bool V) { AllocateMarked = V; }
+  /// Atomic because mutator threads read it on every allocation; relaxed
+  /// is sufficient because it only transitions inside stop-the-world
+  /// pauses (begin/finish of marking), which already order it against
+  /// every mutator's next allocation via the safepoint handshake.
+  void setAllocateMarked(bool V) {
+    AllocateMarked.store(V, std::memory_order_relaxed);
+  }
 
   // --- Access -------------------------------------------------------------
 
@@ -137,11 +220,13 @@ public:
   HeapObject *const *tableData() const { return Table.data(); }
 
   /// \returns the object or null if freed/never allocated (for GC sweeps
-  /// and oracles).
+  /// and oracles). Acquire pairs with the release publication of Table[R]
+  /// in install/tlabInstall: an index-based scan (e.g. card rescans) that
+  /// observes the entry also observes the zeroed payload behind it.
   HeapObject *objectOrNull(ObjRef R) {
     if (R == NullRef || R >= Table.size())
       return nullptr;
-    return Table[R];
+    return __atomic_load_n(&Table[R], __ATOMIC_ACQUIRE);
   }
 
   const FieldSlot &fieldSlot(FieldId F) const {
@@ -162,16 +247,31 @@ public:
   int64_t *staticIntsData() { return StaticInts.data(); }
 
   // --- Mark / liveness bitmaps ---------------------------------------------
+  //
+  // Bitmap words are shared between the marker (setMarked) and allocating
+  // mutators (tlabInstall sets live + born-marked bits). TLAB ref blocks
+  // are 64-aligned so two mutators never touch the same word, but the
+  // marker may hit a word a mutator is installing into — hence fetch_or.
+  // Relaxed is enough: the bits carry no payload; every read that decides
+  // liveness/sweeping happens at a stop-the-world point ordered by the
+  // safepoint handshake.
 
   bool isLive(ObjRef R) const {
-    return R < Table.size() && (LiveWords[R >> 6] >> (R & 63)) & 1;
+    return R < Table.size() &&
+           (__atomic_load_n(&LiveWords[R >> 6], __ATOMIC_RELAXED) >>
+            (R & 63)) &
+               1;
   }
   bool isMarked(ObjRef R) const {
-    return R < Table.size() && (MarkWords[R >> 6] >> (R & 63)) & 1;
+    return R < Table.size() &&
+           (__atomic_load_n(&MarkWords[R >> 6], __ATOMIC_RELAXED) >>
+            (R & 63)) &
+               1;
   }
   void setMarked(ObjRef R) {
     assert(isLive(R) && "marking a non-live reference");
-    MarkWords[R >> 6] |= uint64_t(1) << (R & 63);
+    __atomic_fetch_or(&MarkWords[R >> 6], uint64_t(1) << (R & 63),
+                      __ATOMIC_RELAXED);
   }
 
   // --- GC support -----------------------------------------------------------
@@ -186,13 +286,27 @@ public:
   /// marking complete.
   size_t sweepUnmarked();
 
-  uint64_t numAllocated() const { return NumAllocated; }
-  uint64_t numLive() const { return NumLive; }
-  uint64_t bytesAllocatedApprox() const { return BytesAllocated; }
+  // Counter reads may race with TLAB installs (e.g. the coordinator's
+  // warmup wait); relaxed atomics keep them exact without ordering cost.
+  uint64_t numAllocated() const {
+    return __atomic_load_n(&NumAllocated, __ATOMIC_RELAXED);
+  }
+  uint64_t numLive() const { return __atomic_load_n(&NumLive, __ATOMIC_RELAXED); }
+  uint64_t bytesAllocatedApprox() const {
+    return __atomic_load_n(&BytesAllocated, __ATOMIC_RELAXED);
+  }
 
 private:
   HeapObject *allocateBlock(uint32_t Bytes);
   ObjRef install(HeapObject *Obj);
+  /// Bump-carves \p Bytes from the current slab, starting a new slab if
+  /// needed. In multi-mutator mode the caller must hold SlowLock.
+  char *carveFromSlab(uint32_t Bytes);
+  /// Refill-aware bump allocation for a TLAB; takes SlowLock on refill.
+  char *tlabBlock(Tlab &T, uint32_t Bytes);
+  /// Installs a header into the fixed-capacity table using the TLAB's
+  /// private ref block (refilled under SlowLock from RefCursor).
+  ObjRef tlabInstall(Tlab &T, HeapObject *Obj);
 
   const Program &P;
   /// Indexed directly by ObjRef; Table[0] is always null.
@@ -222,10 +336,21 @@ private:
   std::vector<FieldSlot> FieldSlots; ///< indexed by FieldId
   std::vector<ObjRef> StaticRefs;    ///< indexed by StaticFieldId (refs)
   std::vector<int64_t> StaticInts;
-  bool AllocateMarked = false;
+  std::atomic<bool> AllocateMarked{false};
   uint64_t NumAllocated = 0;
   uint64_t NumLive = 0;
   uint64_t BytesAllocated = 0;
+
+  // --- Multi-mutator state -------------------------------------------------
+  /// Guards slab refills, TLAB chunk carving, and ref-block handout; the
+  /// only lock on the allocation path, taken once per ~8 KiB of payload or
+  /// 64 installs.
+  std::mutex SlowLock;
+  bool MultiMutator = false;
+  /// Next unhanded ObjRef in multi-mutator mode (64-aligned handout).
+  ObjRef RefCursor = 0;
+  static constexpr uint32_t RefBlockRefs = 64;
+  static constexpr uint32_t TlabChunkBytes = 8192;
 };
 
 /// Stop-the-world reachability (the snapshot oracle): a bit per ObjRef

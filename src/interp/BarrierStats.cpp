@@ -25,6 +25,23 @@ void BarrierStats::init(const CompiledProgram &CP) {
   }
 }
 
+void BarrierStats::merge(const BarrierStats &Other) {
+  assert(Flat.size() == Other.Flat.size() && Offsets == Other.Offsets &&
+         "merging shards of different programs");
+  for (size_t I = 0, E = Flat.size(); I != E; ++I) {
+    SiteStats &D = Flat[I];
+    const SiteStats &S = Other.Flat[I];
+    assert(D.IsArray == S.IsArray && D.ElideDecision == S.ElideDecision &&
+           D.RearrangeDecision == S.RearrangeDecision &&
+           D.Reason == S.Reason && "shards disagree on translation facts");
+    D.Execs += S.Execs;
+    D.PreNull += S.PreNull;
+    D.Elided += S.Elided;
+    D.Rearranged += S.Rearranged;
+    D.Violations += S.Violations;
+  }
+}
+
 BarrierStats::Summary BarrierStats::summarize() const {
   Summary S;
   for (const SiteStats &SS : Flat) {

@@ -108,6 +108,13 @@ public:
 
   Summary summarize() const;
 
+  /// Folds another shard's dynamic counters into this one. Both must be
+  /// init'ed from the same compiled program: per-site decision fields
+  /// (IsArray, ElideDecision, RearrangeDecision, Reason) are translation
+  /// facts, identical across shards, and are asserted to agree. Used by
+  /// the multi-mutator driver to aggregate each engine's per-thread shard.
+  void merge(const BarrierStats &Other);
+
   /// One row per executed site, sorted by descending execution count —
   /// the "most-frequently-executed store sites" listing of Section 4.3.
   struct SiteRow {

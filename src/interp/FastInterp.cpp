@@ -29,7 +29,7 @@ int64_t wrap32(int64_t V) { return static_cast<int32_t>(V); }
 
 FastInterp::FastInterp(const FastProgram &FP, const CompiledProgram &CP,
                        Heap &H)
-    : FP(FP), H(H) {
+    : FP(FP), H(H), Ctx(H) {
   Stats.init(CP);
   Sites = Stats.flatData();
   StaticR = H.staticRefsData();
@@ -124,7 +124,7 @@ void FastInterp::collectRoots(std::vector<ObjRef> &Out) const {
       BarrierCost += 3;                                                        \
       if (Pre != NullRef) {                                                    \
         BarrierCost += 6;                                                      \
-        Satb->logPreValue(Pre);                                                \
+        Ctx.logPreValue(Pre);                                                  \
       }                                                                        \
     }                                                                          \
   } while (0)
@@ -135,7 +135,7 @@ void FastInterp::collectRoots(std::vector<ObjRef> &Out) const {
     if (Pre != NullRef) {                                                      \
       BarrierCost += 6;                                                        \
       if (Satb)                                                                \
-        Satb->logPreValue(Pre);                                                \
+        Ctx.logPreValue(Pre);                                                  \
     }                                                                          \
   } while (0)
 
@@ -164,7 +164,7 @@ void FastInterp::collectRoots(std::vector<ObjRef> &Out) const {
       O.Class != static_cast<ClassId>(IP->B))                                  \
     TRAP(BadFieldAccess);                                                      \
   ObjRef *SlotP = O.refs() + IP->A;                                            \
-  ObjRef Pre = *SlotP;                                                         \
+  ObjRef Pre = loadRefAcquire(SlotP);                                          \
   SiteStats &SS = Sites[IP->Site];                                             \
   ++SS.Execs;                                                                  \
   if (Pre == NullRef)                                                          \
@@ -173,7 +173,7 @@ void FastInterp::collectRoots(std::vector<ObjRef> &Out) const {
 #define PUTSTATIC_REF_PROLOGUE()                                               \
   Slot Val = POP();                                                            \
   ObjRef *SlotP = StaticR + IP->A;                                             \
-  ObjRef Pre = *SlotP;                                                         \
+  ObjRef Pre = loadRefAcquire(SlotP);                                          \
   SiteStats &SS = Sites[IP->Site];                                             \
   ++SS.Execs;                                                                  \
   if (Pre == NullRef)                                                          \
@@ -191,7 +191,7 @@ void FastInterp::collectRoots(std::vector<ObjRef> &Out) const {
   if (Idx < 0 || Idx >= O.arrayLength())                                       \
     TRAP(OutOfBounds);                                                         \
   ObjRef *SlotP = O.refs() + Idx;                                              \
-  ObjRef Pre = *SlotP;                                                         \
+  ObjRef Pre = loadRefAcquire(SlotP);                                          \
   SiteStats &SS = Sites[IP->Site];                                             \
   ++SS.Execs;                                                                  \
   if (Pre == NullRef)                                                          \
@@ -205,8 +205,11 @@ RunStatus FastInterp::step(uint64_t MaxSteps) {
   Slot *Base = Frames.back().Base;
   Slot *SP = Frames.back().SP;
   // Object-table base, cached across heap accesses; only allocation can
-  // grow the table, so only the New* handlers refresh it.
+  // grow the table, so only the New* handlers refresh it. (In
+  // multi-mutator mode the table is fixed at capacity and never moves.)
   HeapObject *const *Tbl = H.tableData();
+  // Safepoint poll flag, null unless the multi-mutator driver armed it.
+  const std::atomic<bool> *SpReq = Ctx.safepointFlag();
 
 #ifndef SATB_SWITCH_DISPATCH
   static const void *const Labels[] = {
@@ -301,7 +304,7 @@ DispatchTop:
     if (O.Kind != ObjectKind::Object ||
         O.Class != static_cast<ClassId>(IP->B))
       TRAP(BadFieldAccess);
-    PUSH(Slot::ofRef(O.refs()[IP->A]));
+    PUSH(Slot::ofRef(loadRefAcquire(O.refs() + IP->A)));
     NEXT();
   }
   CASE(GetFieldInt) {
@@ -312,7 +315,7 @@ DispatchTop:
     if (O.Kind != ObjectKind::Object ||
         O.Class != static_cast<ClassId>(IP->B))
       TRAP(BadFieldAccess);
-    PUSH(Slot::ofInt(O.ints()[IP->A]));
+    PUSH(Slot::ofInt(loadIntRelaxed(O.ints() + IP->A)));
     NEXT();
   }
   CASE(PutFieldInt) {
@@ -324,30 +327,30 @@ DispatchTop:
     if (O.Kind != ObjectKind::Object ||
         O.Class != static_cast<ClassId>(IP->B))
       TRAP(BadFieldAccess);
-    O.ints()[IP->A] = Val.Int;
+    storeIntRelaxed(O.ints() + IP->A, Val.Int);
     NEXT();
   }
   CASE(PutFieldRef_Elided) {
     PUTFIELD_REF_PROLOGUE();
     BARRIER_ELIDED(Val.Ref);
-    *SlotP = Val.Ref;
+    storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
   CASE(PutFieldRef_NoBarrier) {
     PUTFIELD_REF_PROLOGUE();
-    *SlotP = Val.Ref;
+    storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
   CASE(PutFieldRef_Satb) {
     PUTFIELD_REF_PROLOGUE();
     BARRIER_SATB();
-    *SlotP = Val.Ref;
+    storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
   CASE(PutFieldRef_AlwaysLog) {
     PUTFIELD_REF_PROLOGUE();
     BARRIER_ALWAYSLOG();
-    *SlotP = Val.Ref;
+    storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
   CASE(PutFieldRef_Card) {
@@ -355,42 +358,42 @@ DispatchTop:
     BarrierCost += 2;
     if (Inc)
       Inc->recordWrite(Obj);
-    *SlotP = Val.Ref;
+    storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
   CASE(GetStaticRef) {
-    PUSH(Slot::ofRef(StaticR[IP->A]));
+    PUSH(Slot::ofRef(loadRefAcquire(StaticR + IP->A)));
     NEXT();
   }
   CASE(GetStaticInt) {
-    PUSH(Slot::ofInt(StaticI[IP->A]));
+    PUSH(Slot::ofInt(loadIntRelaxed(StaticI + IP->A)));
     NEXT();
   }
   CASE(PutStaticInt) {
-    StaticI[IP->A] = POP().Int;
+    storeIntRelaxed(StaticI + IP->A, POP().Int);
     NEXT();
   }
   CASE(PutStaticRef_Elided) {
     PUTSTATIC_REF_PROLOGUE();
     BARRIER_ELIDED(Val.Ref);
-    *SlotP = Val.Ref;
+    storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
   CASE(PutStaticRef_NoBarrier) {
     PUTSTATIC_REF_PROLOGUE();
-    *SlotP = Val.Ref;
+    storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
   CASE(PutStaticRef_Satb) {
     PUTSTATIC_REF_PROLOGUE();
     BARRIER_SATB();
-    *SlotP = Val.Ref;
+    storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
   CASE(PutStaticRef_AlwaysLog) {
     PUTSTATIC_REF_PROLOGUE();
     BARRIER_ALWAYSLOG();
-    *SlotP = Val.Ref;
+    storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
   CASE(PutStaticRef_Card) {
@@ -398,11 +401,11 @@ DispatchTop:
     // The written "object" is the statics area: no card to dirty (the
     // reference engine passes Base = NullRef).
     BarrierCost += 2;
-    *SlotP = Val.Ref;
+    storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
   CASE(NewInstance) {
-    ObjRef R = H.allocateObject(static_cast<ClassId>(IP->A));
+    ObjRef R = Ctx.allocateObject(static_cast<ClassId>(IP->A));
     Tbl = H.tableData();
     if (Inc && Inc->isActive())
       Inc->recordWrite(R); // new objects must be examined (Section 1)
@@ -413,7 +416,7 @@ DispatchTop:
     int64_t Len = POP().Int;
     if (Len < 0)
       TRAP(NegativeArraySize);
-    ObjRef R = H.allocateRefArray(static_cast<uint32_t>(Len));
+    ObjRef R = Ctx.allocateRefArray(static_cast<uint32_t>(Len));
     Tbl = H.tableData();
     if (Inc && Inc->isActive())
       Inc->recordWrite(R);
@@ -424,7 +427,7 @@ DispatchTop:
     int64_t Len = POP().Int;
     if (Len < 0)
       TRAP(NegativeArraySize);
-    ObjRef R = H.allocateIntArray(static_cast<uint32_t>(Len));
+    ObjRef R = Ctx.allocateIntArray(static_cast<uint32_t>(Len));
     Tbl = H.tableData();
     if (Inc && Inc->isActive())
       Inc->recordWrite(R);
@@ -441,7 +444,7 @@ DispatchTop:
       TRAP(BadFieldAccess);
     if (Idx < 0 || Idx >= O.arrayLength())
       TRAP(OutOfBounds);
-    PUSH(Slot::ofRef(O.refs()[Idx]));
+    PUSH(Slot::ofRef(loadRefAcquire(O.refs() + Idx)));
     NEXT();
   }
   CASE(IALoad) {
@@ -454,7 +457,7 @@ DispatchTop:
       TRAP(BadFieldAccess);
     if (Idx < 0 || Idx >= O.arrayLength())
       TRAP(OutOfBounds);
-    PUSH(Slot::ofInt(O.ints()[Idx]));
+    PUSH(Slot::ofInt(loadIntRelaxed(O.ints() + Idx)));
     NEXT();
   }
   CASE(IAStore) {
@@ -468,7 +471,7 @@ DispatchTop:
       TRAP(BadFieldAccess);
     if (Idx < 0 || Idx >= O.arrayLength())
       TRAP(OutOfBounds);
-    O.ints()[Idx] = Val.Int;
+    storeIntRelaxed(O.ints() + Idx, Val.Int);
     NEXT();
   }
   CASE(ArrayLength) {
@@ -484,24 +487,24 @@ DispatchTop:
   CASE(AAStore_Elided) {
     AASTORE_PROLOGUE();
     BARRIER_ELIDED(Val.Ref);
-    *SlotP = Val.Ref;
+    storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
   CASE(AAStore_NoBarrier) {
     AASTORE_PROLOGUE();
-    *SlotP = Val.Ref;
+    storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
   CASE(AAStore_Satb) {
     AASTORE_PROLOGUE();
     BARRIER_SATB();
-    *SlotP = Val.Ref;
+    storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
   CASE(AAStore_AlwaysLog) {
     AASTORE_PROLOGUE();
     BARRIER_ALWAYSLOG();
-    *SlotP = Val.Ref;
+    storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
   CASE(AAStore_Card) {
@@ -509,7 +512,7 @@ DispatchTop:
     BarrierCost += 2;
     if (Inc)
       Inc->recordWrite(Arr);
-    *SlotP = Val.Ref;
+    storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
   CASE(AAStore_Rearr_Satb) {
@@ -520,7 +523,7 @@ DispatchTop:
     } else {
       BARRIER_SATB();
     }
-    *SlotP = Val.Ref;
+    storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
   CASE(AAStore_Rearr_AlwaysLog) {
@@ -531,7 +534,7 @@ DispatchTop:
     } else {
       BARRIER_ALWAYSLOG();
     }
-    *SlotP = Val.Ref;
+    storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
   CASE(Invoke) {
@@ -730,7 +733,7 @@ DispatchTop:
       if (O.Kind == ObjectKind::RefArray && Idx >= 0 &&
           Idx < O.arrayLength()) {
         BarrierCost += 3; // log the dropped element + read tracing state
-        ObjRef Dropped = O.refs()[Idx];
+        ObjRef Dropped = loadRefAcquire(O.refs() + Idx);
         if (Dropped != NullRef)
           Satb->logPreValue(Dropped);
         Satb->enterRearrange(Arr);
@@ -747,7 +750,7 @@ DispatchTop:
       if (O.Kind == ObjectKind::RefArray && Idx >= 0 &&
           Idx < O.arrayLength()) {
         BarrierCost += 3;
-        ObjRef Dropped = O.refs()[Idx];
+        ObjRef Dropped = loadRefAcquire(O.refs() + Idx);
         if (Dropped != NullRef)
           Satb->logPreValue(Dropped);
         Satb->enterRearrange(Arr);
@@ -760,6 +763,18 @@ DispatchTop:
     BarrierCost += 2;
     if (Satb && Arr != NullRef)
       Satb->exitRearrange(Arr);
+    NEXT();
+  }
+  CASE(Safepoint) {
+    // A poll is one relaxed load + branch; refund its fuel so Steps
+    // counts only real instructions (step totals stay comparable with the
+    // poll-free translation). On a pending request, suspend past the poll
+    // with Status still Running — the driver parks and resumes.
+    ++Fuel;
+    if (SpReq && SpReq->load(std::memory_order_relaxed)) {
+      ++IP;
+      goto ExitLoop;
+    }
     NEXT();
   }
 

@@ -21,6 +21,7 @@
 #ifndef SATB_INTERP_FASTINTERP_H
 #define SATB_INTERP_FASTINTERP_H
 
+#include "gc/MutatorContext.h"
 #include "interp/Interpreter.h"
 #include "jit/FastCode.h"
 
@@ -31,8 +32,16 @@ public:
   /// \p FP must be the translation of \p CP; both must outlive the engine.
   FastInterp(const FastProgram &FP, const CompiledProgram &CP, Heap &H);
 
-  void attachSatb(SatbMarker *M) { Satb = M; }
+  void attachSatb(SatbMarker *M) {
+    Satb = M;
+    Ctx.bindSatb(M);
+  }
   void attachIncUpdate(IncrementalUpdateMarker *M) { Inc = M; }
+
+  /// The engine's per-thread runtime state (TLAB, SATB buffer, safepoint
+  /// flag). The multi-mutator driver switches it to buffered mode and
+  /// flushes it at stop-the-world points.
+  MutatorContext &context() { return Ctx; }
 
   void start(MethodId Entry, const std::vector<int64_t> &IntArgs = {});
   RunStatus step(uint64_t MaxSteps);
@@ -75,6 +84,7 @@ private:
   Heap &H;
   SatbMarker *Satb = nullptr;
   IncrementalUpdateMarker *Inc = nullptr;
+  MutatorContext Ctx;
 
   std::vector<Slot> Arena; ///< MaxCallDepth * MaxFrameSlots, never resized
   std::vector<Frame> Frames;

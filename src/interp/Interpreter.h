@@ -67,6 +67,13 @@ public:
   void attachSatb(SatbMarker *M) { Satb = M; }
   void attachIncUpdate(IncrementalUpdateMarker *M) { Inc = M; }
 
+  /// Arms safepoint polling: step() returns (Status still Running) when
+  /// \p Flag is set and the next instruction is a branch or call — the
+  /// same park points the fast engine's translated Safepoint polls give.
+  /// The reference engine stays the single-mutator oracle; this exists so
+  /// both engines expose one suspension interface.
+  void attachSafepoint(const std::atomic<bool> *Flag) { SafepointReq = Flag; }
+
   /// Begins execution of \p Entry. \p IntArgs fill the method's (int-only)
   /// parameters; missing args default to 0.
   void start(MethodId Entry, const std::vector<int64_t> &IntArgs = {});
@@ -135,6 +142,7 @@ private:
   Heap &H;
   SatbMarker *Satb = nullptr;
   IncrementalUpdateMarker *Inc = nullptr;
+  const std::atomic<bool> *SafepointReq = nullptr;
 
   std::vector<Frame> Frames;
   RunStatus Status = RunStatus::NotStarted;

@@ -1,0 +1,104 @@
+//===- interp/Safepoint.h - Stop-the-world handshake -----------*- C++ -*-===//
+///
+/// \file
+/// The safepoint protocol the multi-mutator driver uses for real
+/// stop-the-world pauses. Mutator engines poll one atomic flag at
+/// translated Safepoint instructions (loop back-edges and call sites, see
+/// jit/FastTranslate.cpp); when a coordinator requests a pause every
+/// mutator parks on the coordinator's mutex, the coordinator runs the
+/// pause work (flush SATB buffers, scan roots, begin/finish marking) with
+/// every thread stopped, then releases them.
+///
+/// The hot path is exactly one relaxed load + branch per poll site. All
+/// ordering comes from the park mutex: everything a mutator did before
+/// parking happens-before the pause work, and the pause work
+/// happens-before anything the mutator does after release — which is why
+/// the marking flags themselves can be relaxed.
+///
+/// A generation counter distinguishes consecutive pauses so a mutator
+/// released from pause N cannot be confused into satisfying pause N+1's
+/// headcount without actually parking again.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_INTERP_SAFEPOINT_H
+#define SATB_INTERP_SAFEPOINT_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace satb {
+
+class SafepointCoordinator {
+public:
+  /// Every mutator thread registers before it starts executing; the
+  /// stop-the-world headcount waits for Parked + Exited == Registered.
+  void registerMutator() {
+    std::lock_guard<std::mutex> Lock(M);
+    ++Registered;
+  }
+
+  /// A mutator that finished (or trapped) counts as permanently parked.
+  void markExited() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      ++Exited;
+    }
+    CoordinatorCV.notify_all();
+  }
+
+  /// The flag mutator engines cache and poll (one relaxed load + branch).
+  const std::atomic<bool> *flag() const { return &Requested; }
+  bool requested() const { return Requested.load(std::memory_order_relaxed); }
+
+  /// Called by a mutator whose poll observed the flag. Blocks until the
+  /// coordinator finishes the pause. Returns immediately if the pause
+  /// already ended (a stale flag read).
+  void park() {
+    std::unique_lock<std::mutex> Lock(M);
+    if (!ReqLocked)
+      return;
+    uint64_t Gen = Generation;
+    ++Parked;
+    CoordinatorCV.notify_all();
+    MutatorCV.wait(Lock, [&] { return Generation != Gen; });
+    --Parked;
+  }
+
+  /// Requests a pause, waits until every registered mutator is parked or
+  /// exited, runs \p F with the world stopped, then releases everyone.
+  template <typename Fn> void stopTheWorld(Fn &&F) {
+    std::unique_lock<std::mutex> Lock(M);
+    ReqLocked = true;
+    Requested.store(true, std::memory_order_relaxed);
+    CoordinatorCV.wait(Lock, [&] { return Parked + Exited == Registered; });
+    F();
+    ReqLocked = false;
+    Requested.store(false, std::memory_order_relaxed);
+    ++Generation;
+    Lock.unlock();
+    MutatorCV.notify_all();
+  }
+
+  size_t exitedCount() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Exited;
+  }
+
+private:
+  mutable std::mutex M;
+  std::condition_variable CoordinatorCV; ///< mutators -> coordinator
+  std::condition_variable MutatorCV;     ///< coordinator -> mutators
+  std::atomic<bool> Requested{false};
+  bool ReqLocked = false; ///< Requested, but under M (no stale reads)
+  uint64_t Generation = 0;
+  size_t Registered = 0;
+  size_t Parked = 0;
+  size_t Exited = 0;
+};
+
+} // namespace satb
+
+#endif // SATB_INTERP_SAFEPOINT_H

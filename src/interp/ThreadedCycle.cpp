@@ -2,7 +2,13 @@
 
 #include "interp/ThreadedCycle.h"
 
+#include "interp/FastInterp.h"
+#include "interp/Safepoint.h"
+#include "jit/FastCode.h"
+
+#include <algorithm>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -71,5 +77,156 @@ satb::runWithThreadedSatb(Interpreter &I, SatbMarker &M, Heap &H,
     I.step(Remaining);
   R.Status = I.status();
   R.Trap = I.trap();
+  return R;
+}
+
+// --- Multi-mutator driver ---------------------------------------------------
+
+MultiMutatorResult satb::runWithConcurrentMutators(
+    unsigned Mutators, const Program &P, const CompiledProgram &CP,
+    MethodId Entry, const std::vector<int64_t> &IntArgs,
+    const MultiMutatorConfig &Cfg) {
+  assert(Mutators > 0 && "need at least one mutator");
+  assert(!CP.Options.EnableArrayRearrange &&
+         "the rearrangement protocol is single-mutator-only");
+  MultiMutatorResult R;
+  const bool UseSatb = Cfg.Marker == MultiMarkerKind::Satb;
+
+  TranslateOptions TO;
+  TO.InsertSafepoints = true;
+  FastProgram FP = translateProgram(P, CP, TO);
+
+  Heap H(P);
+  SatbMarker Satb(H, Cfg.SatbBufferCap);
+  IncrementalUpdateMarker Inc(H);
+  SafepointCoordinator SC;
+
+  H.enterMultiMutator(Cfg.HeapCapacityRefs);
+
+  std::vector<std::unique_ptr<FastInterp>> Engines;
+  Engines.reserve(Mutators);
+  for (unsigned T = 0; T != Mutators; ++T) {
+    auto E = std::make_unique<FastInterp>(FP, CP, H);
+    if (UseSatb)
+      E->attachSatb(&Satb);
+    else
+      E->attachIncUpdate(&Inc);
+    E->context().enterMultiMutator(SC.flag(), Cfg.SatbBufferCap);
+    SC.registerMutator();
+    Engines.push_back(std::move(E));
+  }
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(Mutators);
+  for (unsigned T = 0; T != Mutators; ++T) {
+    Threads.emplace_back([&, T] {
+      FastInterp &E = *Engines[T];
+      E.start(Entry, IntArgs);
+      uint64_t Remaining = Cfg.StepLimit;
+      while (E.status() == RunStatus::Running && Remaining > 0) {
+        if (SC.requested())
+          SC.park();
+        uint64_t Before = E.stepsExecuted();
+        E.step(std::min<uint64_t>(Cfg.PollQuantum, Remaining));
+        Remaining -= std::min<uint64_t>(E.stepsExecuted() - Before, Remaining);
+      }
+      // Hand over any in-flight SATB buffer before counting as exited; the
+      // coordinator is still waiting on this thread's headcount, so the
+      // flush cannot race a stop-the-world flush of the same context.
+      E.context().flush();
+      SC.markExited();
+    });
+  }
+
+  // Warmup: let the mutators build a heap before the cycle starts.
+  while (H.numAllocated() < Cfg.WarmupAllocs && SC.exitedCount() < Mutators)
+    std::this_thread::yield();
+
+  // STW #1: snapshot roots across every mutator and start the cycle.
+  std::vector<bool> Snapshot;
+  SC.stopTheWorld([&] {
+    std::vector<ObjRef> Roots, Tmp;
+    for (auto &E : Engines) {
+      E->collectRoots(Tmp);
+      Roots.insert(Roots.end(), Tmp.begin(), Tmp.end());
+    }
+    if (UseSatb) {
+      Snapshot = computeReachable(H, Roots);
+      for (bool B : Snapshot)
+        R.OracleLive += B;
+      Satb.beginMarking(Roots);
+    } else {
+      Inc.beginMarking(Roots);
+    }
+  });
+
+  // Concurrent marking on this (coordinator) thread while the mutators run.
+  // A few consecutive idle rounds mean the marker is waiting on mutator
+  // activity it may never get; proceed to the termination pause.
+  size_t IdleStreak = 0;
+  while (IdleStreak < 3 && SC.exitedCount() < Mutators) {
+    bool Idle = UseSatb ? Satb.markStep(Cfg.MarkerQuantum)
+                        : Inc.markStep(Cfg.MarkerQuantum);
+    if (Idle) {
+      ++IdleStreak;
+      std::this_thread::yield();
+    } else {
+      IdleStreak = 0;
+    }
+  }
+
+  // Final STW: flush every context, terminate marking, check the oracle
+  // and sweep — all inside the pause.
+  SC.stopTheWorld([&] {
+    for (auto &E : Engines)
+      E->context().flush();
+    if (UseSatb) {
+      R.FinalPauseWork = Satb.finishMarking();
+      R.OracleHolds = true;
+      for (ObjRef Ref = 1; Ref < Snapshot.size(); ++Ref)
+        if (Snapshot[Ref] && !(H.isLive(Ref) && H.isMarked(Ref)))
+          R.OracleHolds = false;
+      R.Marked = Satb.stats().MarkedObjects;
+      R.Swept = Satb.sweep();
+    } else {
+      std::vector<ObjRef> Roots, Tmp;
+      for (auto &E : Engines) {
+        E->collectRoots(Tmp);
+        Roots.insert(Roots.end(), Tmp.begin(), Tmp.end());
+      }
+      R.FinalPauseWork = Inc.finishMarking(Roots);
+      std::vector<bool> LiveNow = computeReachable(H, Roots);
+      R.OracleHolds = true;
+      for (ObjRef Ref = 1; Ref < LiveNow.size(); ++Ref) {
+        if (!LiveNow[Ref])
+          continue;
+        ++R.OracleLive;
+        if (!(H.isLive(Ref) && H.isMarked(Ref)))
+          R.OracleHolds = false;
+      }
+      R.Marked = Inc.stats().MarkedObjects;
+      R.Swept = Inc.sweep();
+    }
+  });
+
+  for (std::thread &T : Threads)
+    T.join();
+
+  R.Merged.init(CP);
+  R.Statuses.reserve(Mutators);
+  R.Traps.reserve(Mutators);
+  R.Steps.reserve(Mutators);
+  R.Shards.reserve(Mutators);
+  for (auto &E : Engines) {
+    E->context().exitMultiMutator();
+    R.Statuses.push_back(E->status());
+    R.Traps.push_back(E->trap());
+    R.Steps.push_back(E->stepsExecuted());
+    R.Shards.push_back(E->stats());
+    R.Merged.merge(E->stats());
+  }
+  R.Violations = R.Merged.summarize().Violations;
+  R.LoggedPreValues = Satb.stats().LoggedPreValues;
+  H.exitMultiMutator();
   return R;
 }

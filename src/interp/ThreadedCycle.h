@@ -1,23 +1,37 @@
 //===- interp/ThreadedCycle.h - Real-thread concurrent marking -*- C++ -*-===//
 ///
 /// \file
-/// Runs a SATB marking cycle with the marker on a real std::thread, the
-/// setting the paper targets ("garbage collection and the user program
-/// execute simultaneously", Section 1). Mutator and marker synchronize
-/// through a single mutex acquired per work quantum — a coarse handshake
-/// that makes the *algorithmic* concurrency real (the marker observes
-/// genuinely mid-mutation heaps at quantum boundaries, exercising the
-/// barrier/snapshot machinery under OS-scheduled interleavings) while
-/// keeping individual heap operations atomic. Lock-free field access and
-/// memory-model concerns are out of scope (DESIGN.md); the deterministic
-/// interleaved driver in Interpreter.h remains the primary test vehicle
-/// because its schedules are reproducible.
+/// Concurrent cycles on real OS threads, the setting the paper targets
+/// ("garbage collection and the user program execute simultaneously",
+/// Section 1). Two drivers:
+///
+///  - runWithThreadedSatb: one mutator, the marker on its own thread,
+///    synchronized by a coarse per-quantum mutex. Kept as the simplest
+///    real-thread configuration and as a bridge to the deterministic
+///    interleaved driver in Interpreter.h (still the primary test vehicle
+///    because its schedules are reproducible).
+///
+///  - runWithConcurrentMutators: N FastInterp mutators against one heap
+///    with one marking cycle (SATB or incremental update) and *no* coarse
+///    lock. Each mutator runs through its MutatorContext (TLAB
+///    allocation, private SATB buffer, per-thread BarrierStats shard) and
+///    polls a safepoint flag at translated poll sites; the coordinator
+///    uses real stop-the-world handshakes (SafepointCoordinator) for the
+///    marking edges, drains hand-over buffers concurrently in between,
+///    and evaluates the marker's oracle inside the final pause. See
+///    DESIGN.md "Multi-mutator runtime" for the memory-model contract.
+///
+/// The Section 4.3 array-rearrangement protocol is single-mutator-only
+/// (its active-set bookkeeping assumes one bracketing thread) and must be
+/// compiled out (EnableArrayRearrange=false, the default) for
+/// multi-mutator runs.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SATB_INTERP_THREADEDCYCLE_H
 #define SATB_INTERP_THREADEDCYCLE_H
 
+#include "interp/BarrierStats.h"
 #include "interp/Interpreter.h"
 
 namespace satb {
@@ -36,6 +50,58 @@ ConcurrentRunResult runWithThreadedSatb(Interpreter &I, SatbMarker &M,
                                         Heap &H, MethodId Entry,
                                         const std::vector<int64_t> &IntArgs,
                                         const ThreadedRunConfig &Cfg);
+
+// --- Multi-mutator driver ---------------------------------------------------
+
+enum class MultiMarkerKind { Satb, IncrementalUpdate };
+
+struct MultiMutatorConfig {
+  MultiMarkerKind Marker = MultiMarkerKind::Satb;
+  /// Mutator steps attempted between driver-level safepoint checks (the
+  /// engine additionally polls at every translated safepoint inside the
+  /// quantum, so pauses do not wait for quantum boundaries).
+  uint64_t PollQuantum = 512;
+  size_t MarkerQuantum = 64;  ///< marker work units per concurrent round
+  uint64_t StepLimit = 20'000'000; ///< per mutator
+  /// Marking begins once the mutators have allocated this many objects
+  /// (or all exited), so the cycle starts against a warm heap.
+  uint64_t WarmupAllocs = 2000;
+  /// Fixed object-table capacity for the run (Heap::enterMultiMutator).
+  uint32_t HeapCapacityRefs = 1u << 20;
+  /// Per-context SATB buffer capacity (flush granularity).
+  size_t SatbBufferCap = 64;
+};
+
+struct MultiMutatorResult {
+  /// SATB: start-of-marking snapshot entirely marked at the final pause.
+  /// Incremental update: everything reachable at the final pause marked.
+  bool OracleHolds = false;
+  uint64_t OracleLive = 0;
+  uint64_t Marked = 0;
+  size_t FinalPauseWork = 0;
+  size_t Swept = 0;
+  /// Per-mutator outcomes, indexed by mutator. A Running status means the
+  /// per-mutator StepLimit cut the run short.
+  std::vector<RunStatus> Statuses;
+  std::vector<TrapKind> Traps;
+  std::vector<uint64_t> Steps;
+  /// Per-thread BarrierStats shards and their fold (BarrierStats::merge).
+  std::vector<BarrierStats> Shards;
+  BarrierStats Merged;
+  uint64_t Violations = 0;       ///< from the merged shards
+  uint64_t LoggedPreValues = 0;  ///< SATB marker total (exact, lock-counted)
+};
+
+/// Runs \p Mutators FastInterp instances against one heap with one
+/// concurrent marking cycle. Builds the heap, marker, safepoint
+/// coordinator, and a safepoint-instrumented translation internally;
+/// every mutator executes \p Entry with \p IntArgs. \p CP must be
+/// compiled with the barrier mode matching \p Cfg.Marker, and with the
+/// rearrangement protocol disabled.
+MultiMutatorResult runWithConcurrentMutators(
+    unsigned Mutators, const Program &P, const CompiledProgram &CP,
+    MethodId Entry, const std::vector<int64_t> &IntArgs = {},
+    const MultiMutatorConfig &Cfg = {});
 
 } // namespace satb
 

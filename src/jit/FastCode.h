@@ -100,7 +100,8 @@ namespace satb {
   X(AReturn)                                                                   \
   X(RearrangeEnter)                                                            \
   X(RearrangeEnterDyn)                                                         \
-  X(RearrangeExit)
+  X(RearrangeExit)                                                             \
+  X(Safepoint)
 
 enum class FastOp : uint16_t {
 #define X(name) name,
@@ -143,10 +144,24 @@ struct FastProgram {
   uint32_t MaxFrameSlots = 0;
 };
 
+/// Translation knobs. The default translation is 1:1 with the compiled
+/// body (the equivalence test's invariant); the multi-mutator driver opts
+/// into safepoint polls, which insert extra instructions.
+struct TranslateOptions {
+  /// Insert a Safepoint instruction before every loop header (any target
+  /// of a backward branch) and before every Invoke, so a running mutator
+  /// reaches a poll in bounded time on every path. Safepoint refunds its
+  /// fuel in the dispatch loop, so step counts still count only real
+  /// instructions; barrier-site indices are assigned from the *original*
+  /// PCs, so BarrierStats stay comparable across both translations.
+  bool InsertSafepoints = false;
+};
+
 /// Lowers \p CP (compiled from \p P) into the specialized stream. Field
 /// layout comes from computeFieldLayout(P) — the same function the Heap
 /// uses — so baked slot indices can never disagree with the heap.
-FastProgram translateProgram(const Program &P, const CompiledProgram &CP);
+FastProgram translateProgram(const Program &P, const CompiledProgram &CP,
+                             const TranslateOptions &Opts = {});
 
 } // namespace satb
 

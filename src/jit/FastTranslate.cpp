@@ -214,8 +214,8 @@ uint32_t maxStackDepth(const CompiledProgram &CP, const Method &Body) {
 
 } // namespace
 
-FastProgram satb::translateProgram(const Program &P,
-                                   const CompiledProgram &CP) {
+FastProgram satb::translateProgram(const Program &P, const CompiledProgram &CP,
+                                   const TranslateOptions &Opts) {
   std::vector<FieldSlot> Layout = computeFieldLayout(P);
   std::vector<uint32_t> Offsets = CP.instrOffsets();
 
@@ -230,10 +230,40 @@ FastProgram satb::translateProgram(const Program &P,
     FM.FrameSlots = Body.NumLocals + maxStackDepth(CP, Body);
     FP.MaxFrameSlots = std::max(FP.MaxFrameSlots, FM.FrameSlots);
 
-    FM.Code.resize(Body.Instructions.size());
-    for (uint32_t PC = 0; PC != Body.Instructions.size(); ++PC) {
+    // Safepoint placement: a poll before every loop header (any target of
+    // a backward branch) and before every call bounds the instructions a
+    // mutator can execute between polls on any path — straight-line code
+    // without calls terminates on its own. Polls have no stack effect, so
+    // FrameSlots is computed on the original body above.
+    uint32_t NumPCs = static_cast<uint32_t>(Body.Instructions.size());
+    std::vector<bool> Poll(NumPCs, false);
+    if (Opts.InsertSafepoints) {
+      for (uint32_t PC = 0; PC != NumPCs; ++PC) {
+        const Instruction &Ins = Body.Instructions[PC];
+        if (isBranch(Ins.Op) && static_cast<uint32_t>(Ins.A) <= PC)
+          Poll[static_cast<uint32_t>(Ins.A)] = true;
+        if (Ins.Op == Opcode::Invoke)
+          Poll[PC] = true;
+      }
+    }
+    // NewIdx[PC] = the instruction's index in the emitted stream; its
+    // poll, if any, sits at NewIdx[PC] - 1. Branches land on the poll so
+    // every back-edge polls.
+    std::vector<uint32_t> NewIdx(NumPCs);
+    uint32_t Emitted = 0;
+    for (uint32_t PC = 0; PC != NumPCs; ++PC) {
+      if (Poll[PC])
+        ++Emitted;
+      NewIdx[PC] = Emitted++;
+    }
+
+    FM.Code.resize(Emitted);
+    for (uint32_t PC = 0; PC != NumPCs; ++PC) {
       const Instruction &Ins = Body.Instructions[PC];
-      FastInst &FI = FM.Code[PC];
+      if (Poll[PC])
+        FM.Code[NewIdx[PC] - 1].Op =
+            static_cast<uint16_t>(FastOp::Safepoint);
+      FastInst &FI = FM.Code[NewIdx[PC]];
       FI.A = Ins.A;
       FI.B = Ins.B;
       auto Set = [&FI](FastOp Op) { FI.Op = static_cast<uint16_t>(Op); };
@@ -417,8 +447,13 @@ FastProgram satb::translateProgram(const Program &P,
       }
       // Branches become self-relative displacements: a taken branch is a
       // single IP += A with no code-base register in the dispatch loop.
-      if (isBranch(Ins.Op))
-        FI.A = Ins.A - static_cast<int32_t>(PC);
+      // With polls inserted, a branch targets its target's poll (if any)
+      // so the back-edge cannot skip it.
+      if (isBranch(Ins.Op)) {
+        uint32_t T = static_cast<uint32_t>(Ins.A);
+        uint32_t TIdx = NewIdx[T] - (Poll[T] ? 1 : 0);
+        FI.A = static_cast<int32_t>(TIdx) - static_cast<int32_t>(NewIdx[PC]);
+      }
     }
   }
   return FP;

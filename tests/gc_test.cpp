@@ -211,7 +211,8 @@ TEST_F(GcFixture, CardTableBasics) {
   EXPECT_TRUE(T.isDirty(1 >> CardTable::CardShift));
   EXPECT_TRUE(T.isDirty(500 >> CardTable::CardShift));
   EXPECT_TRUE(T.anyDirty());
-  T.clean(1 >> CardTable::CardShift);
-  T.clean(500 >> CardTable::CardShift);
+  EXPECT_TRUE(T.testAndClean(1 >> CardTable::CardShift));
+  EXPECT_TRUE(T.testAndClean(500 >> CardTable::CardShift));
+  EXPECT_FALSE(T.testAndClean(500 >> CardTable::CardShift));
   EXPECT_FALSE(T.anyDirty());
 }

@@ -11,10 +11,14 @@
 
 #include "TestUtil.h"
 
+#include "interp/FastInterp.h"
 #include "interp/ThreadedCycle.h"
+#include "jit/FastCode.h"
 #include "workloads/Workload.h"
 
 #include "RandomProgram.h"
+
+#include <tuple>
 
 using namespace satb;
 using namespace satb::testutil;
@@ -101,4 +105,145 @@ TEST(ThreadedGc, MarkerFinishingEarlyIsFine) {
       runThreaded(*W.P, W.Entry, 300, CompilerOptions{}, Cfg);
   EXPECT_TRUE(R.OracleHolds);
   EXPECT_EQ(R.Status, RunStatus::Finished);
+}
+
+// --- Multi-mutator cycles (runWithConcurrentMutators) -----------------------
+
+namespace {
+
+MultiMutatorResult runMulti(unsigned Mutators, MultiMarkerKind Kind,
+                            int64_t Scale, MultiMutatorConfig Cfg = {}) {
+  Workload W = makeJbbLike();
+  CompilerOptions Opts;
+  Opts.Interp = InterpMode::Fast;
+  Opts.Barrier = Kind == MultiMarkerKind::Satb ? BarrierMode::Satb
+                                               : BarrierMode::CardMarking;
+  CompiledProgram CP = compileProgram(*W.P, Opts);
+  Cfg.Marker = Kind;
+  return runWithConcurrentMutators(Mutators, *W.P, CP, W.Entry, {Scale}, Cfg);
+}
+
+void expectClean(const MultiMutatorResult &R, const char *What) {
+  EXPECT_TRUE(R.OracleHolds) << What;
+  EXPECT_EQ(R.Violations, 0u) << What;
+  for (size_t T = 0; T != R.Statuses.size(); ++T) {
+    EXPECT_TRUE(R.Statuses[T] == RunStatus::Finished ||
+                R.Statuses[T] == RunStatus::Trapped)
+        << What << ": mutator " << T << " hit the step limit";
+    EXPECT_EQ(R.Traps[T], TrapKind::None) << What << ": mutator " << T;
+  }
+}
+
+} // namespace
+
+class MultiMutator
+    : public ::testing::TestWithParam<std::tuple<unsigned, MultiMarkerKind>> {
+};
+
+TEST_P(MultiMutator, OracleHoldsAtFinalPause) {
+  auto [N, Kind] = GetParam();
+  // jbb allocates roughly one object per scale unit per mutator; the
+  // warmup threshold must leave plenty of mutation for the marking window.
+  MultiMutatorConfig Cfg;
+  Cfg.WarmupAllocs = 300;
+  MultiMutatorResult R = runMulti(N, Kind, 800, Cfg);
+  const char *What =
+      Kind == MultiMarkerKind::Satb ? "SATB" : "incremental-update";
+  expectClean(R, What);
+  EXPECT_EQ(R.Statuses.size(), N);
+  EXPECT_GT(R.Marked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MultiMutator,
+    ::testing::Combine(::testing::Values(2u, 4u),
+                       ::testing::Values(MultiMarkerKind::Satb,
+                                         MultiMarkerKind::IncrementalUpdate)));
+
+TEST(MultiMutator, TinyPollQuantaStress) {
+  // One-step quanta force a driver-level safepoint check between every
+  // engine resume, maximizing park/handshake traffic.
+  MultiMutatorConfig Cfg;
+  Cfg.PollQuantum = 1;
+  Cfg.MarkerQuantum = 2;
+  Cfg.WarmupAllocs = 50;
+  MultiMutatorResult R = runMulti(2, MultiMarkerKind::Satb, 200, Cfg);
+  expectClean(R, "tiny-quanta SATB");
+}
+
+TEST(MultiMutator, ShardMergeIsExactPerSite) {
+  // Determinism of the sharded instrumentation: summing each flat site
+  // slot across the per-thread shards independently must reproduce the
+  // merged BarrierStats bit-for-bit.
+  MultiMutatorConfig Cfg;
+  Cfg.WarmupAllocs = 200;
+  MultiMutatorResult R = runMulti(4, MultiMarkerKind::Satb, 300, Cfg);
+  expectClean(R, "shard merge");
+  ASSERT_EQ(R.Shards.size(), 4u);
+  const std::vector<SiteStats> &Merged = R.Merged.flat();
+  for (size_t I = 0; I != Merged.size(); ++I) {
+    SiteStats Sum = R.Shards[0].flat()[I];
+    for (size_t T = 1; T != R.Shards.size(); ++T) {
+      const SiteStats &S = R.Shards[T].flat()[I];
+      Sum.Execs += S.Execs;
+      Sum.PreNull += S.PreNull;
+      Sum.Elided += S.Elided;
+      Sum.Rearranged += S.Rearranged;
+      Sum.Violations += S.Violations;
+    }
+    ASSERT_EQ(Sum, Merged[I]) << "flat site " << I;
+  }
+}
+
+TEST(MultiMutator, SatbBuffersReachTheMarker) {
+  // The jbb workload overwrites non-null fields, so per-thread buffers
+  // must flow to the marker whenever mutation overlaps the marking window.
+  // The overlap is OS-scheduled; retry a couple of times rather than
+  // assume one particular schedule.
+  uint64_t Logged = 0;
+  for (int Attempt = 0; Attempt != 3 && Logged == 0; ++Attempt) {
+    MultiMutatorConfig Cfg;
+    Cfg.WarmupAllocs = 300;
+    Cfg.MarkerQuantum = 8;
+    MultiMutatorResult R = runMulti(4, MultiMarkerKind::Satb, 1500, Cfg);
+    expectClean(R, "SATB buffers");
+    Logged = R.LoggedPreValues;
+  }
+  EXPECT_GT(Logged, 0u);
+}
+
+TEST(MultiMutator, SingleMutatorStepsMatchPlainFastRun) {
+  // N=1 under the full safepoint/TLAB protocol must execute exactly the
+  // steps a plain FastInterp run executes: translated Safepoint polls
+  // refund their fuel and the driver never perturbs the instruction
+  // stream.
+  Workload W = makeJbbLike();
+  CompilerOptions Opts;
+  Opts.Interp = InterpMode::Fast;
+  CompiledProgram CP = compileProgram(*W.P, Opts);
+
+  FastProgram FP = translateProgram(*W.P, CP);
+  Heap H(*W.P);
+  FastInterp Plain(FP, CP, H);
+  ASSERT_EQ(Plain.run(W.Entry, {300}), RunStatus::Finished);
+
+  MultiMutatorResult R = runMulti(1, MultiMarkerKind::Satb, 300);
+  ASSERT_EQ(R.Statuses[0], RunStatus::Finished);
+  EXPECT_EQ(R.Steps[0], Plain.stepsExecuted());
+}
+
+TEST(MultiMutator, RandomProgramsUnderMultiMutatorMarking) {
+  for (uint32_t Seed = 400; Seed != 404; ++Seed) {
+    GeneratedProgram G = RandomProgramGenerator(Seed).generate();
+    CompilerOptions Opts;
+    Opts.Interp = InterpMode::Fast;
+    CompiledProgram CP = compileProgram(*G.P, Opts);
+    MultiMutatorConfig Cfg;
+    Cfg.WarmupAllocs = 50;
+    Cfg.MarkerQuantum = 4;
+    MultiMutatorResult R =
+        runWithConcurrentMutators(3, *G.P, CP, G.Entry, {150}, Cfg);
+    EXPECT_TRUE(R.OracleHolds) << "seed " << Seed;
+    EXPECT_EQ(R.Violations, 0u) << "seed " << Seed;
+  }
 }
