@@ -2,7 +2,24 @@
 
 #include "gc/IncrementalUpdateMarker.h"
 
+#include "support/ThreadPool.h"
+
+#include <thread>
+
 using namespace satb;
+
+void IncrementalUpdateMarker::setMarkThreads(unsigned N, ThreadPool *Pool) {
+  assert(!isActive() && "changing mark threads mid-cycle");
+  assert((N <= 1 || (Pool && Pool->numThreads() >= N)) &&
+         "MarkThreads > 1 needs a pool with at least that many threads");
+  MarkThreads = N == 0 ? 1 : N;
+  MarkPool = MarkThreads > 1 ? Pool : nullptr;
+}
+
+void IncrementalUpdateMarker::enableTraceCounts(size_t CapacityRefs) {
+  TraceCounts.reset(new std::atomic<uint32_t>[CapacityRefs]());
+  TraceCountCap = CapacityRefs;
+}
 
 void IncrementalUpdateMarker::beginMarking(
     const std::vector<ObjRef> &MutatorRoots) {
@@ -33,7 +50,122 @@ void IncrementalUpdateMarker::scanObject(ObjRef R, size_t &Work) {
   const ObjRef *Slots = Obj.refs();
   for (uint32_t I = 0, E = Obj.NumRefs; I != E; ++I)
     pushIfUnmarked(loadRefAcquire(&Slots[I]), Work);
+  bumpTrace(R);
   ++Work;
+}
+
+// --- Parallel drain ---------------------------------------------------------
+
+uint64_t IncrementalUpdateMarker::parallelDrain(size_t Budget,
+                                                bool ToCompletion) {
+  assert(MarkPool && MarkPool->numThreads() >= MarkThreads);
+  if (!MarkStack.empty()) {
+    Grey.push(std::move(MarkStack));
+    MarkStack.clear();
+  }
+  TerminationGate Gate;
+  Gate.reset(MarkThreads);
+  std::atomic<uint64_t> Marked{0};
+  std::atomic<uint64_t> Work{0};
+  MarkPool->parallelFor(MarkThreads, [&](size_t W) {
+    parallelWorker(static_cast<unsigned>(W), Budget, ToCompletion, Gate,
+                   Marked, Work);
+  });
+  Stats.MarkedObjects += Marked.load();
+  return Work.load();
+}
+
+void IncrementalUpdateMarker::parallelWorker(unsigned WorkerIdx, size_t Budget,
+                                             bool ToCompletion,
+                                             TerminationGate &Gate,
+                                             std::atomic<uint64_t> &MarkedOut,
+                                             std::atomic<uint64_t> &WorkOut) {
+  GreySegment Local;
+  uint64_t Marked = 0;
+  uint64_t Work = 0;
+  bool Counted = true;
+  auto Claim = [&](ObjRef R) {
+    if (R == NullRef || !H.isLive(R) || !H.tryClaimMark(R))
+      return;
+    ++Marked;
+    ++Work;
+    Local.push_back(R);
+    if (Local.size() >= 2 * GreySegmentTarget) {
+      GreySegment Out(Local.begin(), Local.begin() + GreySegmentTarget);
+      Local.erase(Local.begin(), Local.begin() + GreySegmentTarget);
+      Grey.push(std::move(Out));
+    }
+  };
+  // Rescan of one dirty card, claimed through testAndClean (an atomic
+  // exchange, so exactly one worker scans each dirty instance).
+  auto RescanCard = [&](uint32_t Card) {
+    if (!Cards.testAndClean(Card))
+      return false; // another worker claimed it between probe and clean
+    ObjRef Begin = Card << CardTable::CardShift;
+    ObjRef End = Begin + (1u << CardTable::CardShift);
+    for (ObjRef R = Begin == 0 ? 1 : Begin; R < End && R <= H.maxRef(); ++R) {
+      HeapObject *Obj = H.objectOrNull(R);
+      if (!Obj)
+        continue;
+      if (H.isMarked(R)) {
+        const ObjRef *Slots = Obj->refs();
+        for (uint32_t I = 0, E = Obj->NumRefs; I != E; ++I)
+          Claim(loadRefAcquire(&Slots[I]));
+      }
+      ++Work;
+    }
+    return true;
+  };
+  // Workers probe the card table starting at staggered offsets so they
+  // fan out over dirty regions instead of all racing on the lowest card.
+  const uint32_t NumCards = Cards.numCards();
+  const uint32_t CardOffset =
+      NumCards ? (uint64_t(WorkerIdx) * NumCards) / MarkThreads : 0;
+  for (;;) {
+    while (!Local.empty() && (ToCompletion || Work < Budget)) {
+      ObjRef R = Local.back();
+      Local.pop_back();
+      HeapObject &Obj = H.object(R);
+      const ObjRef *Slots = Obj.refs();
+      for (uint32_t I = 0, E = Obj.NumRefs; I != E; ++I)
+        Claim(loadRefAcquire(&Slots[I]));
+      bumpTrace(R);
+      ++Work;
+    }
+    if (!ToCompletion && Work >= Budget) {
+      Grey.push(std::move(Local));
+      break;
+    }
+    if (Grey.tryPop(Local))
+      continue;
+    // Refill from one dirty card, if any survives the probe race.
+    bool Rescanned = false;
+    for (uint32_t I = 0; I != NumCards && !Rescanned; ++I)
+      if (Cards.isDirty((I + CardOffset) % NumCards))
+        Rescanned = RescanCard((I + CardOffset) % NumCards);
+    if (Rescanned)
+      continue;
+    Gate.goIdle();
+    Counted = false;
+    for (;;) {
+      // Gate before work re-check: see ParallelMark.h's termination note.
+      bool Done = Gate.allIdle();
+      if (!Grey.empty() || Cards.anyDirty()) {
+        Gate.reOffer();
+        Counted = true;
+        break;
+      }
+      if (Done)
+        break;
+      std::this_thread::yield();
+    }
+    if (!Counted)
+      break;
+  }
+  if (Counted)
+    Gate.goIdle();
+  MarkedOut.fetch_add(Marked);
+  WorkOut.fetch_add(Work);
 }
 
 void IncrementalUpdateMarker::rescanCard(uint32_t Card, size_t &Work) {
@@ -62,6 +194,10 @@ void IncrementalUpdateMarker::rescanCard(uint32_t Card, size_t &Work) {
 
 bool IncrementalUpdateMarker::markStep(size_t Budget) {
   assert(isActive() && "markStep outside a marking cycle");
+  if (MarkThreads > 1) {
+    Stats.ConcurrentWork += parallelDrain(Budget, /*ToCompletion=*/false);
+    return Grey.empty() && !Cards.anyDirty();
+  }
   size_t Work = 0;
   while (Work < Budget) {
     if (!MarkStack.empty()) {
@@ -97,6 +233,18 @@ size_t IncrementalUpdateMarker::finishMarking(
     pushIfUnmarked(R, Pause);
   for (ObjRef R : H.staticRefs())
     pushIfUnmarked(R, Pause);
+  if (MarkThreads > 1) {
+    // Mutators are parked, so nothing re-dirties a card behind the drain:
+    // one parallel pass to completion reaches the clean-table fixpoint
+    // (the termination gate re-offers on anyDirty until no card is left).
+    ++Stats.FinalPausePasses;
+    Pause += parallelDrain(0, /*ToCompletion=*/true);
+    assert(Grey.empty() && MarkStack.empty() && !Cards.anyDirty() &&
+           "parallel drain left work");
+    Stats.FinalPauseWork += Pause;
+    Active.store(false, std::memory_order_relaxed);
+    return Pause;
+  }
   // Iterate to a clean card table with the world stopped.
   bool Progress = true;
   while (Progress) {

@@ -16,9 +16,14 @@
 #ifndef SATB_GC_INCREMENTALUPDATEMARKER_H
 #define SATB_GC_INCREMENTALUPDATEMARKER_H
 
+#include "gc/ParallelMark.h"
 #include "heap/Heap.h"
 
+#include <memory>
+
 namespace satb {
+
+class ThreadPool;
 
 /// A card table over ObjRefs: CardShift objects per card. Bytes, not
 /// vector<bool> — mutators dirty cards concurrently and packed bits would
@@ -86,6 +91,21 @@ class IncrementalUpdateMarker {
 public:
   explicit IncrementalUpdateMarker(Heap &H) : H(H) {}
 
+  /// Parallel-marking knob, mirroring SatbMarker::setMarkThreads: 1 (the
+  /// default) is the serial marker unchanged; N > 1 drains with N workers
+  /// over sharded grey stacks, refilling from dirty cards claimed via the
+  /// card table's atomic testAndClean. \p Pool must hold >= N threads.
+  void setMarkThreads(unsigned N, ThreadPool *Pool = nullptr);
+  unsigned markThreads() const { return MarkThreads; }
+
+  /// Mark-once debug counters (test instrumentation); see SatbMarker.
+  void enableTraceCounts(size_t CapacityRefs);
+  uint32_t traceCount(ObjRef R) const {
+    return TraceCounts && R < TraceCountCap
+               ? TraceCounts[R].load(std::memory_order_relaxed)
+               : 0;
+  }
+
   /// Relaxed: polled by mutators on every ref store; transitions only at
   /// stop-the-world points ordered by the safepoint handshake.
   bool isActive() const { return Active.load(std::memory_order_relaxed); }
@@ -119,12 +139,27 @@ private:
   void scanObject(ObjRef R, size_t &Work);
   /// Rescans one dirty card: every live object on it is re-examined.
   void rescanCard(uint32_t Card, size_t &Work);
+  void bumpTrace(ObjRef R) {
+    if (TraceCounts && R < TraceCountCap)
+      TraceCounts[R].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- Parallel drain (MarkThreads > 1), see DESIGN.md ---------------------
+  uint64_t parallelDrain(size_t Budget, bool ToCompletion);
+  void parallelWorker(unsigned WorkerIdx, size_t Budget, bool ToCompletion,
+                      TerminationGate &Gate, std::atomic<uint64_t> &MarkedOut,
+                      std::atomic<uint64_t> &WorkOut);
 
   Heap &H;
   CardTable Cards;
   std::atomic<bool> Active{false};
   std::vector<ObjRef> MarkStack; ///< collector-thread private
   IncUpdateStats Stats;
+  unsigned MarkThreads = 1;
+  ThreadPool *MarkPool = nullptr;
+  GreyQueue Grey; ///< hand-off queue; always empty when MarkThreads == 1
+  std::unique_ptr<std::atomic<uint32_t>[]> TraceCounts;
+  size_t TraceCountCap = 0;
 };
 
 } // namespace satb

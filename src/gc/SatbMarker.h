@@ -23,12 +23,16 @@
 #ifndef SATB_GC_SATBMARKER_H
 #define SATB_GC_SATBMARKER_H
 
+#include "gc/ParallelMark.h"
 #include "heap/Heap.h"
 
 #include <map>
+#include <memory>
 #include <mutex>
 
 namespace satb {
+
+class ThreadPool;
 
 struct SatbStats {
   uint64_t LoggedPreValues = 0;   ///< barrier slow-path executions
@@ -48,6 +52,27 @@ class SatbMarker {
 public:
   explicit SatbMarker(Heap &H, size_t BufferCapacity = 256)
       : H(H), BufferCapacity(BufferCapacity) {}
+
+  /// Parallel-marking knob. The default (1) is exactly the serial marker:
+  /// the same code paths run, observables and stats are bit-identical.
+  /// With \p N > 1, markStep and finishMarking drain with N workers over
+  /// sharded grey stacks (see ParallelMark.h); \p Pool must outlive the
+  /// marker's cycles and hold at least N threads (ThreadPool counts the
+  /// caller, so ThreadPool(N) is the natural pool). Call between cycles
+  /// only, never mid-drain.
+  void setMarkThreads(unsigned N, ThreadPool *Pool = nullptr);
+  unsigned markThreads() const { return MarkThreads; }
+
+  /// Debug instrumentation for the mark-once property tests: allocates a
+  /// per-ObjRef trace counter (capacity \p CapacityRefs) that every
+  /// object scan increments. Off by default — the counters exist so tests
+  /// can assert each claimed object is traced exactly once under M > 1.
+  void enableTraceCounts(size_t CapacityRefs);
+  uint32_t traceCount(ObjRef R) const {
+    return TraceCounts && R < TraceCountCap
+               ? TraceCounts[R].load(std::memory_order_relaxed)
+               : 0;
+  }
 
   /// Relaxed: mutators poll this on every barrier slow path. Transitions
   /// happen only at the stop-the-world edges of a cycle (beginMarking /
@@ -118,6 +143,24 @@ private:
   /// Scans one gray object (marks children).
   void scanObject(ObjRef R, size_t &Work);
   void flushCurrentBuffer();
+  void bumpTrace(ObjRef R) {
+    if (TraceCounts && R < TraceCountCap)
+      TraceCounts[R].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- Parallel drain (MarkThreads > 1) -----------------------------------
+  /// Seeds the grey queue from MarkStack, runs MarkThreads workers to a
+  /// per-worker \p Budget (\p ToCompletion ignores the budget and drains
+  /// everything), and folds worker totals into Stats. \returns the summed
+  /// work units.
+  uint64_t parallelDrain(size_t Budget, bool ToCompletion);
+  void parallelWorker(size_t Budget, bool ToCompletion,
+                      TerminationGate &Gate, std::atomic<uint64_t> &MarkedOut,
+                      std::atomic<uint64_t> &WorkOut);
+  bool queuedBuffers() {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    return !CompletedBuffers.empty();
+  }
 
   Heap &H;
   size_t BufferCapacity;
@@ -138,6 +181,14 @@ private:
   std::map<ObjRef, TraceState> ActiveRearranges;
   std::vector<ObjRef> RetraceList;
   SatbStats Stats;
+  /// Parallel-marking state: the segment hand-off queue holds grey work
+  /// between budgeted drains; unused (always empty) when MarkThreads == 1.
+  unsigned MarkThreads = 1;
+  ThreadPool *MarkPool = nullptr;
+  GreyQueue Grey;
+  /// Mark-once debug counters (test instrumentation, normally null).
+  std::unique_ptr<std::atomic<uint32_t>[]> TraceCounts;
+  size_t TraceCountCap = 0;
 };
 
 } // namespace satb

@@ -273,6 +273,20 @@ public:
     __atomic_fetch_or(&MarkWords[R >> 6], uint64_t(1) << (R & 63),
                       __ATOMIC_RELAXED);
   }
+  /// Parallel-marking claim: atomically sets the mark bit and \returns
+  /// true iff this caller set it. The returned-once guarantee is the
+  /// exactly-once gate for sharded mark stacks — whichever worker's RMW
+  /// flips the bit owns tracing the object; every later claimer sees the
+  /// bit already set and backs off. Relaxed like setMarked: mark bits
+  /// carry no payload (object contents are published by the ref-slot
+  /// release/acquire protocol, not by the bit).
+  bool tryClaimMark(ObjRef R) {
+    assert(isLive(R) && "claiming a non-live reference");
+    uint64_t Bit = uint64_t(1) << (R & 63);
+    uint64_t Prev =
+        __atomic_fetch_or(&MarkWords[R >> 6], Bit, __ATOMIC_RELAXED);
+    return (Prev & Bit) == 0;
+  }
 
   // --- GC support -----------------------------------------------------------
 

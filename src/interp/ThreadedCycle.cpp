@@ -5,6 +5,7 @@
 #include "interp/FastInterp.h"
 #include "interp/Safepoint.h"
 #include "jit/FastCode.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <atomic>
@@ -100,6 +101,19 @@ MultiMutatorResult satb::runWithConcurrentMutators(
   SatbMarker Satb(H, Cfg.SatbBufferCap);
   IncrementalUpdateMarker Inc(H);
   SafepointCoordinator SC;
+
+  // Mark worker pool: the coordinator thread participates as one worker,
+  // so a pool of MarkThreads gives exactly that many marking threads.
+  std::unique_ptr<ThreadPool> MarkPool;
+  if (Cfg.MarkThreads > 1) {
+    MarkPool = std::make_unique<ThreadPool>(Cfg.MarkThreads);
+    Satb.setMarkThreads(Cfg.MarkThreads, MarkPool.get());
+    Inc.setMarkThreads(Cfg.MarkThreads, MarkPool.get());
+  }
+  if (Cfg.DebugTraceCounts) {
+    Satb.enableTraceCounts(Cfg.HeapCapacityRefs);
+    Inc.enableTraceCounts(Cfg.HeapCapacityRefs);
+  }
 
   H.enterMultiMutator(Cfg.HeapCapacityRefs);
 
@@ -206,6 +220,14 @@ MultiMutatorResult satb::runWithConcurrentMutators(
       }
       R.Marked = Inc.stats().MarkedObjects;
       R.Swept = Inc.sweep();
+    }
+    if (Cfg.DebugTraceCounts) {
+      R.TraceCounts.resize(H.maxRef() + 1, 0);
+      for (ObjRef Ref = 1; Ref <= H.maxRef(); ++Ref)
+        R.TraceCounts[Ref] =
+            UseSatb ? Satb.traceCount(Ref) : Inc.traceCount(Ref);
+      if (UseSatb)
+        R.SnapshotSet = Snapshot;
     }
   });
 

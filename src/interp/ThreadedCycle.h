@@ -70,6 +70,17 @@ struct MultiMutatorConfig {
   uint32_t HeapCapacityRefs = 1u << 20;
   /// Per-context SATB buffer capacity (flush granularity).
   size_t SatbBufferCap = 64;
+  /// Mark worker threads (the markers' MarkThreads knob). 1 = the serial
+  /// marker on the coordinator, bit-identical to PR 3 behaviour; > 1
+  /// spins up a dedicated ThreadPool and both concurrent mark steps and
+  /// the final termination drain run over sharded mark stacks (see
+  /// DESIGN.md "Parallel marking"). The coordinator participates as one
+  /// of the workers.
+  unsigned MarkThreads = 1;
+  /// Test instrumentation: record per-object trace counts (mark-once
+  /// property) and, for SATB, the start-of-marking snapshot set into the
+  /// result.
+  bool DebugTraceCounts = false;
 };
 
 struct MultiMutatorResult {
@@ -90,6 +101,13 @@ struct MultiMutatorResult {
   BarrierStats Merged;
   uint64_t Violations = 0;       ///< from the merged shards
   uint64_t LoggedPreValues = 0;  ///< SATB marker total (exact, lock-counted)
+  /// Filled only when Cfg.DebugTraceCounts: TraceCounts[R] is how many
+  /// times the marker traced object R (the mark-once property demands
+  /// <= 1 everywhere); SnapshotSet is the SATB start-of-marking
+  /// reachability bitmap (every snapshot object must have count exactly
+  /// 1). SnapshotSet stays empty for the incremental-update marker.
+  std::vector<uint32_t> TraceCounts;
+  std::vector<bool> SnapshotSet;
 };
 
 /// Runs \p Mutators FastInterp instances against one heap with one

@@ -11,13 +11,18 @@
 
 #include "TestUtil.h"
 
+#include "gc/ParallelMark.h"
 #include "interp/FastInterp.h"
 #include "interp/ThreadedCycle.h"
 #include "jit/FastCode.h"
+#include "support/ThreadPool.h"
 #include "workloads/Workload.h"
 
 #include "RandomProgram.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <random>
 #include <tuple>
 
 using namespace satb;
@@ -111,6 +116,30 @@ TEST(ThreadedGc, MarkerFinishingEarlyIsFine) {
 
 namespace {
 
+/// Mark-thread grid for the multi-mutator tests. {1, 2} by default; the
+/// SATB_MARK_THREADS env knob (used by the TSan CI job and the nightly
+/// stress matrix) appends an extra value, e.g. 4.
+std::vector<unsigned> markThreadGrid() {
+  std::vector<unsigned> G{1, 2};
+  if (const char *Env = std::getenv("SATB_MARK_THREADS")) {
+    unsigned N = static_cast<unsigned>(std::atoi(Env));
+    if (N > 0 && std::find(G.begin(), G.end(), N) == G.end())
+      G.push_back(N);
+  }
+  return G;
+}
+
+/// Iteration multiplier for the stress tests: 1 by default, raised by the
+/// scheduled nightly CI run via SATB_STRESS_ITERS.
+unsigned stressIters() {
+  if (const char *Env = std::getenv("SATB_STRESS_ITERS")) {
+    int N = std::atoi(Env);
+    if (N > 0)
+      return static_cast<unsigned>(N);
+  }
+  return 1;
+}
+
 MultiMutatorResult runMulti(unsigned Mutators, MultiMarkerKind Kind,
                             int64_t Scale, MultiMutatorConfig Cfg = {}) {
   Workload W = makeJbbLike();
@@ -137,15 +166,16 @@ void expectClean(const MultiMutatorResult &R, const char *What) {
 } // namespace
 
 class MultiMutator
-    : public ::testing::TestWithParam<std::tuple<unsigned, MultiMarkerKind>> {
-};
+    : public ::testing::TestWithParam<
+          std::tuple<unsigned, MultiMarkerKind, unsigned>> {};
 
 TEST_P(MultiMutator, OracleHoldsAtFinalPause) {
-  auto [N, Kind] = GetParam();
+  auto [N, Kind, MarkThreads] = GetParam();
   // jbb allocates roughly one object per scale unit per mutator; the
   // warmup threshold must leave plenty of mutation for the marking window.
   MultiMutatorConfig Cfg;
   Cfg.WarmupAllocs = 300;
+  Cfg.MarkThreads = MarkThreads;
   MultiMutatorResult R = runMulti(N, Kind, 800, Cfg);
   const char *What =
       Kind == MultiMarkerKind::Satb ? "SATB" : "incremental-update";
@@ -158,7 +188,8 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, MultiMutator,
     ::testing::Combine(::testing::Values(2u, 4u),
                        ::testing::Values(MultiMarkerKind::Satb,
-                                         MultiMarkerKind::IncrementalUpdate)));
+                                         MultiMarkerKind::IncrementalUpdate),
+                       ::testing::ValuesIn(markThreadGrid())));
 
 TEST(MultiMutator, TinyPollQuantaStress) {
   // One-step quanta force a driver-level safepoint check between every
@@ -245,5 +276,175 @@ TEST(MultiMutator, RandomProgramsUnderMultiMutatorMarking) {
         runWithConcurrentMutators(3, *G.P, CP, G.Entry, {150}, Cfg);
     EXPECT_TRUE(R.OracleHolds) << "seed " << Seed;
     EXPECT_EQ(R.Violations, 0u) << "seed " << Seed;
+  }
+}
+
+// --- Parallel marking (sharded mark stacks, MarkThreads > 1) ----------------
+
+TEST(MultiMutator, MarkOnceUnderParallelMarking) {
+  // The mark-once property: with M workers claiming objects through the
+  // atomic mark word, every object is traced at most once, and every
+  // object of the SATB start-of-marking snapshot exactly once.
+  for (unsigned MarkThreads : {2u, 4u}) {
+    for (MultiMarkerKind Kind :
+         {MultiMarkerKind::Satb, MultiMarkerKind::IncrementalUpdate}) {
+      MultiMutatorConfig Cfg;
+      Cfg.WarmupAllocs = 300;
+      Cfg.MarkThreads = MarkThreads;
+      Cfg.DebugTraceCounts = true;
+      MultiMutatorResult R = runMulti(4, Kind, 800, Cfg);
+      expectClean(R, "mark-once");
+      ASSERT_FALSE(R.TraceCounts.empty());
+      uint64_t Traced = 0;
+      for (size_t Ref = 1; Ref != R.TraceCounts.size(); ++Ref) {
+        ASSERT_LE(R.TraceCounts[Ref], 1u)
+            << "object " << Ref << " traced twice (M=" << MarkThreads << ")";
+        Traced += R.TraceCounts[Ref];
+      }
+      EXPECT_GT(Traced, 0u);
+      for (size_t Ref = 1; Ref < R.SnapshotSet.size(); ++Ref) {
+        if (R.SnapshotSet[Ref]) {
+          ASSERT_EQ(R.TraceCounts[Ref], 1u)
+              << "snapshot object " << Ref << " not traced exactly once";
+        }
+      }
+    }
+  }
+}
+
+TEST(MultiMutator, NightlyStressMatrix) {
+  // Quick by default (one round); the scheduled nightly CI run raises
+  // SATB_STRESS_ITERS and SATB_MARK_THREADS for a longer randomized soak.
+  const unsigned Iters = stressIters();
+  const std::vector<unsigned> Threads = markThreadGrid();
+  for (unsigned It = 0; It != Iters; ++It) {
+    for (uint32_t Seed = 500 + It * 7; Seed != 502 + It * 7; ++Seed) {
+      GeneratedProgram G = RandomProgramGenerator(Seed).generate();
+      CompilerOptions Opts;
+      Opts.Interp = InterpMode::Fast;
+      CompiledProgram CP = compileProgram(*G.P, Opts);
+      MultiMutatorConfig Cfg;
+      Cfg.WarmupAllocs = 50;
+      Cfg.MarkerQuantum = 4;
+      Cfg.MarkThreads = Threads.back();
+      MultiMutatorResult R =
+          runWithConcurrentMutators(3, *G.P, CP, G.Entry, {150}, Cfg);
+      EXPECT_TRUE(R.OracleHolds) << "seed " << Seed;
+      EXPECT_EQ(R.Violations, 0u) << "seed " << Seed;
+    }
+  }
+}
+
+// --- Parallel marker replay: direct marker runs on a fixed graph ------------
+
+namespace {
+
+/// A random object graph plus a recorded SATB log, for replaying the same
+/// marking inputs through different MarkThreads settings.
+struct ReplayGraph {
+  Program P;
+  std::unique_ptr<Heap> H;
+  std::vector<ObjRef> Objs;
+  std::vector<ObjRef> Roots;
+  std::vector<ObjRef> Log;
+
+  explicit ReplayGraph(uint32_t Seed, size_t NumObjs = 3000) {
+    ClassId C = P.addClass("Node");
+    P.addField(C, "a", JType::Ref);
+    P.addField(C, "b", JType::Ref);
+    H = std::make_unique<Heap>(P);
+    std::mt19937 Rng(Seed);
+    for (size_t I = 0; I != NumObjs; ++I)
+      Objs.push_back(H->allocateObject(C));
+    // Arbitrary edges, cycles included.
+    for (ObjRef R : Objs) {
+      H->object(R).refs()[0] = Objs[Rng() % Objs.size()];
+      H->object(R).refs()[1] = Objs[Rng() % Objs.size()];
+    }
+    for (int I = 0; I != 6; ++I)
+      Roots.push_back(Objs[Rng() % Objs.size()]);
+    // The recorded SATB log: pre-values a mutator would have handed over.
+    for (int I = 0; I != 400; ++I)
+      Log.push_back(Objs[Rng() % Objs.size()]);
+  }
+
+  std::vector<bool> markBitmap() const {
+    std::vector<bool> Marked(H->maxRef() + 1, false);
+    for (ObjRef R = 1; R <= H->maxRef(); ++R)
+      Marked[R] = H->isMarked(R);
+    return Marked;
+  }
+};
+
+} // namespace
+
+TEST(ParallelMark, SatbBitIdenticalToSerialOnRecordedLog) {
+  // The same snapshot roots and the same recorded SATB log must produce a
+  // bit-identical mark bitmap whether one worker drains or four do.
+  ReplayGraph G(42);
+  std::vector<bool> Serial;
+  uint64_t SerialMarked = 0;
+  for (unsigned M : {1u, 2u, 4u}) {
+    ThreadPool Pool(M);
+    SatbMarker Marker(*G.H, 64);
+    if (M > 1)
+      Marker.setMarkThreads(M, &Pool);
+    Marker.enableTraceCounts(G.H->maxRef() + 1);
+    Marker.beginMarking(G.Roots);
+    std::vector<ObjRef> LogCopy = G.Log;
+    Marker.flushBuffer(std::move(LogCopy));
+    while (!Marker.markStep(64))
+      ;
+    Marker.finishMarking();
+    std::vector<bool> Marked = G.markBitmap();
+    // Mark-once, and traced exactly the marked objects (nothing is
+    // allocated during this cycle, so born-marked objects don't exist).
+    for (ObjRef R = 1; R <= G.H->maxRef(); ++R)
+      ASSERT_EQ(Marker.traceCount(R), Marked[R] ? 1u : 0u)
+          << "object " << R << " at M=" << M;
+    if (M == 1) {
+      Serial = Marked;
+      SerialMarked = Marker.stats().MarkedObjects;
+      EXPECT_GT(SerialMarked, 0u);
+    } else {
+      EXPECT_EQ(Marked, Serial) << "mark bitmap diverged at M=" << M;
+      EXPECT_EQ(Marker.stats().MarkedObjects, SerialMarked);
+    }
+    G.H->clearMarks();
+  }
+}
+
+TEST(ParallelMark, IncUpdateBitIdenticalToSerialOnRecordedWrites) {
+  // Same shape for the incremental-update marker: identical roots and an
+  // identical recorded mutation sequence (slot stores + card dirtying
+  // between the root scan and the drain) must mark the same set for every
+  // MarkThreads value.
+  std::vector<bool> Serial;
+  for (unsigned M : {1u, 2u, 4u}) {
+    ReplayGraph G(99); // fresh heap per run so card state starts clean
+    ThreadPool Pool(M);
+    IncrementalUpdateMarker Marker(*G.H);
+    if (M > 1)
+      Marker.setMarkThreads(M, &Pool);
+    Marker.enableTraceCounts(G.H->maxRef() + 1);
+    Marker.beginMarking(G.Roots);
+    // Replay the recorded writes: redirect slots deterministically and
+    // dirty the written objects' cards, exactly as the barrier would.
+    std::mt19937 Rng(7);
+    for (ObjRef Src : G.Log) {
+      ObjRef Dst = G.Objs[Rng() % G.Objs.size()];
+      G.H->object(Src).refs()[Rng() % 2] = Dst;
+      Marker.recordWrite(Src);
+    }
+    while (!Marker.markStep(64))
+      ;
+    Marker.finishMarking(G.Roots);
+    for (ObjRef R = 1; R <= G.H->maxRef(); ++R)
+      ASSERT_LE(Marker.traceCount(R), 1u) << "object " << R << " at M=" << M;
+    std::vector<bool> Marked = G.markBitmap();
+    if (M == 1)
+      Serial = Marked;
+    else
+      EXPECT_EQ(Marked, Serial) << "mark bitmap diverged at M=" << M;
   }
 }

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Validate bench JSON output and compare its schema against baselines.
+
+The bench binaries append one JSON document per run to the file named by
+SATB_BENCH_JSON (bench/BenchUtil.h JsonBench). Each document looks like
+
+    {"bench": "<name>", "scale": <int>, "rows": [{...}, ...]}
+
+This checker has two layers, both structural (numbers change per host and
+per SATB_BENCH_SCALE, so values are never compared):
+
+ 1. Well-formedness: every input file must be non-empty, every non-blank
+    line must parse as a JSON object with a string "bench", an integer
+    "scale", and a non-empty "rows" list of non-empty objects whose key
+    sets agree within the document.
+ 2. Baseline schema comparison (--baseline FILE, repeatable): the
+    committed BENCH_*.json files define, per bench name, the expected set
+    of row keys. A fresh document for a known bench must carry exactly
+    the same row keys — a renamed, dropped, or added column fails the
+    gate until the committed baseline is regenerated alongside it.
+
+--require NAME (repeatable) additionally fails if no input document came
+from bench NAME; CI uses it so an exiting-early bench cannot silently
+upload an empty artifact.
+
+Exit status 0 iff every check passed. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_docs(path, errors):
+    """Parses one bench JSON file (one document per line)."""
+    docs = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        errors.append(f"{path}: unreadable: {e}")
+        return docs
+    if not text.strip():
+        errors.append(f"{path}: empty (bench produced no JSON)")
+        return docs
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"{path}:{lineno}: malformed JSON: {e}")
+            continue
+        docs.append((f"{path}:{lineno}", doc))
+    return docs
+
+
+def check_doc(where, doc, errors):
+    """Well-formedness of one document; returns (bench, row_keys) or None."""
+    if not isinstance(doc, dict):
+        errors.append(f"{where}: document is not an object")
+        return None
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        errors.append(f"{where}: missing/invalid 'bench' name")
+        return None
+    if not isinstance(doc.get("scale"), int):
+        errors.append(f"{where}: [{bench}] missing/invalid integer 'scale'")
+        return None
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        errors.append(f"{where}: [{bench}] 'rows' missing or empty")
+        return None
+    keys = None
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict) or not row:
+            errors.append(f"{where}: [{bench}] row {i} is not a non-empty object")
+            return None
+        if keys is None:
+            keys = frozenset(row)
+        elif frozenset(row) != keys:
+            errors.append(
+                f"{where}: [{bench}] row {i} keys {sorted(row)} differ from "
+                f"row 0 keys {sorted(keys)}"
+            )
+            return None
+    return bench, keys
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", help="fresh bench JSON files to check")
+    ap.add_argument(
+        "--baseline",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="committed BENCH_*.json whose per-bench row-key sets are the "
+        "expected schema (repeatable)",
+    )
+    ap.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="BENCH",
+        help="fail unless a document from this bench is present (repeatable)",
+    )
+    args = ap.parse_args(argv)
+
+    errors = []
+
+    # Baselines must themselves be well-formed; a bench appearing in two
+    # baseline files with different schemas is a repo inconsistency.
+    expected = {}
+    for path in args.baseline:
+        for where, doc in load_docs(path, errors):
+            checked = check_doc(where, doc, errors)
+            if not checked:
+                continue
+            bench, keys = checked
+            if bench in expected and expected[bench][0] != keys:
+                errors.append(
+                    f"{where}: [{bench}] baseline schema conflicts with "
+                    f"{expected[bench][1]}"
+                )
+            else:
+                expected[bench] = (keys, where)
+
+    seen = {}
+    for path in args.files:
+        for where, doc in load_docs(path, errors):
+            checked = check_doc(where, doc, errors)
+            if not checked:
+                continue
+            bench, keys = checked
+            seen[bench] = keys
+            if bench in expected and keys != expected[bench][0]:
+                base_keys, base_where = expected[bench]
+                errors.append(
+                    f"{where}: [{bench}] row keys {sorted(keys)} do not match "
+                    f"baseline {base_where} keys {sorted(base_keys)}"
+                )
+
+    for bench in args.require:
+        if bench not in seen:
+            errors.append(f"required bench '{bench}' produced no JSON document")
+
+    if errors:
+        for e in errors:
+            print(f"check_bench_json: {e}", file=sys.stderr)
+        return 1
+    names = ", ".join(sorted(seen)) or "(none)"
+    print(f"check_bench_json: OK — {len(seen)} bench(es): {names}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
