@@ -192,7 +192,7 @@ public:
     if (!enabled())
       return;
     char Buf[32];
-    std::snprintf(Buf, sizeof(Buf), "%.1f", V);
+    std::snprintf(Buf, sizeof(Buf), "%.2f", V);
     Rows += Buf;
   }
   void field(const char *Key, uint64_t V) {

@@ -3,15 +3,20 @@
 /// \file
 /// Measures the mutator-engine speedup: each Table 1 workload compiled
 /// once, then executed by the reference switch interpreter and the
-/// threaded-dispatch FastInterp. Runs are interleaved (ref, fast, ref,
-/// fast, ...) so frequency scaling and cache state hit both engines
-/// equally; each engine's time is the minimum over the repetitions.
-/// Every rep cross-checks result, steps, and barrier cost between the
-/// engines — a speedup from a wrong answer is no speedup.
+/// threaded-dispatch FastInterp in two translations — superinstructions
+/// on (the default) and off (TranslateOptions::Fuse = false, the
+/// SATB_NO_FUSE oracle). Runs are interleaved (ref, fast, nofuse, ...)
+/// so frequency scaling and cache state hit all engines equally; each
+/// configuration's time is the minimum over the repetitions. Every rep
+/// cross-checks result, steps, and barrier cost across all three — a
+/// speedup from a wrong answer is no speedup, and a fused translation
+/// that changes any observable fails the bench outright.
 ///
-/// Row fields: wall_us_ref, wall_us_fast, speedup, translate_us (the
-/// one-time lowering cost), steps. A final geomean row summarizes the
-/// suite (the ISSUE target: >= 3x).
+/// Row fields: wall_us_ref, wall_us_fast (fused), wall_us_fast_nofuse,
+/// speedup (ref/fused), fuse_speedup (nofuse/fused), translate_us (the
+/// one-time lowering cost, fused pass included), steps. A final geomean
+/// row summarizes the suite (ISSUE targets: speedup >= 3x,
+/// fuse_speedup >= 1.15x).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -61,70 +66,87 @@ int main(int Argc, char **Argv) {
   JsonBench Json(Argc, Argv, "interp_dispatch", Scale);
 
   if (!Json.quiet()) {
-    std::printf("Mutator engine dispatch: reference vs fast (scale %lld, "
-                "min of %d interleaved reps)\n",
+    std::printf("Mutator engine dispatch: reference vs fast, fused vs "
+                "unfused (scale %lld, min of %d interleaved reps)\n",
                 static_cast<long long>(Scale), Reps);
     printRule();
-    std::printf("%-10s %12s %12s %9s %13s\n", "workload", "ref us", "fast us",
-                "speedup", "translate us");
+    std::printf("%-10s %11s %11s %11s %8s %8s %12s\n", "workload", "ref us",
+                "fast us", "nofuse us", "speedup", "fuse", "translate us");
     printRule();
   }
 
   CompilerOptions Opts;
-  double LogSum = 0.0;
+  double LogSum = 0.0, FuseLogSum = 0.0;
   int N = 0;
   for (const Workload &W : allWorkloads()) {
     CompiledProgram CP = compileProgram(*W.P, Opts);
+    TranslateOptions Fused, Unfused;
+    Fused.Fuse = true;
+    Unfused.Fuse = false;
     Stopwatch TranslateTimer;
-    FastProgram FP = translateProgram(*W.P, CP);
+    FastProgram FP = translateProgram(*W.P, CP, Fused);
     double TranslateUs = TranslateTimer.elapsedUs();
+    FastProgram FPNoFuse = translateProgram(*W.P, CP, Unfused);
 
-    EngineTiming Ref, Fast;
+    EngineTiming Ref, Fast, NoFuse;
     for (int R = 0; R != Reps; ++R) {
       runOnce(
           W, Scale,
           [&](Heap &H) { return Interpreter(*W.P, CP, H); }, Ref);
       runOnce(
           W, Scale, [&](Heap &H) { return FastInterp(FP, CP, H); }, Fast);
+      runOnce(
+          W, Scale, [&](Heap &H) { return FastInterp(FPNoFuse, CP, H); },
+          NoFuse);
     }
-    if (Ref.ResultInt != Fast.ResultInt || Ref.Steps != Fast.Steps ||
-        Ref.BarrierCost != Fast.BarrierCost) {
-      std::fprintf(stderr,
-                   "interp_dispatch: %s engines disagree "
-                   "(result %lld/%lld steps %llu/%llu cost %llu/%llu)\n",
-                   W.Name.c_str(), static_cast<long long>(Ref.ResultInt),
-                   static_cast<long long>(Fast.ResultInt),
-                   static_cast<unsigned long long>(Ref.Steps),
-                   static_cast<unsigned long long>(Fast.Steps),
-                   static_cast<unsigned long long>(Ref.BarrierCost),
-                   static_cast<unsigned long long>(Fast.BarrierCost));
-      std::abort();
+    for (const EngineTiming *T : {&Fast, &NoFuse}) {
+      if (Ref.ResultInt != T->ResultInt || Ref.Steps != T->Steps ||
+          Ref.BarrierCost != T->BarrierCost) {
+        std::fprintf(stderr,
+                     "interp_dispatch: %s engines disagree "
+                     "(result %lld/%lld steps %llu/%llu cost %llu/%llu)\n",
+                     W.Name.c_str(), static_cast<long long>(Ref.ResultInt),
+                     static_cast<long long>(T->ResultInt),
+                     static_cast<unsigned long long>(Ref.Steps),
+                     static_cast<unsigned long long>(T->Steps),
+                     static_cast<unsigned long long>(Ref.BarrierCost),
+                     static_cast<unsigned long long>(T->BarrierCost));
+        std::abort();
+      }
     }
 
     double Speedup = Ref.WallUs / Fast.WallUs;
+    double FuseSpeedup = NoFuse.WallUs / Fast.WallUs;
     LogSum += std::log(Speedup);
+    FuseLogSum += std::log(FuseSpeedup);
     ++N;
     if (!Json.quiet())
-      std::printf("%-10s %12.1f %12.1f %8.2fx %13.1f\n", W.Name.c_str(),
-                  Ref.WallUs, Fast.WallUs, Speedup, TranslateUs);
+      std::printf("%-10s %11.1f %11.1f %11.1f %7.2fx %7.2fx %12.1f\n",
+                  W.Name.c_str(), Ref.WallUs, Fast.WallUs, NoFuse.WallUs,
+                  Speedup, FuseSpeedup, TranslateUs);
     Json.beginRow();
     Json.field("workload", W.Name);
     Json.field("wall_us_ref", Ref.WallUs);
     Json.field("wall_us_fast", Fast.WallUs);
+    Json.field("wall_us_fast_nofuse", NoFuse.WallUs);
     Json.field("speedup", Speedup);
+    Json.field("fuse_speedup", FuseSpeedup);
     Json.field("translate_us", TranslateUs);
     Json.field("steps", Ref.Steps);
     Json.endRow();
   }
 
   double Geomean = std::exp(LogSum / N);
+  double FuseGeomean = std::exp(FuseLogSum / N);
   if (!Json.quiet()) {
     printRule();
-    std::printf("geomean speedup: %.2fx\n", Geomean);
+    std::printf("geomean speedup: %.2fx   geomean fused-vs-unfused: %.2fx\n",
+                Geomean, FuseGeomean);
   }
   Json.beginRow();
   Json.field("workload", std::string("geomean"));
   Json.field("speedup", Geomean);
+  Json.field("fuse_speedup", FuseGeomean);
   Json.endRow();
   return 0;
 }

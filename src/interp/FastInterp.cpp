@@ -86,6 +86,20 @@ void FastInterp::collectRoots(std::vector<ObjRef> &Out) const {
 #define SATB_SWITCH_DISPATCH 1
 #endif
 
+// SATB_DISPATCH_PROFILE hook: counts fall-through-adjacent dynamic
+// opcode pairs (the fusion candidates). Expands to nothing in the
+// production instantiation (ProfilePairs = false; if constexpr discards
+// the statement), so the measured dispatch loops carry no profiling
+// cost.
+#define PROFILE_PAIR()                                                         \
+  do {                                                                         \
+    if constexpr (ProfilePairs) {                                              \
+      if (ProfPrev && IP == ProfPrev + 1)                                      \
+        ++PairProfile[ProfPrev->Op * kNumFastOps + IP->Op];                    \
+      ProfPrev = IP;                                                           \
+    }                                                                          \
+  } while (0)
+
 #ifdef SATB_SWITCH_DISPATCH
 #define DISPATCH() goto DispatchTop
 #define CASE(name) case FastOp::name:
@@ -95,6 +109,7 @@ void FastInterp::collectRoots(std::vector<ObjRef> &Out) const {
     if (Fuel == 0)                                                             \
       goto ExitLoop;                                                           \
     --Fuel;                                                                    \
+    PROFILE_PAIR();                                                            \
     goto *Labels[IP->Op];                                                      \
   } while (0)
 #define CASE(name) L_##name:
@@ -154,21 +169,29 @@ void FastInterp::collectRoots(std::vector<ObjRef> &Out) const {
 #endif
 
 // Pop / trap-check / stat prologues for the specialized store families.
-#define PUTFIELD_REF_PROLOGUE()                                                \
-  Slot Val = POP();                                                            \
+// The _AT forms take the instruction carrying the store's operands (IP[0]
+// for plain stores, IP[1] for fused ones, whose second slot holds the
+// original store verbatim) and the expression producing the stored value
+// (POP() plain, a local read fused). Evaluation order matches the
+// reference engine: value first, then the remaining pops, then the trap
+// checks.
+#define PUTFIELD_REF_PROLOGUE_AT(SI, VALEXPR)                                  \
+  Slot Val = (VALEXPR);                                                        \
   ObjRef Obj = POP().Ref;                                                      \
   if (Obj == NullRef)                                                          \
     TRAP(NullPointer);                                                         \
   HeapObject &O = *Tbl[Obj];                                                \
   if (O.Kind != ObjectKind::Object ||                                          \
-      O.Class != static_cast<ClassId>(IP->B))                                  \
+      O.Class != static_cast<ClassId>((SI).B))                                 \
     TRAP(BadFieldAccess);                                                      \
-  ObjRef *SlotP = O.refs() + IP->A;                                            \
+  ObjRef *SlotP = O.refs() + (SI).A;                                           \
   ObjRef Pre = loadRefAcquire(SlotP);                                          \
-  SiteStats &SS = Sites[IP->Site];                                             \
+  SiteStats &SS = Sites[(SI).Site];                                            \
   ++SS.Execs;                                                                  \
   if (Pre == NullRef)                                                          \
   ++SS.PreNull
+
+#define PUTFIELD_REF_PROLOGUE() PUTFIELD_REF_PROLOGUE_AT(IP[0], POP())
 
 #define PUTSTATIC_REF_PROLOGUE()                                               \
   Slot Val = POP();                                                            \
@@ -179,8 +202,8 @@ void FastInterp::collectRoots(std::vector<ObjRef> &Out) const {
   if (Pre == NullRef)                                                          \
   ++SS.PreNull
 
-#define AASTORE_PROLOGUE()                                                     \
-  Slot Val = POP();                                                            \
+#define AASTORE_PROLOGUE_AT(SI, VALEXPR)                                       \
+  Slot Val = (VALEXPR);                                                        \
   int64_t Idx = POP().Int;                                                     \
   ObjRef Arr = POP().Ref;                                                      \
   if (Arr == NullRef)                                                          \
@@ -192,15 +215,68 @@ void FastInterp::collectRoots(std::vector<ObjRef> &Out) const {
     TRAP(OutOfBounds);                                                         \
   ObjRef *SlotP = O.refs() + Idx;                                              \
   ObjRef Pre = loadRefAcquire(SlotP);                                          \
-  SiteStats &SS = Sites[IP->Site];                                             \
+  SiteStats &SS = Sites[(SI).Site];                                            \
   ++SS.Execs;                                                                  \
   if (Pre == NullRef)                                                          \
   ++SS.PreNull
 
+#define AASTORE_PROLOGUE() AASTORE_PROLOGUE_AT(IP[0], POP())
+
+// --- Superinstruction plumbing ---------------------------------------------
+//
+// A fused handler runs with one fuel unit already paid (the DISPATCH that
+// reached it). FUSE_* charges the second half's unit — or, when the
+// quantum is exhausted, executes only the first half and suspends on the
+// second slot, which still holds the original instruction. Suspension
+// points, step totals, and the operand stack at every boundary are
+// therefore exactly those of the unfused translation.
+#define FUSE_SECOND_HALF_OR(FirstHalf)                                         \
+  do {                                                                         \
+    if (Fuel == 0) {                                                           \
+      FirstHalf;                                                               \
+      NEXT();                                                                  \
+    }                                                                          \
+    --Fuel;                                                                    \
+  } while (0)
+
+#define FUSE_LOAD() FUSE_SECOND_HALF_OR(PUSH(Base[IP->A]))
+#define FUSE_ICONST() FUSE_SECOND_HALF_OR(PUSH(Slot::ofInt(IP->A)))
+#define FUSE_IINC()                                                            \
+  FUSE_SECOND_HALF_OR({                                                        \
+    Slot &L = Base[IP->A];                                                     \
+    L = Slot::ofInt(wrap32(L.Int + IP->B));                                    \
+  })
+
+#define NEXT2()                                                                \
+  do {                                                                         \
+    IP += 2;                                                                   \
+    DISPATCH();                                                                \
+  } while (0)
+
+// The retained second slot's branch displacement is relative to itself
+// (one past the fused op), hence the +1.
+#define FUSED_BRANCH(Cond)                                                     \
+  do {                                                                         \
+    if (Cond) {                                                                \
+      IP += 1 + IP[1].A;                                                       \
+      DISPATCH();                                                              \
+    }                                                                          \
+    NEXT2();                                                                   \
+  } while (0)
+
 RunStatus FastInterp::step(uint64_t MaxSteps) {
+  // The profiled loop is a separate instantiation so the production
+  // dispatch pays nothing for the SATB_DISPATCH_PROFILE machinery.
+  return PairProfile.empty() ? stepImpl<false>(MaxSteps)
+                             : stepImpl<true>(MaxSteps);
+}
+
+template <bool ProfilePairs>
+RunStatus FastInterp::stepImpl(uint64_t MaxSteps) {
   if (Status != RunStatus::Running)
     return Status;
   uint64_t Fuel = MaxSteps;
+  [[maybe_unused]] const FastInst *ProfPrev = nullptr;
   const FastInst *IP = Frames.back().IP;
   Slot *Base = Frames.back().Base;
   Slot *SP = Frames.back().SP;
@@ -223,6 +299,7 @@ DispatchTop:
   if (Fuel == 0)
     goto ExitLoop;
   --Fuel;
+  PROFILE_PAIR();
   switch (static_cast<FastOp>(IP->Op)) {
 #endif
 
@@ -778,6 +855,437 @@ DispatchTop:
     NEXT();
   }
 
+  // --- Superinstructions ----------------------------------------------------
+  // Each handler: FUSE_* pays the second half's fuel (or bails to the
+  // unfused first half), the body does both halves' work reading the
+  // second half's operands from the retained IP[1], and control leaves
+  // via NEXT2/FUSED_BRANCH. Trap paths reproduce the reference engine's
+  // operand-stack state exactly: the value the first half would have
+  // pushed was never pushed, and the second half's pops skip that same
+  // value — the net stack motion at every trap point is identical.
+
+  CASE(LoadGetFieldRef) {
+    FUSE_LOAD();
+    ObjRef Obj = Base[IP->A].Ref;
+    if (Obj == NullRef)
+      TRAP(NullPointer);
+    HeapObject &O = *Tbl[Obj];
+    if (O.Kind != ObjectKind::Object ||
+        O.Class != static_cast<ClassId>(IP[1].B))
+      TRAP(BadFieldAccess);
+    PUSH(Slot::ofRef(loadRefAcquire(O.refs() + IP[1].A)));
+    NEXT2();
+  }
+  CASE(LoadGetFieldInt) {
+    FUSE_LOAD();
+    ObjRef Obj = Base[IP->A].Ref;
+    if (Obj == NullRef)
+      TRAP(NullPointer);
+    HeapObject &O = *Tbl[Obj];
+    if (O.Kind != ObjectKind::Object ||
+        O.Class != static_cast<ClassId>(IP[1].B))
+      TRAP(BadFieldAccess);
+    PUSH(Slot::ofInt(loadIntRelaxed(O.ints() + IP[1].A)));
+    NEXT2();
+  }
+  CASE(LoadPutFieldInt) {
+    FUSE_LOAD();
+    Slot Val = Base[IP->A];
+    ObjRef Obj = POP().Ref;
+    if (Obj == NullRef)
+      TRAP(NullPointer);
+    HeapObject &O = *Tbl[Obj];
+    if (O.Kind != ObjectKind::Object ||
+        O.Class != static_cast<ClassId>(IP[1].B))
+      TRAP(BadFieldAccess);
+    storeIntRelaxed(O.ints() + IP[1].A, Val.Int);
+    NEXT2();
+  }
+  CASE(LoadPutFieldRef_Elided) {
+    FUSE_LOAD();
+    PUTFIELD_REF_PROLOGUE_AT(IP[1], Base[IP->A]);
+    BARRIER_ELIDED(Val.Ref);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT2();
+  }
+  CASE(LoadPutFieldRef_NoBarrier) {
+    FUSE_LOAD();
+    PUTFIELD_REF_PROLOGUE_AT(IP[1], Base[IP->A]);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT2();
+  }
+  CASE(LoadPutFieldRef_Satb) {
+    FUSE_LOAD();
+    PUTFIELD_REF_PROLOGUE_AT(IP[1], Base[IP->A]);
+    BARRIER_SATB();
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT2();
+  }
+  CASE(LoadPutFieldRef_AlwaysLog) {
+    FUSE_LOAD();
+    PUTFIELD_REF_PROLOGUE_AT(IP[1], Base[IP->A]);
+    BARRIER_ALWAYSLOG();
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT2();
+  }
+  CASE(LoadPutFieldRef_Card) {
+    FUSE_LOAD();
+    PUTFIELD_REF_PROLOGUE_AT(IP[1], Base[IP->A]);
+    BarrierCost += 2;
+    if (Inc)
+      Inc->recordWrite(Obj);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT2();
+  }
+  CASE(LoadAALoad) {
+    FUSE_LOAD();
+    int64_t Idx = Base[IP->A].Int;
+    ObjRef Arr = POP().Ref;
+    if (Arr == NullRef)
+      TRAP(NullPointer);
+    HeapObject &O = *Tbl[Arr];
+    if (O.Kind != ObjectKind::RefArray)
+      TRAP(BadFieldAccess);
+    if (Idx < 0 || Idx >= O.arrayLength())
+      TRAP(OutOfBounds);
+    PUSH(Slot::ofRef(loadRefAcquire(O.refs() + Idx)));
+    NEXT2();
+  }
+  CASE(LoadIALoad) {
+    FUSE_LOAD();
+    int64_t Idx = Base[IP->A].Int;
+    ObjRef Arr = POP().Ref;
+    if (Arr == NullRef)
+      TRAP(NullPointer);
+    HeapObject &O = *Tbl[Arr];
+    if (O.Kind != ObjectKind::IntArray)
+      TRAP(BadFieldAccess);
+    if (Idx < 0 || Idx >= O.arrayLength())
+      TRAP(OutOfBounds);
+    PUSH(Slot::ofInt(loadIntRelaxed(O.ints() + Idx)));
+    NEXT2();
+  }
+  CASE(LoadIAStore) {
+    FUSE_LOAD();
+    Slot Val = Base[IP->A];
+    int64_t Idx = POP().Int;
+    ObjRef Arr = POP().Ref;
+    if (Arr == NullRef)
+      TRAP(NullPointer);
+    HeapObject &O = *Tbl[Arr];
+    if (O.Kind != ObjectKind::IntArray)
+      TRAP(BadFieldAccess);
+    if (Idx < 0 || Idx >= O.arrayLength())
+      TRAP(OutOfBounds);
+    storeIntRelaxed(O.ints() + Idx, Val.Int);
+    NEXT2();
+  }
+  CASE(LoadAAStore_Elided) {
+    FUSE_LOAD();
+    AASTORE_PROLOGUE_AT(IP[1], Base[IP->A]);
+    BARRIER_ELIDED(Val.Ref);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT2();
+  }
+  CASE(LoadAAStore_NoBarrier) {
+    FUSE_LOAD();
+    AASTORE_PROLOGUE_AT(IP[1], Base[IP->A]);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT2();
+  }
+  CASE(LoadAAStore_Satb) {
+    FUSE_LOAD();
+    AASTORE_PROLOGUE_AT(IP[1], Base[IP->A]);
+    BARRIER_SATB();
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT2();
+  }
+  CASE(LoadAAStore_AlwaysLog) {
+    FUSE_LOAD();
+    AASTORE_PROLOGUE_AT(IP[1], Base[IP->A]);
+    BARRIER_ALWAYSLOG();
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT2();
+  }
+  CASE(LoadAAStore_Card) {
+    FUSE_LOAD();
+    AASTORE_PROLOGUE_AT(IP[1], Base[IP->A]);
+    BarrierCost += 2;
+    if (Inc)
+      Inc->recordWrite(Arr);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT2();
+  }
+  CASE(LoadStore) {
+    FUSE_LOAD();
+    Base[IP[1].A] = Base[IP->A];
+    NEXT2();
+  }
+  CASE(LoadIAdd) {
+    FUSE_LOAD();
+    int64_t B = Base[IP->A].Int, A = POP().Int;
+    PUSH(Slot::ofInt(wrap32(A + B)));
+    NEXT2();
+  }
+  CASE(LoadISub) {
+    FUSE_LOAD();
+    int64_t B = Base[IP->A].Int, A = POP().Int;
+    PUSH(Slot::ofInt(wrap32(A - B)));
+    NEXT2();
+  }
+  CASE(LoadIMul) {
+    FUSE_LOAD();
+    int64_t B = Base[IP->A].Int, A = POP().Int;
+    PUSH(Slot::ofInt(wrap32(A * B)));
+    NEXT2();
+  }
+  CASE(LoadIfEq) {
+    FUSE_LOAD();
+    FUSED_BRANCH(Base[IP->A].Int == 0);
+  }
+  CASE(LoadIfNe) {
+    FUSE_LOAD();
+    FUSED_BRANCH(Base[IP->A].Int != 0);
+  }
+  CASE(LoadIfLt) {
+    FUSE_LOAD();
+    FUSED_BRANCH(Base[IP->A].Int < 0);
+  }
+  CASE(LoadIfGe) {
+    FUSE_LOAD();
+    FUSED_BRANCH(Base[IP->A].Int >= 0);
+  }
+  CASE(LoadIfGt) {
+    FUSE_LOAD();
+    FUSED_BRANCH(Base[IP->A].Int > 0);
+  }
+  CASE(LoadIfLe) {
+    FUSE_LOAD();
+    FUSED_BRANCH(Base[IP->A].Int <= 0);
+  }
+  CASE(LoadIfICmpEq) {
+    FUSE_LOAD();
+    int64_t B = Base[IP->A].Int, A = POP().Int;
+    FUSED_BRANCH(A == B);
+  }
+  CASE(LoadIfICmpNe) {
+    FUSE_LOAD();
+    int64_t B = Base[IP->A].Int, A = POP().Int;
+    FUSED_BRANCH(A != B);
+  }
+  CASE(LoadIfICmpLt) {
+    FUSE_LOAD();
+    int64_t B = Base[IP->A].Int, A = POP().Int;
+    FUSED_BRANCH(A < B);
+  }
+  CASE(LoadIfICmpGe) {
+    FUSE_LOAD();
+    int64_t B = Base[IP->A].Int, A = POP().Int;
+    FUSED_BRANCH(A >= B);
+  }
+  CASE(LoadIfICmpGt) {
+    FUSE_LOAD();
+    int64_t B = Base[IP->A].Int, A = POP().Int;
+    FUSED_BRANCH(A > B);
+  }
+  CASE(LoadIfICmpLe) {
+    FUSE_LOAD();
+    int64_t B = Base[IP->A].Int, A = POP().Int;
+    FUSED_BRANCH(A <= B);
+  }
+  CASE(LoadIfNull) {
+    FUSE_LOAD();
+    FUSED_BRANCH(Base[IP->A].Ref == NullRef);
+  }
+  CASE(LoadIfNonNull) {
+    FUSE_LOAD();
+    FUSED_BRANCH(Base[IP->A].Ref != NullRef);
+  }
+  CASE(IConstIAdd) {
+    FUSE_ICONST();
+    int64_t A = POP().Int;
+    PUSH(Slot::ofInt(wrap32(A + IP->A)));
+    NEXT2();
+  }
+  CASE(IConstISub) {
+    FUSE_ICONST();
+    int64_t A = POP().Int;
+    PUSH(Slot::ofInt(wrap32(A - IP->A)));
+    NEXT2();
+  }
+  CASE(IConstIMul) {
+    FUSE_ICONST();
+    int64_t A = POP().Int;
+    PUSH(Slot::ofInt(wrap32(A * IP->A)));
+    NEXT2();
+  }
+  CASE(IConstIDiv) {
+    FUSE_ICONST();
+    int64_t A = POP().Int;
+    if (IP->A == 0)
+      TRAP(DivisionByZero);
+    PUSH(Slot::ofInt(wrap32(A / IP->A)));
+    NEXT2();
+  }
+  CASE(IConstIRem) {
+    FUSE_ICONST();
+    int64_t A = POP().Int;
+    if (IP->A == 0)
+      TRAP(DivisionByZero);
+    PUSH(Slot::ofInt(wrap32(A % IP->A)));
+    NEXT2();
+  }
+  CASE(IConstIfICmpEq) {
+    FUSE_ICONST();
+    int64_t A = POP().Int;
+    FUSED_BRANCH(A == IP->A);
+  }
+  CASE(IConstIfICmpNe) {
+    FUSE_ICONST();
+    int64_t A = POP().Int;
+    FUSED_BRANCH(A != IP->A);
+  }
+  CASE(IConstIfICmpLt) {
+    FUSE_ICONST();
+    int64_t A = POP().Int;
+    FUSED_BRANCH(A < IP->A);
+  }
+  CASE(IConstIfICmpGe) {
+    FUSE_ICONST();
+    int64_t A = POP().Int;
+    FUSED_BRANCH(A >= IP->A);
+  }
+  CASE(IConstIfICmpGt) {
+    FUSE_ICONST();
+    int64_t A = POP().Int;
+    FUSED_BRANCH(A > IP->A);
+  }
+  CASE(IConstIfICmpLe) {
+    FUSE_ICONST();
+    int64_t A = POP().Int;
+    FUSED_BRANCH(A <= IP->A);
+  }
+  CASE(IConstAALoad) {
+    FUSE_ICONST();
+    int64_t Idx = IP->A;
+    ObjRef Arr = POP().Ref;
+    if (Arr == NullRef)
+      TRAP(NullPointer);
+    HeapObject &O = *Tbl[Arr];
+    if (O.Kind != ObjectKind::RefArray)
+      TRAP(BadFieldAccess);
+    if (Idx < 0 || Idx >= O.arrayLength())
+      TRAP(OutOfBounds);
+    PUSH(Slot::ofRef(loadRefAcquire(O.refs() + Idx)));
+    NEXT2();
+  }
+  CASE(IConstIALoad) {
+    FUSE_ICONST();
+    int64_t Idx = IP->A;
+    ObjRef Arr = POP().Ref;
+    if (Arr == NullRef)
+      TRAP(NullPointer);
+    HeapObject &O = *Tbl[Arr];
+    if (O.Kind != ObjectKind::IntArray)
+      TRAP(BadFieldAccess);
+    if (Idx < 0 || Idx >= O.arrayLength())
+      TRAP(OutOfBounds);
+    PUSH(Slot::ofInt(loadIntRelaxed(O.ints() + Idx)));
+    NEXT2();
+  }
+  CASE(IIncGoto) {
+    FUSE_IINC();
+    Slot &L = Base[IP->A];
+    L = Slot::ofInt(wrap32(L.Int + IP->B));
+    IP += 1 + IP[1].A;
+    DISPATCH();
+  }
+  CASE(LoadLoad) {
+    FUSE_LOAD();
+    PUSH(Base[IP->A]);
+    PUSH(Base[IP[1].A]);
+    NEXT2();
+  }
+  CASE(LoadIConst) {
+    FUSE_LOAD();
+    PUSH(Base[IP->A]);
+    PUSH(Slot::ofInt(IP[1].A));
+    NEXT2();
+  }
+  CASE(StoreLoad) {
+    FUSE_SECOND_HALF_OR(Base[IP->A] = POP());
+    // Store first, then load: the halves may name the same local.
+    Base[IP->A] = POP();
+    PUSH(Base[IP[1].A]);
+    NEXT2();
+  }
+  CASE(StoreStore) {
+    FUSE_SECOND_HALF_OR(Base[IP->A] = POP());
+    Base[IP->A] = POP();
+    Base[IP[1].A] = POP();
+    NEXT2();
+  }
+  CASE(IConstIConst) {
+    FUSE_ICONST();
+    PUSH(Slot::ofInt(IP->A));
+    PUSH(Slot::ofInt(IP[1].A));
+    NEXT2();
+  }
+  CASE(PopIConst) {
+    FUSE_SECOND_HALF_OR(--SP);
+    SP[-1] = Slot::ofInt(IP[1].A);
+    NEXT2();
+  }
+  CASE(IRemStore) {
+    if (Fuel == 0) { // unfused first half: full IRem, suspend on Store
+      int64_t B = POP().Int, A = POP().Int;
+      if (B == 0)
+        TRAP(DivisionByZero);
+      PUSH(Slot::ofInt(wrap32(A % B)));
+      NEXT();
+    }
+    --Fuel;
+    int64_t B = POP().Int, A = POP().Int;
+    if (B == 0)
+      TRAP(DivisionByZero);
+    Base[IP[1].A] = Slot::ofInt(wrap32(A % B));
+    NEXT2();
+  }
+  CASE(IMulPop) {
+    if (Fuel == 0) { // unfused first half: full IMul, suspend on Pop
+      int64_t B = POP().Int, A = POP().Int;
+      PUSH(Slot::ofInt(wrap32(A * B)));
+      NEXT();
+    }
+    --Fuel;
+    SP -= 2; // product immediately discarded: net two pops
+    NEXT2();
+  }
+  CASE(IAddIConst) {
+    if (Fuel == 0) { // unfused first half: full IAdd, suspend on IConst
+      int64_t B = POP().Int, A = POP().Int;
+      PUSH(Slot::ofInt(wrap32(A + B)));
+      NEXT();
+    }
+    --Fuel;
+    int64_t B = POP().Int, A = POP().Int;
+    PUSH(Slot::ofInt(wrap32(A + B)));
+    PUSH(Slot::ofInt(IP[1].A));
+    NEXT2();
+  }
+  CASE(IMulIConst) {
+    if (Fuel == 0) { // unfused first half: full IMul, suspend on IConst
+      int64_t B = POP().Int, A = POP().Int;
+      PUSH(Slot::ofInt(wrap32(A * B)));
+      NEXT();
+    }
+    --Fuel;
+    int64_t B = POP().Int, A = POP().Int;
+    PUSH(Slot::ofInt(wrap32(A * B)));
+    PUSH(Slot::ofInt(IP[1].A));
+    NEXT2();
+  }
+
 #ifdef SATB_SWITCH_DISPATCH
   }
   assert(false && "unknown fast opcode");
@@ -791,3 +1299,6 @@ ExitLoop:
   Steps += MaxSteps - Fuel;
   return Status;
 }
+
+template RunStatus FastInterp::stepImpl<false>(uint64_t);
+template RunStatus FastInterp::stepImpl<true>(uint64_t);

@@ -64,6 +64,17 @@ public:
   BarrierStats &stats() { return Stats; }
   const BarrierStats &stats() const { return Stats; }
 
+  /// SATB_DISPATCH_PROFILE support: record dynamic opcode-pair
+  /// frequencies. Only *adjacent* executions are counted (the next
+  /// instruction dispatched is the previous one's fall-through
+  /// successor) — exactly the population the superinstruction peephole
+  /// can fuse. Profiling is compiled as a separate template
+  /// instantiation of the dispatch loop, so the non-profiled hot path
+  /// pays nothing. tools/dispatch_profile.cpp dumps the table.
+  void enablePairProfile() { PairProfile.assign(kNumFastOps * kNumFastOps, 0); }
+  /// Flat [first * kNumFastOps + second] counts; empty unless enabled.
+  const std::vector<uint64_t> &pairProfile() const { return PairProfile; }
+
 private:
   /// A suspended frame. IP/SP are flushed from the dispatch loop's locals
   /// when the engine suspends (fuel out, call, trap) and reloaded on
@@ -79,6 +90,11 @@ private:
     Trap = K;
     Status = RunStatus::Trapped;
   }
+
+  /// The dispatch loop, instantiated twice: the production path
+  /// (ProfilePairs = false, zero instrumentation) and the pair-profiling
+  /// path step() selects when enablePairProfile() was called.
+  template <bool ProfilePairs> RunStatus stepImpl(uint64_t MaxSteps);
 
   const FastProgram &FP;
   Heap &H;
@@ -98,6 +114,7 @@ private:
   SiteStats *Sites = nullptr;  ///< Stats.flatData(), resolved once
   ObjRef *StaticR = nullptr;   ///< H.staticRefsData()
   int64_t *StaticI = nullptr;  ///< H.staticIntsData()
+  std::vector<uint64_t> PairProfile; ///< empty unless enablePairProfile()
 };
 
 } // namespace satb

@@ -95,6 +95,7 @@ MultiMutatorResult satb::runWithConcurrentMutators(
 
   TranslateOptions TO;
   TO.InsertSafepoints = true;
+  TO.Fuse = Cfg.Fuse;
   FastProgram FP = translateProgram(P, CP, TO);
 
   Heap H(P);

@@ -33,6 +33,7 @@
 
 #include "interp/BarrierStats.h"
 #include "interp/Interpreter.h"
+#include "jit/FastCode.h"
 
 namespace satb {
 
@@ -77,6 +78,11 @@ struct MultiMutatorConfig {
   /// DESIGN.md "Parallel marking"). The coordinator participates as one
   /// of the workers.
   unsigned MarkThreads = 1;
+  /// Superinstruction fusion for the internal translation (forwarded to
+  /// TranslateOptions::Fuse). Defaults to the process-wide default, so
+  /// SATB_NO_FUSE reaches the multi-mutator runtime too; tests pin it to
+  /// run their grids in both translations.
+  bool Fuse = TranslateOptions::fusionDefault();
   /// Test instrumentation: record per-object trace counts (mark-once
   /// property) and, for SATB, the start-of-marking snapshot set into the
   /// result.

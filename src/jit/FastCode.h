@@ -28,11 +28,13 @@
 
 #include "jit/Compiler.h"
 
+#include <optional>
+
 namespace satb {
 
 /// The specialized opcode set, as an X-macro so the dispatch label table
 /// in FastInterp.cpp can never fall out of sync with the enum.
-#define SATB_FAST_OPS(X)                                                       \
+#define SATB_FAST_BASE_OPS(X)                                                  \
   X(IConst)                                                                    \
   X(AConstNull)                                                                \
   X(Load)                                                                      \
@@ -103,11 +105,109 @@ namespace satb {
   X(RearrangeExit)                                                             \
   X(Safepoint)
 
+/// Fused superinstructions (translation-time peephole, DESIGN.md
+/// "Superinstructions"). A fused op replaces the *opcode of the first
+/// instruction* of a hot adjacent pair; the second slot keeps its
+/// original instruction verbatim. The fused handler reads the second
+/// half's operands from IP[1], charges both halves' fuel, and — when the
+/// quantum expires mid-pair — executes only the first half and suspends
+/// on the untouched second slot. Stream length, branch displacements,
+/// trap points, and BarrierStats site numbering are therefore identical
+/// to the unfused translation; only Op fields differ.
+///
+/// Naming: <first><second>, e.g. LoadGetFieldRef fuses a local load with
+/// the field read it feeds. The pair set is profile-driven: see
+/// tools/dispatch_profile.cpp for the dynamic pair counts that justify
+/// it, and fusedOp() in FastTranslate.cpp for the selection table.
+#define SATB_FAST_FUSED_OPS(X)                                                 \
+  X(LoadGetFieldRef)                                                           \
+  X(LoadGetFieldInt)                                                           \
+  X(LoadPutFieldInt)                                                           \
+  X(LoadPutFieldRef_Elided)                                                    \
+  X(LoadPutFieldRef_NoBarrier)                                                 \
+  X(LoadPutFieldRef_Satb)                                                      \
+  X(LoadPutFieldRef_AlwaysLog)                                                 \
+  X(LoadPutFieldRef_Card)                                                      \
+  X(LoadAALoad)                                                                \
+  X(LoadIALoad)                                                                \
+  X(LoadIAStore)                                                               \
+  X(LoadAAStore_Elided)                                                        \
+  X(LoadAAStore_NoBarrier)                                                     \
+  X(LoadAAStore_Satb)                                                          \
+  X(LoadAAStore_AlwaysLog)                                                     \
+  X(LoadAAStore_Card)                                                          \
+  X(LoadStore)                                                                 \
+  X(LoadIAdd)                                                                  \
+  X(LoadISub)                                                                  \
+  X(LoadIMul)                                                                  \
+  X(LoadIfEq)                                                                  \
+  X(LoadIfNe)                                                                  \
+  X(LoadIfLt)                                                                  \
+  X(LoadIfGe)                                                                  \
+  X(LoadIfGt)                                                                  \
+  X(LoadIfLe)                                                                  \
+  X(LoadIfICmpEq)                                                              \
+  X(LoadIfICmpNe)                                                              \
+  X(LoadIfICmpLt)                                                              \
+  X(LoadIfICmpGe)                                                              \
+  X(LoadIfICmpGt)                                                              \
+  X(LoadIfICmpLe)                                                              \
+  X(LoadIfNull)                                                                \
+  X(LoadIfNonNull)                                                             \
+  X(IConstIAdd)                                                                \
+  X(IConstISub)                                                                \
+  X(IConstIMul)                                                                \
+  X(IConstIDiv)                                                                \
+  X(IConstIRem)                                                                \
+  X(IConstIfICmpEq)                                                            \
+  X(IConstIfICmpNe)                                                            \
+  X(IConstIfICmpLt)                                                            \
+  X(IConstIfICmpGe)                                                            \
+  X(IConstIfICmpGt)                                                            \
+  X(IConstIfICmpLe)                                                            \
+  X(IConstAALoad)                                                              \
+  X(IConstIALoad)                                                              \
+  X(IIncGoto)                                                                  \
+  X(LoadLoad)                                                                  \
+  X(LoadIConst)                                                                \
+  X(StoreLoad)                                                                 \
+  X(StoreStore)                                                                \
+  X(IConstIConst)                                                              \
+  X(PopIConst)                                                                 \
+  X(IRemStore)                                                                 \
+  X(IMulPop)                                                                   \
+  X(IAddIConst)                                                                \
+  X(IMulIConst)
+
+/// The full dispatch set: base ops first, fused ops appended (isFusedOp
+/// relies on the ordering).
+#define SATB_FAST_OPS(X)                                                       \
+  SATB_FAST_BASE_OPS(X)                                                        \
+  SATB_FAST_FUSED_OPS(X)
+
 enum class FastOp : uint16_t {
 #define X(name) name,
   SATB_FAST_OPS(X)
 #undef X
 };
+
+constexpr unsigned kNumFastOps = 0
+#define X(name) +1
+    SATB_FAST_OPS(X)
+#undef X
+    ;
+
+/// True for superinstructions (the ops SATB_FAST_FUSED_OPS adds).
+inline bool isFusedOp(FastOp Op) {
+  return Op >= FastOp::LoadGetFieldRef;
+}
+
+/// Opcode name for profile dumps and diagnostics.
+const char *fastOpName(FastOp Op);
+
+/// The fusion selection table: the superinstruction for an adjacent
+/// (First, Second) pair, or std::nullopt if the pair is not fused.
+std::optional<FastOp> fusedOp(FastOp First, FastOp Second);
 
 /// One pre-decoded instruction, 16 bytes. Operand meanings:
 ///  - Load/Store/IInc: A = local index (IInc: B = increment)
@@ -155,6 +255,17 @@ struct TranslateOptions {
   /// instructions; barrier-site indices are assigned from the *original*
   /// PCs, so BarrierStats stay comparable across both translations.
   bool InsertSafepoints = false;
+  /// Run the superinstruction peephole over the emitted stream (see
+  /// SATB_FAST_FUSED_OPS). Fusion never crosses a branch target or a
+  /// Safepoint poll, never rewrites anything but Op fields, and fused
+  /// handlers charge the sum of their parts, so every observable —
+  /// steps, traps, stats, suspension points — is bit-identical with the
+  /// pass on or off. Defaults to fusionDefault(): on, unless the
+  /// SATB_NO_FUSE environment variable is set (the in-tree oracle knob
+  /// CI's release matrix and TSan job flip).
+  bool Fuse = fusionDefault();
+
+  static bool fusionDefault();
 };
 
 /// Lowers \p CP (compiled from \p P) into the specialized stream. Field

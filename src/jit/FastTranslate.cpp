@@ -5,8 +5,162 @@
 #include "heap/Heap.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 using namespace satb;
+
+const char *satb::fastOpName(FastOp Op) {
+  switch (Op) {
+#define X(name)                                                                \
+  case FastOp::name:                                                           \
+    return #name;
+    SATB_FAST_OPS(X)
+#undef X
+  }
+  return "<unknown>";
+}
+
+bool TranslateOptions::fusionDefault() {
+  static const bool Enabled = std::getenv("SATB_NO_FUSE") == nullptr;
+  return Enabled;
+}
+
+std::optional<FastOp> satb::fusedOp(FastOp First, FastOp Second) {
+  // Offset helpers for the op families whose members are contiguous in
+  // the enum (the X-macro fixes the layout; the static_asserts pin it).
+  auto Off = [](FastOp Op, FastOp Base) {
+    return static_cast<uint16_t>(Op) - static_cast<uint16_t>(Base);
+  };
+  auto At = [](FastOp Base, uint16_t Delta) {
+    return static_cast<FastOp>(static_cast<uint16_t>(Base) + Delta);
+  };
+  static_assert(static_cast<uint16_t>(FastOp::IfLe) -
+                        static_cast<uint16_t>(FastOp::IfEq) == 5 &&
+                    static_cast<uint16_t>(FastOp::IfICmpLe) -
+                        static_cast<uint16_t>(FastOp::IfICmpEq) == 5 &&
+                    static_cast<uint16_t>(FastOp::LoadIfLe) -
+                        static_cast<uint16_t>(FastOp::LoadIfEq) == 5 &&
+                    static_cast<uint16_t>(FastOp::LoadIfICmpLe) -
+                        static_cast<uint16_t>(FastOp::LoadIfICmpEq) == 5 &&
+                    static_cast<uint16_t>(FastOp::IConstIfICmpLe) -
+                        static_cast<uint16_t>(FastOp::IConstIfICmpEq) == 5,
+                "comparison families must stay contiguous");
+
+  switch (First) {
+  case FastOp::Load:
+    switch (Second) {
+    case FastOp::GetFieldRef:
+      return FastOp::LoadGetFieldRef;
+    case FastOp::GetFieldInt:
+      return FastOp::LoadGetFieldInt;
+    case FastOp::PutFieldInt:
+      return FastOp::LoadPutFieldInt;
+    case FastOp::PutFieldRef_Elided:
+      return FastOp::LoadPutFieldRef_Elided;
+    case FastOp::PutFieldRef_NoBarrier:
+      return FastOp::LoadPutFieldRef_NoBarrier;
+    case FastOp::PutFieldRef_Satb:
+      return FastOp::LoadPutFieldRef_Satb;
+    case FastOp::PutFieldRef_AlwaysLog:
+      return FastOp::LoadPutFieldRef_AlwaysLog;
+    case FastOp::PutFieldRef_Card:
+      return FastOp::LoadPutFieldRef_Card;
+    case FastOp::AALoad:
+      return FastOp::LoadAALoad;
+    case FastOp::IALoad:
+      return FastOp::LoadIALoad;
+    case FastOp::IAStore:
+      return FastOp::LoadIAStore;
+    case FastOp::AAStore_Elided:
+      return FastOp::LoadAAStore_Elided;
+    case FastOp::AAStore_NoBarrier:
+      return FastOp::LoadAAStore_NoBarrier;
+    case FastOp::AAStore_Satb:
+      return FastOp::LoadAAStore_Satb;
+    case FastOp::AAStore_AlwaysLog:
+      return FastOp::LoadAAStore_AlwaysLog;
+    case FastOp::AAStore_Card:
+      return FastOp::LoadAAStore_Card;
+      // AAStore_Rearr_* stay unfused: the rearrangement bracket check is
+      // cold and its active-set bookkeeping is easiest audited unfused.
+    case FastOp::Store:
+      return FastOp::LoadStore;
+    case FastOp::Load:
+      return FastOp::LoadLoad;
+    case FastOp::IConst:
+      return FastOp::LoadIConst;
+    case FastOp::IAdd:
+      return FastOp::LoadIAdd;
+    case FastOp::ISub:
+      return FastOp::LoadISub;
+    case FastOp::IMul:
+      return FastOp::LoadIMul;
+    case FastOp::IfNull:
+      return FastOp::LoadIfNull;
+    case FastOp::IfNonNull:
+      return FastOp::LoadIfNonNull;
+    default:
+      if (Second >= FastOp::IfEq && Second <= FastOp::IfLe)
+        return At(FastOp::LoadIfEq, Off(Second, FastOp::IfEq));
+      if (Second >= FastOp::IfICmpEq && Second <= FastOp::IfICmpLe)
+        return At(FastOp::LoadIfICmpEq, Off(Second, FastOp::IfICmpEq));
+      return std::nullopt;
+    }
+  case FastOp::IConst:
+    switch (Second) {
+    case FastOp::IConst:
+      return FastOp::IConstIConst;
+    case FastOp::IAdd:
+      return FastOp::IConstIAdd;
+    case FastOp::ISub:
+      return FastOp::IConstISub;
+    case FastOp::IMul:
+      return FastOp::IConstIMul;
+    case FastOp::IDiv:
+      return FastOp::IConstIDiv;
+    case FastOp::IRem:
+      return FastOp::IConstIRem;
+    case FastOp::AALoad:
+      return FastOp::IConstAALoad;
+    case FastOp::IALoad:
+      return FastOp::IConstIALoad;
+    default:
+      if (Second >= FastOp::IfICmpEq && Second <= FastOp::IfICmpLe)
+        return At(FastOp::IConstIfICmpEq, Off(Second, FastOp::IfICmpEq));
+      return std::nullopt;
+    }
+  case FastOp::IInc:
+    if (Second == FastOp::Goto)
+      return FastOp::IIncGoto;
+    return std::nullopt;
+  case FastOp::Store:
+    if (Second == FastOp::Load)
+      return FastOp::StoreLoad;
+    if (Second == FastOp::Store)
+      return FastOp::StoreStore;
+    return std::nullopt;
+  case FastOp::Pop:
+    if (Second == FastOp::IConst)
+      return FastOp::PopIConst;
+    return std::nullopt;
+  case FastOp::IRem:
+    if (Second == FastOp::Store)
+      return FastOp::IRemStore;
+    return std::nullopt;
+  case FastOp::IMul:
+    if (Second == FastOp::Pop)
+      return FastOp::IMulPop;
+    if (Second == FastOp::IConst)
+      return FastOp::IMulIConst;
+    return std::nullopt;
+  case FastOp::IAdd:
+    if (Second == FastOp::IConst)
+      return FastOp::IAddIConst;
+    return std::nullopt;
+  default:
+    return std::nullopt;
+  }
+}
 
 namespace {
 
@@ -176,6 +330,58 @@ int stackDelta(const CompiledProgram &CP, const Instruction &Ins) {
   }
   assert(false && "unknown opcode");
   return 0;
+}
+
+/// Branch ops in the emitted stream (displacement in A). Fused branch
+/// variants are deliberately excluded: their own A slot holds the first
+/// half's operand, the displacement lives in the retained second slot.
+bool isFastBranch(FastOp Op) {
+  return Op >= FastOp::Goto && Op <= FastOp::IfACmpNe;
+}
+
+/// The superinstruction peephole. Rewrites the Op of the first
+/// instruction of each selected adjacent pair (greedy left-to-right;
+/// operands and the second slot stay untouched, so the fused stream
+/// differs from the unfused one only in Op fields). A pair is fused only
+/// when the second slot is not a branch target — leaders are recomputed
+/// here from the emitted displacements, which also accounts for inserted
+/// Safepoint polls (a poll between two instructions breaks adjacency by
+/// construction, and Safepoint itself is in no fusion pair).
+void fuseMethod(FastMethod &FM) {
+  std::vector<FastInst> &Code = FM.Code;
+  if (Code.size() < 2)
+    return;
+  std::vector<bool> Leader(Code.size(), false);
+  for (uint32_t I = 0; I != Code.size(); ++I)
+    if (isFastBranch(static_cast<FastOp>(Code[I].Op)))
+      Leader[I + Code[I].A] = true;
+  for (uint32_t I = 0; I + 1 < Code.size();) {
+    if (!Leader[I + 1]) {
+      if (std::optional<FastOp> F =
+              fusedOp(static_cast<FastOp>(Code[I].Op),
+                      static_cast<FastOp>(Code[I + 1].Op))) {
+        Code[I].Op = static_cast<uint16_t>(*F);
+        I += 2;
+        continue;
+      }
+    }
+    ++I;
+  }
+#ifndef NDEBUG
+  // The branch-target hazard class, asserted away wholesale: no branch
+  // in the final stream may land on the second slot of a fused pair
+  // (entering mid-pair would skip the fused execution's first half).
+  // Second slots keep their original branch ops, so scanning every
+  // isFastBranch slot covers fused-pair branches too.
+  for (uint32_t I = 0; I != Code.size(); ++I) {
+    if (!isFastBranch(static_cast<FastOp>(Code[I].Op)))
+      continue;
+    uint32_t T = I + Code[I].A;
+    assert(T < Code.size() && "branch displacement out of range");
+    assert((T == 0 || !isFusedOp(static_cast<FastOp>(Code[T - 1].Op))) &&
+           "fused instruction spans a jump target");
+  }
+#endif
 }
 
 /// Worst-case operand stack depth of the verified body: forward dataflow
@@ -455,6 +661,8 @@ FastProgram satb::translateProgram(const Program &P, const CompiledProgram &CP,
         FI.A = static_cast<int32_t>(TIdx) - static_cast<int32_t>(NewIdx[PC]);
       }
     }
+    if (Opts.Fuse)
+      fuseMethod(FM);
   }
   return FP;
 }

@@ -82,8 +82,11 @@ void expectEqual(const Observed &Ref, const Observed &Fast,
 }
 
 /// Runs \p Entry under both engines (fresh heap each) and compares every
-/// observable. Both markers are attached so every barrier flavor has its
-/// collector hook live, exactly as the reference engine wires it.
+/// observable. The fast engine runs twice — superinstruction fusion on
+/// and off — and both translations must match the reference, so the
+/// whole grid below also differentially tests the fusion pass. Both
+/// markers are attached so every barrier flavor has its collector hook
+/// live, exactly as the reference engine wires it.
 void runBoth(const Program &P, const CompilerOptions &Opts, MethodId Entry,
              const std::vector<int64_t> &Args, const std::string &What,
              uint64_t StepLimit = 2'000'000'000) {
@@ -99,19 +102,20 @@ void runBoth(const Program &P, const CompilerOptions &Opts, MethodId Entry,
     I.run(Entry, Args, StepLimit);
     Ref = observe(I, H);
   }
-  Observed Fast;
-  {
+  for (bool Fuse : {true, false}) {
     Heap H(P);
-    FastProgram FP = translateProgram(P, CP);
+    TranslateOptions TO;
+    TO.Fuse = Fuse;
+    FastProgram FP = translateProgram(P, CP, TO);
     FastInterp I(FP, CP, H);
     SatbMarker SM(H);
     IncrementalUpdateMarker IM(H);
     I.attachSatb(&SM);
     I.attachIncUpdate(&IM);
     I.run(Entry, Args, StepLimit);
-    Fast = observe(I, H);
+    Observed Fast = observe(I, H);
+    expectEqual(Ref, Fast, What + (Fuse ? "/fused" : "/unfused"));
   }
-  expectEqual(Ref, Fast, What);
 }
 
 /// The barrier/elision configurations under test; each selects a
@@ -286,17 +290,20 @@ TEST(MutatorEquivalence, ConcurrentSatbCycle) {
       Ref = runWithConcurrentSatb(I, M, H, W.Entry, {200}, Cfg);
       RefO = observe(I, H);
     }
-    {
+    for (bool Fuse : {true, false}) {
       Heap H(*W.P);
-      FastProgram FP = translateProgram(*W.P, CP);
+      TranslateOptions TO;
+      TO.Fuse = Fuse;
+      FastProgram FP = translateProgram(*W.P, CP, TO);
       FastInterp I(FP, CP, H);
       SatbMarker M(H);
       I.attachSatb(&M);
       Fast = runWithConcurrentSatb(I, M, H, W.Entry, {200}, Cfg);
       FastO = observe(I, H);
+      std::string What = W.Name + (Fuse ? "/fused" : "/unfused");
+      expectConcurrentEqual(Ref, Fast, What);
+      expectEqual(RefO, FastO, What + "/post-cycle");
     }
-    expectConcurrentEqual(Ref, Fast, W.Name);
-    expectEqual(RefO, FastO, W.Name + "/post-cycle");
   }
 }
 
@@ -316,17 +323,20 @@ TEST(MutatorEquivalence, ConcurrentIncUpdateCycle) {
       Ref = runWithConcurrentIncUpdate(I, M, H, W.Entry, {200}, Cfg);
       RefO = observe(I, H);
     }
-    {
+    for (bool Fuse : {true, false}) {
       Heap H(*W.P);
-      FastProgram FP = translateProgram(*W.P, CP);
+      TranslateOptions TO;
+      TO.Fuse = Fuse;
+      FastProgram FP = translateProgram(*W.P, CP, TO);
       FastInterp I(FP, CP, H);
       IncrementalUpdateMarker M(H);
       I.attachIncUpdate(&M);
       Fast = runWithConcurrentIncUpdate(I, M, H, W.Entry, {200}, Cfg);
       FastO = observe(I, H);
+      std::string What = W.Name + (Fuse ? "/fused" : "/unfused");
+      expectConcurrentEqual(Ref, Fast, What);
+      expectEqual(RefO, FastO, What + "/post-cycle");
     }
-    expectConcurrentEqual(Ref, Fast, W.Name);
-    expectEqual(RefO, FastO, W.Name + "/post-cycle");
   }
 }
 
@@ -346,15 +356,19 @@ TEST(MutatorEquivalence, ConcurrentSatbRandomCorpus) {
       I.attachSatb(&M);
       Ref = runWithConcurrentSatb(I, M, H, G.Entry, {60}, Cfg);
     }
-    {
+    for (bool Fuse : {true, false}) {
       Heap H(*G.P);
-      FastProgram FP = translateProgram(*G.P, CP);
+      TranslateOptions TO;
+      TO.Fuse = Fuse;
+      FastProgram FP = translateProgram(*G.P, CP, TO);
       FastInterp I(FP, CP, H);
       SatbMarker M(H);
       I.attachSatb(&M);
       Fast = runWithConcurrentSatb(I, M, H, G.Entry, {60}, Cfg);
+      expectConcurrentEqual(Ref, Fast,
+                            "seed " + std::to_string(Seed) +
+                                (Fuse ? "/fused" : "/unfused"));
     }
-    expectConcurrentEqual(Ref, Fast, "seed " + std::to_string(Seed));
   }
 }
 
@@ -363,29 +377,44 @@ TEST(MutatorEquivalence, ConcurrentSatbRandomCorpus) {
 TEST(MutatorEquivalence, OddStepQuantaMatchSingleRun) {
   // Stepping the fast engine in odd quanta (forcing frequent
   // suspend/resume through ExitLoop) must land on the same final state as
-  // one uninterrupted run.
+  // one uninterrupted run. Run the grid with fusion on and off: odd
+  // quanta routinely exhaust the quantum mid-superinstruction, forcing
+  // the first-half-then-suspend path, which must be indistinguishable
+  // from the unfused translation's suspension on the second slot.
   const Workload W = makeJessLike();
   CompilerOptions Opts;
   CompiledProgram CP = compileProgram(*W.P, Opts);
-  FastProgram FP = translateProgram(*W.P, CP);
-  Observed Whole, Chopped;
-  {
-    Heap H(*W.P);
-    FastInterp I(FP, CP, H);
-    SatbMarker M(H);
-    I.attachSatb(&M);
-    I.run(W.Entry, {100});
-    Whole = observe(I, H);
+  Observed UnfusedWhole;
+  for (bool Fuse : {false, true}) {
+    TranslateOptions TO;
+    TO.Fuse = Fuse;
+    FastProgram FP = translateProgram(*W.P, CP, TO);
+    Observed Whole, Chopped;
+    {
+      Heap H(*W.P);
+      FastInterp I(FP, CP, H);
+      SatbMarker M(H);
+      I.attachSatb(&M);
+      I.run(W.Entry, {100});
+      Whole = observe(I, H);
+    }
+    {
+      Heap H(*W.P);
+      FastInterp I(FP, CP, H);
+      SatbMarker M(H);
+      I.attachSatb(&M);
+      I.start(W.Entry, {100});
+      while (I.status() == RunStatus::Running)
+        I.step(7);
+      Chopped = observe(I, H);
+    }
+    std::string What =
+        std::string("jess chopped into 7-step quanta") +
+        (Fuse ? "/fused" : "/unfused");
+    expectEqual(Whole, Chopped, What);
+    if (!Fuse)
+      UnfusedWhole = Whole;
+    else
+      expectEqual(UnfusedWhole, Whole, "fused vs unfused whole run");
   }
-  {
-    Heap H(*W.P);
-    FastInterp I(FP, CP, H);
-    SatbMarker M(H);
-    I.attachSatb(&M);
-    I.start(W.Entry, {100});
-    while (I.status() == RunStatus::Running)
-      I.step(7);
-    Chopped = observe(I, H);
-  }
-  expectEqual(Whole, Chopped, "jess chopped into 7-step quanta");
 }

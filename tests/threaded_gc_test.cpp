@@ -167,15 +167,16 @@ void expectClean(const MultiMutatorResult &R, const char *What) {
 
 class MultiMutator
     : public ::testing::TestWithParam<
-          std::tuple<unsigned, MultiMarkerKind, unsigned>> {};
+          std::tuple<unsigned, MultiMarkerKind, unsigned, bool>> {};
 
 TEST_P(MultiMutator, OracleHoldsAtFinalPause) {
-  auto [N, Kind, MarkThreads] = GetParam();
+  auto [N, Kind, MarkThreads, Fuse] = GetParam();
   // jbb allocates roughly one object per scale unit per mutator; the
   // warmup threshold must leave plenty of mutation for the marking window.
   MultiMutatorConfig Cfg;
   Cfg.WarmupAllocs = 300;
   Cfg.MarkThreads = MarkThreads;
+  Cfg.Fuse = Fuse;
   MultiMutatorResult R = runMulti(N, Kind, 800, Cfg);
   const char *What =
       Kind == MultiMarkerKind::Satb ? "SATB" : "incremental-update";
@@ -189,17 +190,23 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(2u, 4u),
                        ::testing::Values(MultiMarkerKind::Satb,
                                          MultiMarkerKind::IncrementalUpdate),
-                       ::testing::ValuesIn(markThreadGrid())));
+                       ::testing::ValuesIn(markThreadGrid()),
+                       /*superinstruction fusion*/ ::testing::Bool()));
 
 TEST(MultiMutator, TinyPollQuantaStress) {
   // One-step quanta force a driver-level safepoint check between every
-  // engine resume, maximizing park/handshake traffic.
-  MultiMutatorConfig Cfg;
-  Cfg.PollQuantum = 1;
-  Cfg.MarkerQuantum = 2;
-  Cfg.WarmupAllocs = 50;
-  MultiMutatorResult R = runMulti(2, MultiMarkerKind::Satb, 200, Cfg);
-  expectClean(R, "tiny-quanta SATB");
+  // engine resume, maximizing park/handshake traffic — and, with fusion
+  // on, routinely suspend mid-superinstruction at the poll.
+  for (bool Fuse : {true, false}) {
+    MultiMutatorConfig Cfg;
+    Cfg.PollQuantum = 1;
+    Cfg.MarkerQuantum = 2;
+    Cfg.WarmupAllocs = 50;
+    Cfg.Fuse = Fuse;
+    MultiMutatorResult R = runMulti(2, MultiMarkerKind::Satb, 200, Cfg);
+    expectClean(R, Fuse ? "tiny-quanta SATB fused"
+                        : "tiny-quanta SATB unfused");
+  }
 }
 
 TEST(MultiMutator, ShardMergeIsExactPerSite) {
@@ -247,23 +254,39 @@ TEST(MultiMutator, SingleMutatorStepsMatchPlainFastRun) {
   // N=1 under the full safepoint/TLAB protocol must execute exactly the
   // steps a plain FastInterp run executes: translated Safepoint polls
   // refund their fuel and the driver never perturbs the instruction
-  // stream.
+  // stream. Pin fusion on both sides; fused handlers charge the sum of
+  // their parts, so the count must also agree *across* the two rounds.
   Workload W = makeJbbLike();
   CompilerOptions Opts;
   Opts.Interp = InterpMode::Fast;
   CompiledProgram CP = compileProgram(*W.P, Opts);
 
-  FastProgram FP = translateProgram(*W.P, CP);
-  Heap H(*W.P);
-  FastInterp Plain(FP, CP, H);
-  ASSERT_EQ(Plain.run(W.Entry, {300}), RunStatus::Finished);
+  uint64_t UnfusedSteps = 0;
+  for (bool Fuse : {false, true}) {
+    TranslateOptions TO;
+    TO.Fuse = Fuse;
+    FastProgram FP = translateProgram(*W.P, CP, TO);
+    Heap H(*W.P);
+    FastInterp Plain(FP, CP, H);
+    ASSERT_EQ(Plain.run(W.Entry, {300}), RunStatus::Finished);
 
-  MultiMutatorResult R = runMulti(1, MultiMarkerKind::Satb, 300);
-  ASSERT_EQ(R.Statuses[0], RunStatus::Finished);
-  EXPECT_EQ(R.Steps[0], Plain.stepsExecuted());
+    MultiMutatorConfig Cfg;
+    Cfg.Fuse = Fuse;
+    MultiMutatorResult R = runMulti(1, MultiMarkerKind::Satb, 300, Cfg);
+    ASSERT_EQ(R.Statuses[0], RunStatus::Finished);
+    EXPECT_EQ(R.Steps[0], Plain.stepsExecuted())
+        << (Fuse ? "fused" : "unfused");
+    if (!Fuse)
+      UnfusedSteps = Plain.stepsExecuted();
+    else
+      EXPECT_EQ(Plain.stepsExecuted(), UnfusedSteps)
+          << "fusion changed the observable step count";
+  }
 }
 
 TEST(MultiMutator, RandomProgramsUnderMultiMutatorMarking) {
+  // Alternate fusion by seed so both translations see random shapes
+  // without doubling the grid.
   for (uint32_t Seed = 400; Seed != 404; ++Seed) {
     GeneratedProgram G = RandomProgramGenerator(Seed).generate();
     CompilerOptions Opts;
@@ -272,6 +295,7 @@ TEST(MultiMutator, RandomProgramsUnderMultiMutatorMarking) {
     MultiMutatorConfig Cfg;
     Cfg.WarmupAllocs = 50;
     Cfg.MarkerQuantum = 4;
+    Cfg.Fuse = Seed % 2 == 0;
     MultiMutatorResult R =
         runWithConcurrentMutators(3, *G.P, CP, G.Entry, {150}, Cfg);
     EXPECT_TRUE(R.OracleHolds) << "seed " << Seed;
@@ -327,6 +351,7 @@ TEST(MultiMutator, NightlyStressMatrix) {
       Cfg.WarmupAllocs = 50;
       Cfg.MarkerQuantum = 4;
       Cfg.MarkThreads = Threads.back();
+      Cfg.Fuse = Seed % 2 == 0;
       MultiMutatorResult R =
           runWithConcurrentMutators(3, *G.P, CP, G.Entry, {150}, Cfg);
       EXPECT_TRUE(R.OracleHolds) << "seed " << Seed;

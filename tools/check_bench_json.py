@@ -1,23 +1,35 @@
 #!/usr/bin/env python3
-"""Validate bench JSON output and compare its schema against baselines.
+"""Validate bench JSON output, compare schemas, and gate regressions.
 
 The bench binaries append one JSON document per run to the file named by
 SATB_BENCH_JSON (bench/BenchUtil.h JsonBench). Each document looks like
 
     {"bench": "<name>", "scale": <int>, "rows": [{...}, ...]}
 
-This checker has two layers, both structural (numbers change per host and
-per SATB_BENCH_SCALE, so values are never compared):
+This checker has three layers:
 
  1. Well-formedness: every input file must be non-empty, every non-blank
     line must parse as a JSON object with a string "bench", an integer
-    "scale", and a non-empty "rows" list of non-empty objects whose key
-    sets agree within the document.
+    "scale", and a non-empty "rows" list of non-empty objects. Row 0
+    defines the document's key set; later rows must carry either the
+    same keys or a subset of them (summary rows such as a trailing
+    geomean legitimately omit per-workload columns, but may never invent
+    keys the data rows lack).
  2. Baseline schema comparison (--baseline FILE, repeatable): the
-    committed BENCH_*.json files define, per bench name, the expected set
-    of row keys. A fresh document for a known bench must carry exactly
-    the same row keys — a renamed, dropped, or added column fails the
+    committed BENCH_*.json files define, per bench name, the expected
+    row-0 key set. A fresh document for a known bench must carry exactly
+    the same row-0 keys — a renamed, dropped, or added column fails the
     gate until the committed baseline is regenerated alongside it.
+ 3. Regression gate (--gate BENCH:KEY[:SELKEY=SELVAL], repeatable): for
+    each gated bench, the metric KEY is read from the selected row (the
+    row whose SELKEY equals SELVAL, or the last row carrying KEY when no
+    selector is given — the summary-row convention) in both the fresh
+    document and the baseline. Metrics are higher-is-better; the check
+    fails when fresh < baseline * (1 - --tolerance). Setting the
+    SATB_BENCH_GATE_SKIP environment variable (any non-empty value)
+    reports the comparison but never fails it — the escape hatch for
+    1-CPU containers whose timings are not comparable to the baseline
+    host's.
 
 --require NAME (repeatable) additionally fails if no input document came
 from bench NAME; CI uses it so an exiting-early bench cannot silently
@@ -28,6 +40,7 @@ Exit status 0 iff every check passed. Stdlib only.
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -56,7 +69,7 @@ def load_docs(path, errors):
 
 
 def check_doc(where, doc, errors):
-    """Well-formedness of one document; returns (bench, row_keys) or None."""
+    """Well-formedness of one document; returns (bench, row0_keys, rows)."""
     if not isinstance(doc, dict):
         errors.append(f"{where}: document is not an object")
         return None
@@ -78,13 +91,45 @@ def check_doc(where, doc, errors):
             return None
         if keys is None:
             keys = frozenset(row)
-        elif frozenset(row) != keys:
+        elif not frozenset(row) <= keys:
+            extra = sorted(frozenset(row) - keys)
             errors.append(
-                f"{where}: [{bench}] row {i} keys {sorted(row)} differ from "
-                f"row 0 keys {sorted(keys)}"
+                f"{where}: [{bench}] row {i} carries keys {extra} absent "
+                f"from row 0 (summary rows may only drop columns)"
             )
             return None
-    return bench, keys
+    return bench, keys, rows
+
+
+def parse_gate(spec, errors):
+    """Parses BENCH:KEY[:SELKEY=SELVAL] into (bench, key, sel) or None."""
+    parts = spec.split(":")
+    if len(parts) not in (2, 3) or not parts[0] or not parts[1]:
+        errors.append(f"--gate {spec!r}: expected BENCH:KEY[:SELKEY=SELVAL]")
+        return None
+    sel = None
+    if len(parts) == 3:
+        if "=" not in parts[2]:
+            errors.append(f"--gate {spec!r}: selector must be SELKEY=SELVAL")
+            return None
+        sel = tuple(parts[2].split("=", 1))
+    return parts[0], parts[1], sel
+
+
+def gated_value(rows, key, sel):
+    """The gated metric from a row list: the selected row's value, or the
+    last row carrying the key (the summary-row convention)."""
+    picked = None
+    for row in rows:
+        if sel is not None:
+            if str(row.get(sel[0])) == sel[1] and key in row:
+                picked = row
+        elif key in row:
+            picked = row
+    if picked is None:
+        return None
+    value = picked[key]
+    return value if isinstance(value, (int, float)) else None
 
 
 def main(argv):
@@ -96,7 +141,8 @@ def main(argv):
         default=[],
         metavar="FILE",
         help="committed BENCH_*.json whose per-bench row-key sets are the "
-        "expected schema (repeatable)",
+        "expected schema and whose metrics anchor the regression gate "
+        "(repeatable)",
     )
     ap.add_argument(
         "--require",
@@ -105,9 +151,26 @@ def main(argv):
         metavar="BENCH",
         help="fail unless a document from this bench is present (repeatable)",
     )
+    ap.add_argument(
+        "--gate",
+        action="append",
+        default=[],
+        metavar="BENCH:KEY[:SELKEY=SELVAL]",
+        help="fail when this bench's metric regresses more than --tolerance "
+        "below the baseline value (higher is better; repeatable)",
+    )
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="allowed fractional regression for --gate metrics "
+        "(default 0.25 = 25%%)",
+    )
     args = ap.parse_args(argv)
 
     errors = []
+    gates = [g for g in (parse_gate(s, errors) for s in args.gate) if g]
 
     # Baselines must themselves be well-formed; a bench appearing in two
     # baseline files with different schemas is a repo inconsistency.
@@ -117,14 +180,14 @@ def main(argv):
             checked = check_doc(where, doc, errors)
             if not checked:
                 continue
-            bench, keys = checked
+            bench, keys, rows = checked
             if bench in expected and expected[bench][0] != keys:
                 errors.append(
                     f"{where}: [{bench}] baseline schema conflicts with "
                     f"{expected[bench][1]}"
                 )
             else:
-                expected[bench] = (keys, where)
+                expected[bench] = (keys, where, rows)
 
     seen = {}
     for path in args.files:
@@ -132,14 +195,44 @@ def main(argv):
             checked = check_doc(where, doc, errors)
             if not checked:
                 continue
-            bench, keys = checked
-            seen[bench] = keys
+            bench, keys, rows = checked
+            seen[bench] = (keys, rows, where)
             if bench in expected and keys != expected[bench][0]:
-                base_keys, base_where = expected[bench]
+                base_keys, base_where, _ = expected[bench]
                 errors.append(
                     f"{where}: [{bench}] row keys {sorted(keys)} do not match "
                     f"baseline {base_where} keys {sorted(base_keys)}"
                 )
+
+    gate_skip = bool(os.environ.get("SATB_BENCH_GATE_SKIP"))
+    for bench, key, sel in gates:
+        if bench not in seen:
+            errors.append(f"--gate {bench}:{key}: no fresh document for bench")
+            continue
+        if bench not in expected:
+            errors.append(f"--gate {bench}:{key}: no baseline for bench")
+            continue
+        fresh = gated_value(seen[bench][1], key, sel)
+        base = gated_value(expected[bench][2], key, sel)
+        where = seen[bench][2]
+        if fresh is None or base is None:
+            errors.append(
+                f"{where}: [{bench}] gated metric '{key}' missing or "
+                f"non-numeric in fresh or baseline document"
+            )
+            continue
+        floor = base * (1.0 - args.tolerance)
+        verdict = "OK" if fresh >= floor else "REGRESSION"
+        print(
+            f"check_bench_json: gate [{bench}] {key}: fresh {fresh:g} vs "
+            f"baseline {base:g} (floor {floor:g}): {verdict}"
+            + (" (skipped: SATB_BENCH_GATE_SKIP)" if gate_skip else "")
+        )
+        if fresh < floor and not gate_skip:
+            errors.append(
+                f"{where}: [{bench}] metric '{key}' regressed: fresh "
+                f"{fresh:g} < baseline {base:g} - {args.tolerance:.0%}"
+            )
 
     for bench in args.require:
         if bench not in seen:

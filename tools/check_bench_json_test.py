@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench_json.py: the summary-row subset rule and
+the regression gate (tolerance, selector, and the SATB_BENCH_GATE_SKIP
+escape hatch). Run directly or via ctest. Stdlib only."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_bench_json  # noqa: E402
+
+
+def write_doc(dirname, name, bench, rows, scale=100):
+    path = os.path.join(dirname, name)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(json.dumps({"bench": bench, "scale": scale, "rows": rows}))
+        f.write("\n")
+    return path
+
+
+class CheckBenchJsonTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.dir = self.tmp.name
+        os.environ.pop("SATB_BENCH_GATE_SKIP", None)
+
+    def tearDown(self):
+        os.environ.pop("SATB_BENCH_GATE_SKIP", None)
+        self.tmp.cleanup()
+
+    def run_main(self, *argv):
+        return check_bench_json.main(list(argv))
+
+    def test_summary_row_may_drop_columns(self):
+        fresh = write_doc(
+            self.dir,
+            "fresh.json",
+            "b",
+            [{"workload": "a", "speedup": 2.0}, {"workload": "geomean"}],
+        )
+        self.assertEqual(self.run_main(fresh), 0)
+
+    def test_summary_row_may_not_add_columns(self):
+        fresh = write_doc(
+            self.dir,
+            "fresh.json",
+            "b",
+            [{"workload": "a"}, {"workload": "geomean", "extra": 1}],
+        )
+        self.assertEqual(self.run_main(fresh), 1)
+
+    def test_schema_compares_row0_keys(self):
+        base = write_doc(
+            self.dir, "base.json", "b", [{"workload": "a", "speedup": 2.0}]
+        )
+        drifted = write_doc(
+            self.dir, "fresh.json", "b", [{"workload": "a", "renamed": 2.0}]
+        )
+        self.assertEqual(self.run_main(drifted, "--baseline", base), 1)
+
+    def gate_files(self, fresh_speedup, base_speedup=4.0):
+        base = write_doc(
+            self.dir,
+            "base.json",
+            "b",
+            [
+                {"workload": "a", "speedup": base_speedup + 1},
+                {"workload": "geomean", "speedup": base_speedup},
+            ],
+        )
+        fresh = write_doc(
+            self.dir,
+            "fresh.json",
+            "b",
+            [
+                {"workload": "a", "speedup": fresh_speedup + 1},
+                {"workload": "geomean", "speedup": fresh_speedup},
+            ],
+        )
+        return fresh, base
+
+    def test_gate_passes_within_tolerance(self):
+        fresh, base = self.gate_files(fresh_speedup=3.5)
+        self.assertEqual(
+            self.run_main(
+                fresh, "--baseline", base, "--gate", "b:speedup",
+                "--tolerance", "0.25",
+            ),
+            0,
+        )
+
+    def test_gate_fails_beyond_tolerance(self):
+        fresh, base = self.gate_files(fresh_speedup=2.0)
+        self.assertEqual(
+            self.run_main(
+                fresh, "--baseline", base, "--gate", "b:speedup",
+                "--tolerance", "0.25",
+            ),
+            1,
+        )
+
+    def test_gate_reads_last_row_carrying_key(self):
+        # The geomean row (4.0 vs fresh 2.0) must anchor the gate, not the
+        # per-workload row (5.0 vs 3.0, also a >25% regression — but the
+        # point is the summary row being selected without a selector).
+        fresh, base = self.gate_files(fresh_speedup=2.0)
+        self.assertEqual(
+            self.run_main(
+                fresh, "--baseline", base, "--gate", "b:speedup",
+                "--tolerance", "0.6",
+            ),
+            0,
+        )
+
+    def test_gate_selector_picks_row(self):
+        base = write_doc(
+            self.dir,
+            "base.json",
+            "b",
+            [{"threads": 1, "rate": 10.0}, {"threads": 4, "rate": 40.0}],
+        )
+        fresh = write_doc(
+            self.dir,
+            "fresh.json",
+            "b",
+            [{"threads": 1, "rate": 10.0}, {"threads": 4, "rate": 20.0}],
+        )
+        self.assertEqual(
+            self.run_main(
+                fresh, "--baseline", base, "--gate", "b:rate:threads=4",
+                "--tolerance", "0.25",
+            ),
+            1,
+        )
+        self.assertEqual(
+            self.run_main(
+                fresh, "--baseline", base, "--gate", "b:rate:threads=1",
+                "--tolerance", "0.25",
+            ),
+            0,
+        )
+
+    def test_gate_env_escape_hatch(self):
+        fresh, base = self.gate_files(fresh_speedup=1.0)
+        os.environ["SATB_BENCH_GATE_SKIP"] = "1"
+        self.assertEqual(
+            self.run_main(
+                fresh, "--baseline", base, "--gate", "b:speedup",
+                "--tolerance", "0.25",
+            ),
+            0,
+        )
+
+    def test_gate_missing_metric_fails(self):
+        base = write_doc(self.dir, "base.json", "b", [{"workload": "a"}])
+        fresh = write_doc(self.dir, "fresh.json", "b", [{"workload": "a"}])
+        self.assertEqual(
+            self.run_main(fresh, "--baseline", base, "--gate", "b:speedup"), 1
+        )
+
+    def test_require_missing_bench_fails(self):
+        fresh = write_doc(self.dir, "fresh.json", "b", [{"workload": "a"}])
+        self.assertEqual(self.run_main(fresh, "--require", "other"), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,105 @@
+//===- tools/dispatch_profile.cpp - Dynamic opcode-pair profiler ----------===//
+///
+/// \file
+/// The data behind the superinstruction set (DESIGN.md
+/// "Superinstructions"): runs every Table 1 workload on the *unfused*
+/// fast engine with pair profiling enabled (FastInterp::
+/// enablePairProfile, a separate dispatch-loop instantiation — the
+/// production loop carries no profiling cost) and dumps the dynamic
+/// opcode-pair frequencies, aggregated across the suite and sorted by
+/// count. Each row is marked [fused] when fusedOp() selects the pair,
+/// so the dump doubles as an audit: the chosen set should cover the top
+/// of this list, and any hot unfused pair is a candidate for the next
+/// revision.
+///
+/// Usage: dispatch_profile [scale]   (default 2000, or SATB_BENCH_SCALE)
+///
+/// CI's bench-smoke job uploads this dump as an artifact.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/FastInterp.h"
+#include "workloads/Workload.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+using namespace satb;
+
+int main(int Argc, char **Argv) {
+  int64_t Scale = 2000;
+  if (const char *Env = std::getenv("SATB_BENCH_SCALE"))
+    Scale = std::atoll(Env);
+  if (Argc > 1)
+    Scale = std::atoll(Argv[1]);
+
+  CompilerOptions Opts;
+  std::vector<uint64_t> Total(static_cast<size_t>(kNumFastOps) * kNumFastOps,
+                              0);
+  uint64_t Steps = 0;
+  for (const Workload &W : allWorkloads()) {
+    CompiledProgram CP = compileProgram(*W.P, Opts);
+    TranslateOptions TO;
+    TO.Fuse = false; // profile the base stream: pairs are fusion *input*
+    FastProgram FP = translateProgram(*W.P, CP, TO);
+    Heap H(*W.P);
+    FastInterp I(FP, CP, H);
+    SatbMarker M(H);
+    I.attachSatb(&M);
+    I.enablePairProfile();
+    if (I.run(W.Entry, {Scale}) != RunStatus::Finished) {
+      std::fprintf(stderr, "dispatch_profile: %s trapped: %s\n",
+                   W.Name.c_str(), trapName(I.trap()));
+      return 1;
+    }
+    Steps += I.stepsExecuted();
+    const std::vector<uint64_t> &P = I.pairProfile();
+    for (size_t K = 0; K != P.size(); ++K)
+      Total[K] += P[K];
+  }
+
+  struct Row {
+    uint64_t Count;
+    uint16_t First, Second;
+  };
+  std::vector<Row> Rows;
+  uint64_t PairTotal = 0;
+  for (uint16_t F = 0; F != kNumFastOps; ++F)
+    for (uint16_t S = 0; S != kNumFastOps; ++S) {
+      uint64_t C = Total[static_cast<size_t>(F) * kNumFastOps + S];
+      if (C == 0)
+        continue;
+      Rows.push_back({C, F, S});
+      PairTotal += C;
+    }
+  std::sort(Rows.begin(), Rows.end(),
+            [](const Row &A, const Row &B) { return A.Count > B.Count; });
+
+  std::printf("# dynamic opcode-pair profile, Table 1 suite, scale %lld\n",
+              static_cast<long long>(Scale));
+  std::printf("# steps %llu, adjacent pairs %llu, distinct pairs %zu\n",
+              static_cast<unsigned long long>(Steps),
+              static_cast<unsigned long long>(PairTotal), Rows.size());
+  std::printf("%-12s %7s %6s  %s\n", "count", "pct", "cum", "pair");
+  double Cum = 0.0;
+  uint64_t FusedCovered = 0;
+  for (const Row &R : Rows) {
+    double Pct = 100.0 * R.Count / PairTotal;
+    Cum += Pct;
+    bool Fused = fusedOp(static_cast<FastOp>(R.First),
+                         static_cast<FastOp>(R.Second))
+                     .has_value();
+    if (Fused)
+      FusedCovered += R.Count;
+    std::printf("%-12llu %6.2f%% %5.1f%%  %s+%s%s\n",
+                static_cast<unsigned long long>(R.Count), Pct, Cum,
+                fastOpName(static_cast<FastOp>(R.First)),
+                fastOpName(static_cast<FastOp>(R.Second)),
+                Fused ? "  [fused]" : "");
+  }
+  std::printf("# fused pairs cover %.1f%% of dynamic adjacent pairs\n",
+              PairTotal ? 100.0 * FusedCovered / PairTotal : 0.0);
+  return 0;
+}
