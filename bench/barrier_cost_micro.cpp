@@ -12,6 +12,7 @@
 #include "BenchUtil.h"
 
 #include "bytecode/MethodBuilder.h"
+#include "gc/MinorGC.h"
 
 #include <benchmark/benchmark.h>
 
@@ -86,6 +87,80 @@ void runMode(benchmark::State &State, BarrierMode Mode, bool MarkingActive) {
       Stores ? static_cast<double>(CostInstrs) / Stores : 0;
 }
 
+/// One program for the statically elided generational row: every loop
+/// iteration allocates a fresh Cell and does one initializing store, so
+/// the site carries both the pre-null proof (field never written) and
+/// the young-target proof (freshly allocated base) — the barrier
+/// vanishes entirely under BarrierMode::Generational with elision on.
+struct GenElidedProgram {
+  Program P;
+  MethodId Main;
+
+  GenElidedProgram() {
+    ClassId C = P.addClass("Cell");
+    FieldId F = P.addField(C, "ref", JType::Ref);
+    StaticFieldId Sink = P.addStaticField("sink", JType::Ref);
+    MethodBuilder B(P, "main", {JType::Int}, std::nullopt);
+    Local T = B.newLocal(JType::Int), X = B.newLocal(JType::Ref),
+          Y = B.newLocal(JType::Ref);
+    Label Head = B.newLabel(), Done = B.newLabel();
+    B.newInstance(C).astore(X);
+    B.aload(X).putstatic(Sink);
+    B.iconst(0).istore(T);
+    B.bind(Head).iload(T).iload(B.arg(0)).ifICmpGe(Done);
+    B.newInstance(C).astore(Y);
+    B.aload(Y).aload(X).putfield(F); // pre-null + young-target: fully elided
+    B.iinc(T, 1).jump(Head);
+    B.bind(Done).ret();
+    Main = B.finish();
+  }
+};
+
+/// Generational rows: the remembered-set component's dynamic cost by
+/// store target. \p PretenureBytes steers the MicroProgram's Cell into
+/// the nursery (large threshold → young base, remset check stops at the
+/// base-young test) or old space (tiny threshold → old base, the check
+/// also null+young-tests the stored value). \p Elided instead runs
+/// GenElidedProgram with elision on, where both barrier components are
+/// statically removed. Elided iterations allocate per store, so compare
+/// its "model instrs/store" (0), not its wall clock, against the others.
+void runGenMode(benchmark::State &State, uint32_t PretenureBytes,
+                bool Elided) {
+  MicroProgram MP;
+  GenElidedProgram EP;
+  CompilerOptions Opts;
+  Opts.Barrier = BarrierMode::Generational;
+  Opts.ApplyElision = Elided;
+  const Program &P = Elided ? EP.P : MP.P;
+  MethodId Main = Elided ? EP.Main : MP.Main;
+  CompiledProgram CP = compileProgram(P, Opts);
+  const int64_t N = 20000;
+  uint64_t Stores = 0, CostInstrs = 0;
+  for (auto _ : State) {
+    Heap H(P);
+    Heap::NurseryConfig NC;
+    NC.NurseryBytes = 4 * 1024 * 1024; // no minor GC during the loop
+    NC.PretenureBytes = PretenureBytes;
+    H.enableNursery(NC);
+    SatbMarker M(H);
+    MinorGC Gen(H);
+    Gen.attachSatb(&M);
+    Gen.setRemSetValid(true);
+    Interpreter I(P, CP, H);
+    I.attachSatb(&M);
+    I.attachGen(&Gen);
+    I.run(Main, {N});
+    Stores += N;
+    CostInstrs += I.barrierCostInstrs();
+    benchmark::DoNotOptimize(I.stepsExecuted());
+  }
+  State.counters["sec/store"] = benchmark::Counter(
+      static_cast<double>(N), benchmark::Counter::kIsIterationInvariantRate |
+                                  benchmark::Counter::kInvert);
+  State.counters["model instrs/store"] =
+      Stores ? static_cast<double>(CostInstrs) / Stores : 0;
+}
+
 void BM_NoBarrier(benchmark::State &S) {
   runMode(S, BarrierMode::None, false);
 }
@@ -99,19 +174,36 @@ void BM_SatbAlwaysLog(benchmark::State &S) {
 void BM_CardMarking(benchmark::State &S) {
   runMode(S, BarrierMode::CardMarking, true);
 }
+// Generational rows (nursery on, marking idle): young-target store pays
+// only the base-young test on top of the idle SATB check; old-target
+// also null+young-tests the stored value; the statically proven
+// initializing store skips both components.
+void BM_GenYoungStore(benchmark::State &S) {
+  runGenMode(S, /*PretenureBytes=*/1024, /*Elided=*/false);
+}
+void BM_GenOldStore(benchmark::State &S) {
+  runGenMode(S, /*PretenureBytes=*/1, /*Elided=*/false);
+}
+void BM_GenElided(benchmark::State &S) {
+  runGenMode(S, /*PretenureBytes=*/1024, /*Elided=*/true);
+}
 
 BENCHMARK(BM_NoBarrier);
 BENCHMARK(BM_SatbIdle);
 BENCHMARK(BM_SatbMarking);
 BENCHMARK(BM_SatbAlwaysLog);
 BENCHMARK(BM_CardMarking);
+BENCHMARK(BM_GenYoungStore);
+BENCHMARK(BM_GenOldStore);
+BENCHMARK(BM_GenElided);
 
 } // namespace
 
 int main(int argc, char **argv) {
   std::printf("Barrier micro-costs. Expected model instrs/store: SATB idle "
               "2, SATB marking\n(non-null pre-value) 11 (the paper's 9-12 "
-              "budget), always-log 9, card 2.\n\n");
+              "budget), always-log 9, card 2,\ngenerational young store 4, "
+              "old store 6, statically elided 0.\n\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -69,10 +69,17 @@ struct AnalysisState {
   FlatMap<RefId, IntVal> Len;              ///< array lengths (mode A)
   FlatMap<RefId, IntRange> NR;             ///< null ranges (mode A)
   std::vector<NosFact> Facts;              ///< sorted null-or-same facts
+  /// Generational extension: abstract references proven *young* — born at
+  /// an allocation younger than every GC point on every path reaching this
+  /// state. The most recent allocation's R_id/A name is young until a
+  /// potential GC point (a call, or a poll-site block leader) kills the
+  /// whole set; merged by intersection.
+  BitSet Young;
 
   bool operator==(const AnalysisState &O) const {
     return Locals == O.Locals && Stack == O.Stack && NL == O.NL &&
-           Store == O.Store && Len == O.Len && NR == O.NR && Facts == O.Facts;
+           Store == O.Store && Len == O.Len && NR == O.NR &&
+           Facts == O.Facts && Young == O.Young;
   }
 
   // --- Stack helpers -----------------------------------------------------

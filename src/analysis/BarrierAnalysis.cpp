@@ -91,6 +91,17 @@ public:
         Vars(Cfg.MaxVars) {
     if (Cfg.UseCalleeSummaries && Cfg.Mode != AnalysisMode::None)
       PureReaders = computePureReaders(P);
+    // Safepoint poll sites, computed exactly as the fast-interpreter
+    // translation places them (FastTranslate: backward-branch targets). A
+    // minor GC can run at a poll or inside an allocation/call, so the
+    // Young set dies at each. Computed unconditionally: when safepoints
+    // are not inserted this only costs precision, never soundness.
+    PollKill.assign(M.Instructions.size(), false);
+    for (uint32_t PC = 0; PC != M.Instructions.size(); ++PC) {
+      const Instruction &Ins = M.Instructions[PC];
+      if (isBranch(Ins.Op) && static_cast<uint32_t>(Ins.A) <= PC)
+        PollKill[static_cast<uint32_t>(Ins.A)] = true;
+    }
   }
 
   AnalysisResult run();
@@ -399,6 +410,9 @@ private:
   std::vector<bool> PureReaders;
   ConstUnknownRegistry ConstReg;
   VarAllocator Vars;
+  /// Instruction indices where a safepoint poll may run a minor GC
+  /// (backward-branch targets; always block leaders).
+  std::vector<bool> PollKill;
   AnalysisResult Result;
   /// Reused across block visits so the per-visit in-state copy lands in
   /// already-allocated vectors instead of fresh heap blocks.
@@ -410,6 +424,9 @@ AnalysisState BarrierAnalyzer::initialState() {
   AnalysisState S;
   S.Locals.resize(M.NumLocals);
   S.NL = BitSet(Refs.numRefs());
+  // No reference is young on entry (the caller may have crossed any
+  // number of GC points since its allocations).
+  S.Young = BitSet(Refs.numRefs());
   // NL is initialized to {GlobalRef}; all references reachable via
   // GlobalRef are collapsed into GlobalRef (Section 2.3), which lookupField
   // realizes by answering {GlobalRef} for NL members.
@@ -457,6 +474,15 @@ void BarrierAnalyzer::judgePutField(const AnalysisState &S,
   }
   if (!Obj.isRefs())
     return;
+
+  // Generational judgment: every possible target is proven young, so the
+  // store cannot create an old-to-young edge.
+  bool AllYoung = !Obj.refSet().empty();
+  Obj.refSet().forEach([&](size_t Ot) {
+    if (!S.Young.test(Ot))
+      AllYoung = false;
+  });
+  D.TargetYoung = AllYoung;
 
   // Section 2.4: forall ot in obj: ot not in NL and sigma(ot, f) = {}.
   bool AllPreNull = true;
@@ -545,6 +571,15 @@ void BarrierAnalyzer::judgeAAStore(const AnalysisState &S,
     D.Elide = true;
     D.Reason = ElisionReason::DeadCode;
     return;
+  }
+  // Generational judgment (independent of mode A: no index facts needed).
+  if (Arr.isRefs() && !Arr.refSet().empty()) {
+    bool AllYoung = true;
+    Arr.refSet().forEach([&](size_t At) {
+      if (!S.Young.test(At))
+        AllYoung = false;
+    });
+    D.TargetYoung = AllYoung;
   }
   if (!modeA() || !Arr.isRefs() || !Ind.isInt() || Ind.intValue().isTop())
     return;
@@ -783,6 +818,11 @@ void BarrierAnalyzer::transfer(AnalysisState &S, uint32_t InstrIdx) {
     ClassId C = static_cast<ClassId>(Ins.A);
     reallocate(S, Site, &P.classDecl(C).Fields, /*FreshElems=*/false,
                /*NewLen=*/nullptr, /*NewNR=*/nullptr);
+    // Generational: allocation is a potential minor-GC point (the nursery
+    // slow path collects), so every prior young proof dies; the fresh
+    // object itself is young.
+    S.Young.clear();
+    S.Young.set(Refs.siteA(Site));
     pushRef(S, singleRef(Refs.siteA(Site)));
     return;
   }
@@ -806,6 +846,8 @@ void BarrierAnalyzer::transfer(AnalysisState &S, uint32_t InstrIdx) {
     }
     reallocate(S, Site, /*ClassFields=*/nullptr, /*FreshElems=*/IsRef,
                NewLen ? &*NewLen : nullptr, NewNR ? &*NewNR : nullptr);
+    S.Young.clear();
+    S.Young.set(Refs.siteA(Site));
     pushRef(S, singleRef(Refs.siteA(Site)));
     return;
   }
@@ -892,6 +934,9 @@ void BarrierAnalyzer::transfer(AnalysisState &S, uint32_t InstrIdx) {
     }
     if (nosOn() && !Pure)
       nos::onCall(S);
+    // Any callee (pure readers included) may allocate and hence trigger a
+    // minor GC that promotes everything currently young.
+    S.Young.clear();
     if (Callee.ReturnType) {
       if (*Callee.ReturnType == JType::Ref)
         pushRef(S, globalRef());
@@ -941,6 +986,10 @@ template <typename FnT>
 void BarrierAnalyzer::processBlock(uint32_t BI, AnalysisState &S,
                                    FnT EmitOut) {
   const BasicBlock &B = CFG.block(BI);
+  // A safepoint poll at the block leader may run a minor GC before any
+  // instruction of the block executes.
+  if (PollKill[B.Begin])
+    S.Young.clear();
   for (uint32_t I = B.Begin; I + 1 < B.End; ++I)
     transfer(S, I);
   uint32_t LastIdx = B.End - 1;
@@ -1109,6 +1158,8 @@ AnalysisResult BarrierAnalyzer::run() {
     ++Result.NumSites;
     if (D.IsArraySite)
       ++Result.NumArraySites;
+    if (D.TargetYoung)
+      ++Result.NumTargetYoung;
     if (D.Elide) {
       ++Result.NumElided;
       if (D.IsArraySite)

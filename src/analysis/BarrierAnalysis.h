@@ -103,6 +103,14 @@ struct BarrierDecision {
   bool IsBarrierSite = false; ///< ref-typed putfield/aastore/putstatic
   bool IsArraySite = false;   ///< aastore
   bool Elide = false;
+  /// Generational extension: every possible target of the store is proven
+  /// *young* — allocated after the last potential GC point on every path —
+  /// so the old-to-young remembered-set barrier is unnecessary (a young
+  /// base object cannot hold the only old-to-young edge). Independent of
+  /// Elide: the two compose into four barrier variants under
+  /// BarrierMode::Generational. Never set for putstatic (statics are
+  /// roots; no remembered-set barrier applies there at all).
+  bool TargetYoung = false;
   ElisionReason Reason = ElisionReason::None;
 };
 
@@ -115,6 +123,7 @@ struct AnalysisResult {
   uint32_t NumElided = 0;
   uint32_t NumElidedArray = 0;
   uint32_t NumElidedNullOrSame = 0;
+  uint32_t NumTargetYoung = 0; ///< sites proven young-target (generational)
 
   // Analysis effort.
   uint32_t BlockVisits = 0;

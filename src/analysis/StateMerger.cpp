@@ -166,6 +166,13 @@ bool StateMerger::merge(AnalysisState &Stored, const AnalysisState &Incoming) {
   Stored.NL |= Incoming.NL;
   Changed |= Stored.NL != NLBefore;
 
+  // Young merges by intersection: a reference is young at a join only if
+  // it is young on every path into it (a may-have-survived-a-GC reference
+  // must not skip the remembered-set barrier).
+  BitSet YoungBefore = Stored.Young;
+  Stored.Young &= Incoming.Young;
+  Changed |= Stored.Young != YoungBefore;
+
   // sigma: pointwise, absent keys acting as Bottom. One linear walk per
   // map (see FlatMap::mergeWith).
   Changed |= Stored.Store.mergeWith(

@@ -73,6 +73,12 @@ public:
                     : H.allocateIntArray(Length);
   }
 
+  /// Drops this context's TLAB if its memory lives in the (just recycled)
+  /// nursery; the next allocation refills from fresh space. Called by the
+  /// minor-GC coordinator inside the stop-the-world pause — legal because
+  /// the owner is parked.
+  void invalidateNurseryTlab() { H.invalidateNurseryTlab(T); }
+
   // --- SATB logging -------------------------------------------------------
 
   /// Barrier slow path. Buffered mode appends locally and flushes whole

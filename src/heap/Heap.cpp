@@ -39,6 +39,54 @@ Heap::Heap(const Program &P) : P(P) {
   Table.push_back(nullptr); // ObjRef 0 is null
   LiveWords.push_back(0);
   MarkWords.push_back(0);
+  YoungWords.push_back(0);
+}
+
+void Heap::enableNursery(const NurseryConfig &Cfg) {
+  assert(!NurseryBase && "nursery already enabled");
+  assert(Cfg.NurseryBytes >= Cfg.PretenureBytes &&
+         "nursery smaller than its own pretenure threshold");
+  NurseryCfg = Cfg;
+  NurseryBuf = std::make_unique<char[]>(Cfg.NurseryBytes);
+  NurseryBase = NurseryBuf.get();
+  NurseryCur = NurseryBase;
+  NurseryEnd = NurseryBase + Cfg.NurseryBytes;
+}
+
+void Heap::disableNursery() {
+  assert(NurseryBase && "nursery not enabled");
+#ifndef NDEBUG
+  for (uint64_t W : YoungWords)
+    assert(W == 0 && "disabling the nursery with young objects live");
+#endif
+  NurseryBuf.reset();
+  NurseryBase = NurseryCur = NurseryEnd = nullptr;
+  NurseryGCHook = nullptr;
+  MinorGCNeeded.store(false, std::memory_order_relaxed);
+}
+
+uint32_t Heap::promoteToOld(ObjRef R) {
+  assert(isLive(R) && isYoung(R) && "promoting a non-young reference");
+  HeapObject *Young = Table[R];
+  uint32_t Bytes = Young->blockBytes();
+  char *Mem = oldBlockMem(Bytes);
+  std::memcpy(Mem, Young, Bytes);
+  // Young bit off before the new address is published: a reader that sees
+  // the new pointer must not still classify the object as young.
+  __atomic_fetch_and(&YoungWords[R >> 6], ~(uint64_t(1) << (R & 63)),
+                     __ATOMIC_RELAXED);
+  __atomic_store_n(&Table[R], reinterpret_cast<HeapObject *>(Mem),
+                   __ATOMIC_RELEASE);
+  return Bytes;
+}
+
+void Heap::resetNursery() {
+  assert(NurseryBase && "resetting a disabled nursery");
+#ifndef NDEBUG
+  for (uint64_t W : YoungWords)
+    assert(W == 0 && "nursery reset with unprocessed young objects");
+#endif
+  NurseryCur = NurseryBase;
 }
 
 char *Heap::carveFromSlab(uint32_t Bytes) {
@@ -53,9 +101,7 @@ char *Heap::carveFromSlab(uint32_t Bytes) {
   return Mem;
 }
 
-HeapObject *Heap::allocateBlock(uint32_t Bytes) {
-  assert(Bytes % 8 == 0 && "block sizes are 8-byte rounded");
-  assert(!MultiMutator && "single-mutator allocation in multi-mutator mode");
+char *Heap::oldBlockMem(uint32_t Bytes) {
   char *Mem = nullptr;
   if (Bytes <= SmallClassBytes) {
     std::vector<char *> &Bucket = SmallFree[Bytes / 8];
@@ -75,8 +121,26 @@ HeapObject *Heap::allocateBlock(uint32_t Bytes) {
   }
   if (!Mem)
     Mem = carveFromSlab(Bytes);
-  HeapObject *Obj = new (Mem) HeapObject;
-  return Obj;
+  return Mem;
+}
+
+HeapObject *Heap::allocateBlock(uint32_t Bytes) {
+  assert(Bytes % 8 == 0 && "block sizes are 8-byte rounded");
+  assert(!MultiMutator && "single-mutator allocation in multi-mutator mode");
+  if (NurseryBase && Bytes <= NurseryCfg.PretenureBytes) {
+    char *Mem = nurseryCarve(Bytes);
+    if (!Mem && NurseryGCHook) {
+      // Synchronous minor collection: promote/free every young object and
+      // reset the bump pointer, then the carve below cannot fail (the
+      // pretenure threshold bounds Bytes by the nursery size).
+      NurseryGCHook();
+      Mem = nurseryCarve(Bytes);
+    }
+    if (Mem)
+      return new (Mem) HeapObject;
+    // Nursery full and no collector attached: pretenure into old space.
+  }
+  return new (oldBlockMem(Bytes)) HeapObject;
 }
 
 ObjRef Heap::install(HeapObject *Obj) {
@@ -98,9 +162,12 @@ ObjRef Heap::install(HeapObject *Obj) {
     if ((R >> 6) >= LiveWords.size()) {
       LiveWords.push_back(0);
       MarkWords.push_back(0);
+      YoungWords.push_back(0);
     }
   }
   LiveWords[R >> 6] |= uint64_t(1) << (R & 63);
+  if (inNursery(Obj))
+    YoungWords[R >> 6] |= uint64_t(1) << (R & 63);
   if (AllocateMarked.load(std::memory_order_relaxed))
     MarkWords[R >> 6] |= uint64_t(1) << (R & 63);
   return R;
@@ -116,6 +183,7 @@ void Heap::enterMultiMutator(uint32_t CapacityRefs) {
   Table.resize(CapacityRefs, nullptr);
   LiveWords.resize((CapacityRefs + 63) / 64, 0);
   MarkWords.resize((CapacityRefs + 63) / 64, 0);
+  YoungWords.resize((CapacityRefs + 63) / 64, 0);
   // Start ref handout at the next 64-aligned block so TLAB ref blocks own
   // whole bitmap words and never share one with pre-existing objects.
   RefCursor = (FirstFresh + 63) & ~static_cast<ObjRef>(63);
@@ -137,8 +205,24 @@ char *Heap::tlabBlock(Tlab &T, uint32_t Bytes) {
   std::lock_guard<std::mutex> Lock(SlowLock);
   if (Bytes >= TlabChunkBytes) {
     // Large blocks are carved directly; refilling the TLAB with them
-    // would just discard the remainder.
+    // would just discard the remainder. They are also implicitly
+    // pretenured: large blocks never come from the nursery.
     return carveFromSlab(Bytes);
+  }
+  if (NurseryBase) {
+    // A TLAB chunk is uniformly young or old (it comes from exactly one
+    // space), so install's inNursery check classifies every object in it
+    // correctly. When the nursery cannot hand out a whole chunk, raise
+    // the minor-GC request and fall back to an old-space chunk — the
+    // mutator never blocks; the collection happens at the next pause.
+    if (static_cast<size_t>(NurseryEnd - NurseryCur) >= TlabChunkBytes) {
+      char *Chunk = NurseryCur;
+      NurseryCur += TlabChunkBytes;
+      T.Cur = Chunk + Bytes;
+      T.End = Chunk + TlabChunkBytes;
+      return Chunk;
+    }
+    MinorGCNeeded.store(true, std::memory_order_relaxed);
   }
   char *Chunk = carveFromSlab(TlabChunkBytes);
   T.Cur = Chunk + Bytes;
@@ -167,6 +251,9 @@ ObjRef Heap::tlabInstall(Tlab &T, HeapObject *Obj) {
   // a fully formed (zeroed, live, maybe born-marked) object.
   __atomic_fetch_or(&LiveWords[R >> 6], uint64_t(1) << (R & 63),
                     __ATOMIC_RELAXED);
+  if (inNursery(Obj))
+    __atomic_fetch_or(&YoungWords[R >> 6], uint64_t(1) << (R & 63),
+                      __ATOMIC_RELAXED);
   if (AllocateMarked.load(std::memory_order_relaxed))
     __atomic_fetch_or(&MarkWords[R >> 6], uint64_t(1) << (R & 63),
                       __ATOMIC_RELAXED);
@@ -240,13 +327,19 @@ void Heap::free(ObjRef R) {
   HeapObject *Obj = Table[R];
   uint32_t Bytes = Obj->blockBytes();
   char *Mem = reinterpret_cast<char *>(Obj);
-  if (Bytes <= SmallClassBytes)
-    SmallFree[Bytes / 8].push_back(Mem);
-  else
-    LargeFree.emplace_back(Bytes, Mem);
+  // Nursery blocks never enter the old free lists: the whole buffer is
+  // recycled wholesale by resetNursery, and handing a nursery address out
+  // as an old block would let the next reset clobber a live object.
+  if (!inNursery(Mem)) {
+    if (Bytes <= SmallClassBytes)
+      SmallFree[Bytes / 8].push_back(Mem);
+    else
+      LargeFree.emplace_back(Bytes, Mem);
+  }
   Table[R] = nullptr;
   LiveWords[R >> 6] &= ~(uint64_t(1) << (R & 63));
   MarkWords[R >> 6] &= ~(uint64_t(1) << (R & 63));
+  YoungWords[R >> 6] &= ~(uint64_t(1) << (R & 63));
   FreeRefs.push_back(R);
   --NumLive;
 }

@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -173,6 +174,109 @@ public:
     ObjRef RefEnd = 0;
   };
 
+  // --- Generational layer (nursery) ---------------------------------------
+  //
+  // An optional young space: a single contiguous buffer bump-allocated in
+  // both the single-mutator and TLAB paths. Objects born in the buffer get
+  // a bit in the YoungWords side bitmap (same indexing as live/mark).
+  // Promotion copies a young object's block into old space and republishes
+  // Table[R]; the ObjRef is stable, so no interior-reference fixup ever
+  // happens — every heap slot, root, mark-stack entry, and SATB buffer
+  // entry keeps meaning the same object. A minor collection (gc/MinorGC.h)
+  // promotes or frees every young object and then resets the whole buffer,
+  // so nursery memory never enters the old free lists.
+
+  struct NurseryConfig {
+    size_t NurseryBytes = 256 * 1024;
+    /// Blocks larger than this allocate directly in old space (pretenured).
+    uint32_t PretenureBytes = 1024;
+  };
+
+  /// Switches nursery allocation on. Call with no mutator threads live and
+  /// no young objects outstanding.
+  void enableNursery(const NurseryConfig &Cfg);
+  void enableNursery() { enableNursery(NurseryConfig()); }
+  /// Switches nursery allocation off. The nursery must be empty (run a
+  /// minor collection first); subsequent allocation is bit-identical to a
+  /// heap that never had a nursery.
+  void disableNursery();
+  bool nurseryEnabled() const { return NurseryBase != nullptr; }
+  const NurseryConfig &nurseryConfig() const { return NurseryCfg; }
+  uint64_t nurseryUsedBytes() const {
+    return static_cast<uint64_t>(NurseryCur - NurseryBase);
+  }
+
+  bool isYoung(ObjRef R) const {
+    return R < Table.size() &&
+           (__atomic_load_n(&YoungWords[R >> 6], __ATOMIC_RELAXED) >>
+            (R & 63)) &
+               1;
+  }
+
+  /// \returns true if \p Mem points into the nursery buffer (block starts
+  /// only; used by install and by free()'s recycling guard).
+  bool inNursery(const void *Mem) const {
+    const char *P = static_cast<const char *>(Mem);
+    return NurseryBase && P >= NurseryBase && P < NurseryEnd;
+  }
+
+  /// Single-mutator minor-GC hook: invoked synchronously from the
+  /// allocation slow path when the nursery cannot satisfy a young request.
+  /// The hook runs a minor collection (promote/free every young object and
+  /// reset the nursery); the allocation then retries the nursery carve.
+  /// Deterministic: both engines allocate in the same order, so the hook
+  /// fires at identical points. Never invoked in multi-mutator mode.
+  void setNurseryGCHook(std::function<void()> Hook) {
+    NurseryGCHook = std::move(Hook);
+  }
+
+  /// Multi-mutator mode never collects inside an allocation; a TLAB refill
+  /// that finds the nursery exhausted raises this flag (and falls back to
+  /// an old-space chunk) so the coordinator can run the minor collection
+  /// at the next safepoint pause.
+  bool minorGCRequested() const {
+    return MinorGCNeeded.load(std::memory_order_relaxed);
+  }
+  void clearMinorGCRequest() {
+    MinorGCNeeded.store(false, std::memory_order_relaxed);
+  }
+
+  /// Evacuates young object \p R into old space: copy the block, clear the
+  /// young bit, republish Table[R]. Stop-the-world only (minor GC).
+  /// \returns the promoted block's byte size.
+  uint32_t promoteToOld(ObjRef R);
+
+  /// Resets the nursery bump pointer for reuse. Every young object must
+  /// already have been promoted or freed. Stop-the-world only.
+  void resetNursery();
+
+  /// Invokes \p Fn(R) for every young object, in ascending ObjRef order.
+  /// Safe against promoteToOld/free of the visited object (each bitmap
+  /// word is copied before its bits are walked).
+  template <typename FnT> void forEachYoung(FnT Fn) const {
+    for (size_t WI = 0, WE = YoungWords.size(); WI != WE; ++WI) {
+      uint64_t W = __atomic_load_n(&YoungWords[WI], __ATOMIC_RELAXED);
+      while (W) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+        Fn(static_cast<ObjRef>(WI * 64 + Bit));
+        W &= W - 1;
+      }
+    }
+  }
+
+  /// Drops a TLAB's current chunk if it was carved from the nursery; called
+  /// for every context inside the minor-GC pause, before the nursery is
+  /// reset, so no mutator can keep bumping into recycled space.
+  void invalidateNurseryTlab(Tlab &T) const {
+    // T.Cur - 1: the last consumed byte. A fully consumed chunk has
+    // Cur == End == one past the chunk, which for the nursery's last chunk
+    // is one past the buffer itself.
+    if (T.Cur && inNursery(T.Cur - 1)) {
+      T.Cur = nullptr;
+      T.End = nullptr;
+    }
+  }
+
   /// Fixes the object table and bitmaps at \p CapacityRefs entries so no
   /// allocation can ever move them while mutator threads run, and switches
   /// ref handout to 64-aligned private blocks. Call with no threads live.
@@ -312,6 +416,18 @@ public:
 
 private:
   HeapObject *allocateBlock(uint32_t Bytes);
+  /// Old-space block memory: free lists then slab carve. No nursery
+  /// routing, no multi-mutator assert — shared by allocateBlock and
+  /// promoteToOld (which runs stop-the-world in either mode).
+  char *oldBlockMem(uint32_t Bytes);
+  /// Nursery bump carve; null when the nursery cannot hold \p Bytes.
+  char *nurseryCarve(uint32_t Bytes) {
+    if (static_cast<size_t>(NurseryEnd - NurseryCur) < Bytes)
+      return nullptr;
+    char *Mem = NurseryCur;
+    NurseryCur += Bytes;
+    return Mem;
+  }
   ObjRef install(HeapObject *Obj);
   /// Bump-carves \p Bytes from the current slab, starting a new slab if
   /// needed. In multi-mutator mode the caller must hold SlowLock.
@@ -325,9 +441,10 @@ private:
   const Program &P;
   /// Indexed directly by ObjRef; Table[0] is always null.
   std::vector<HeapObject *> Table;
-  std::vector<uint64_t> LiveWords; ///< bit R: ObjRef R is live
-  std::vector<uint64_t> MarkWords; ///< bit R: ObjRef R is marked
-  std::vector<ObjRef> FreeRefs;    ///< recycled ObjRefs (LIFO)
+  std::vector<uint64_t> LiveWords;  ///< bit R: ObjRef R is live
+  std::vector<uint64_t> MarkWords;  ///< bit R: ObjRef R is marked
+  std::vector<uint64_t> YoungWords; ///< bit R: ObjRef R is nursery-resident
+  std::vector<ObjRef> FreeRefs;     ///< recycled ObjRefs (LIFO)
 
   // Slab storage: blocks are carved from 64 KiB slabs by bump pointer;
   // freed blocks recycle through exact-size free lists (small sizes get a
@@ -365,6 +482,15 @@ private:
   ObjRef RefCursor = 0;
   static constexpr uint32_t RefBlockRefs = 64;
   static constexpr uint32_t TlabChunkBytes = 8192;
+
+  // --- Nursery state -------------------------------------------------------
+  NurseryConfig NurseryCfg;
+  std::unique_ptr<char[]> NurseryBuf;
+  char *NurseryBase = nullptr;
+  char *NurseryCur = nullptr;
+  char *NurseryEnd = nullptr;
+  std::function<void()> NurseryGCHook;
+  std::atomic<bool> MinorGCNeeded{false};
 };
 
 /// Stop-the-world reachability (the snapshot oracle): a bit per ObjRef

@@ -20,6 +20,7 @@ void BarrierStats::init(const CompiledProgram &CP) {
       SS.ElideDecision = D.Elide && CP.Options.ApplyElision;
       SS.RearrangeDecision =
           I < CM.RearrangeStores.size() && CM.RearrangeStores[I];
+      SS.YoungDecision = D.TargetYoung && CP.Options.ApplyElision;
       SS.Reason = D.Reason;
     }
   }
@@ -33,12 +34,16 @@ void BarrierStats::merge(const BarrierStats &Other) {
     const SiteStats &S = Other.Flat[I];
     assert(D.IsArray == S.IsArray && D.ElideDecision == S.ElideDecision &&
            D.RearrangeDecision == S.RearrangeDecision &&
+           D.YoungDecision == S.YoungDecision &&
            D.Reason == S.Reason && "shards disagree on translation facts");
     D.Execs += S.Execs;
     D.PreNull += S.PreNull;
     D.Elided += S.Elided;
     D.Rearranged += S.Rearranged;
     D.Violations += S.Violations;
+    D.RemSetDirtied += S.RemSetDirtied;
+    D.RemSetElided += S.RemSetElided;
+    D.RemSetViolations += S.RemSetViolations;
   }
 }
 
@@ -52,6 +57,11 @@ BarrierStats::Summary BarrierStats::summarize() const {
     S.RearrangedExecs += SS.Rearranged;
     S.PreNullExecs += SS.PreNull;
     S.Violations += SS.Violations;
+    S.RemSetDirtied += SS.RemSetDirtied;
+    S.RemSetElided += SS.RemSetElided;
+    S.RemSetViolations += SS.RemSetViolations;
+    if (SS.YoungDecision)
+      S.YoungExecs += SS.Execs;
     if (SS.IsArray) {
       S.ArrayExecs += SS.Execs;
       S.ArrayElided += SS.Elided;

@@ -34,18 +34,29 @@ struct SiteStats {
   uint64_t Rearranged = 0; ///< executions that skipped the log under the
                            ///< Section 4.3 rearrangement protocol
   uint64_t Violations = 0; ///< elided executions breaking the justification
+  // Generational remembered-set counters (BarrierMode::Generational only).
+  uint64_t RemSetDirtied = 0;    ///< executions that dirtied a remset card
+  uint64_t RemSetElided = 0;     ///< executions skipping the remset barrier
+  uint64_t RemSetViolations = 0; ///< young-target elisions on an old base
   bool IsArray = false;
   bool ElideDecision = false;
   bool RearrangeDecision = false;
+  /// The young-target proof held: the remembered-set component is removed
+  /// (BarrierMode::Generational with ApplyElision).
+  bool YoungDecision = false;
   ElisionReason Reason = ElisionReason::None;
 
   friend bool operator==(const SiteStats &A, const SiteStats &B) {
     return A.Execs == B.Execs && A.PreNull == B.PreNull &&
            A.Elided == B.Elided && A.Rearranged == B.Rearranged &&
-           A.Violations == B.Violations && A.IsArray == B.IsArray &&
+           A.Violations == B.Violations &&
+           A.RemSetDirtied == B.RemSetDirtied &&
+           A.RemSetElided == B.RemSetElided &&
+           A.RemSetViolations == B.RemSetViolations &&
+           A.IsArray == B.IsArray &&
            A.ElideDecision == B.ElideDecision &&
            A.RearrangeDecision == B.RearrangeDecision &&
-           A.Reason == B.Reason;
+           A.YoungDecision == B.YoungDecision && A.Reason == B.Reason;
   }
   friend bool operator!=(const SiteStats &A, const SiteStats &B) {
     return !(A == B);
@@ -91,6 +102,12 @@ public:
     /// upper bound on pre-null elimination).
     uint64_t PotentiallyPreNullExecs = 0;
     uint64_t Violations = 0;
+    // Generational remembered-set totals.
+    uint64_t RemSetDirtied = 0;
+    uint64_t RemSetElided = 0;
+    uint64_t RemSetViolations = 0;
+    /// Executions at heap-store sites with the young-target proof.
+    uint64_t YoungExecs = 0;
 
     double pctElided() const {
       return TotalExecs ? 100.0 * ElidedExecs / TotalExecs : 0.0;

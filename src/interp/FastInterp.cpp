@@ -168,6 +168,46 @@ void FastInterp::collectRoots(std::vector<ObjRef> &Out) const {
 #define BARRIER_ELIDED(NewRef) ++SS.Elided
 #endif
 
+// Generational remembered-set tails (BarrierMode::Generational). The
+// marking component reuses BARRIER_SATB / BARRIER_ELIDED above; these
+// add the old-to-young component with the reference engine's exact cost
+// model. Statics never expand them (roots need no remembered set).
+#define BARRIER_GEN_REMSET(BaseRef, NewRef)                                    \
+  do {                                                                         \
+    BarrierCost += 2; /* young-test the base */                                \
+    if (!H.isYoung(BaseRef)) {                                                 \
+      BarrierCost += 2; /* null + young test the stored value */               \
+      if ((NewRef) != NullRef && H.isYoung(NewRef)) {                          \
+        BarrierCost += 2; /* shift + dirty the card */                         \
+        ++SS.RemSetDirtied;                                                    \
+        if (Gen)                                                               \
+          Gen->recordOldToYoung(BaseRef);                                      \
+      }                                                                        \
+    }                                                                          \
+  } while (0)
+
+#ifndef SATB_NO_JUSTIFICATION_CHECK
+#define BARRIER_GEN_YOUNG(BaseRef)                                             \
+  do {                                                                         \
+    ++SS.RemSetElided;                                                         \
+    if (H.nurseryEnabled() && !H.isYoung(BaseRef))                             \
+      ++SS.RemSetViolations;                                                   \
+  } while (0)
+#else
+#define BARRIER_GEN_YOUNG(BaseRef) ++SS.RemSetElided
+#endif
+
+// Allocation handlers flush IP/SP to the frame first: a nursery-triggered
+// minor collection (the Heap's GC hook) scans this engine's frames for
+// roots mid-handler, and must see the operand stack exactly as the
+// reference engine's would at its allocation point (operands already
+// popped, result not yet pushed).
+#define FLUSH_FRAME()                                                          \
+  do {                                                                         \
+    Frames.back().IP = IP;                                                     \
+    Frames.back().SP = SP;                                                     \
+  } while (0)
+
 // Pop / trap-check / stat prologues for the specialized store families.
 // The _AT forms take the instruction carrying the store's operands (IP[0]
 // for plain stores, IP[1] for fused ones, whose second slot holds the
@@ -438,6 +478,34 @@ DispatchTop:
     storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
+  CASE(PutFieldRef_Gen) {
+    PUTFIELD_REF_PROLOGUE();
+    BARRIER_SATB();
+    BARRIER_GEN_REMSET(Obj, Val.Ref);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT();
+  }
+  CASE(PutFieldRef_GenPreNull) {
+    PUTFIELD_REF_PROLOGUE();
+    BARRIER_ELIDED(Val.Ref);
+    BARRIER_GEN_REMSET(Obj, Val.Ref);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT();
+  }
+  CASE(PutFieldRef_GenYoung) {
+    PUTFIELD_REF_PROLOGUE();
+    BARRIER_SATB();
+    BARRIER_GEN_YOUNG(Obj);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT();
+  }
+  CASE(PutFieldRef_GenElided) {
+    PUTFIELD_REF_PROLOGUE();
+    BARRIER_ELIDED(Val.Ref);
+    BARRIER_GEN_YOUNG(Obj);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT();
+  }
   CASE(GetStaticRef) {
     PUSH(Slot::ofRef(loadRefAcquire(StaticR + IP->A)));
     NEXT();
@@ -481,7 +549,16 @@ DispatchTop:
     storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
+  CASE(PutStaticRef_Gen) {
+    PUTSTATIC_REF_PROLOGUE();
+    // Statics are roots: only the marking component applies (the
+    // reference engine passes Base = NullRef, skipping the remset).
+    BARRIER_SATB();
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT();
+  }
   CASE(NewInstance) {
+    FLUSH_FRAME();
     ObjRef R = Ctx.allocateObject(static_cast<ClassId>(IP->A));
     Tbl = H.tableData();
     if (Inc && Inc->isActive())
@@ -493,6 +570,7 @@ DispatchTop:
     int64_t Len = POP().Int;
     if (Len < 0)
       TRAP(NegativeArraySize);
+    FLUSH_FRAME();
     ObjRef R = Ctx.allocateRefArray(static_cast<uint32_t>(Len));
     Tbl = H.tableData();
     if (Inc && Inc->isActive())
@@ -504,6 +582,7 @@ DispatchTop:
     int64_t Len = POP().Int;
     if (Len < 0)
       TRAP(NegativeArraySize);
+    FLUSH_FRAME();
     ObjRef R = Ctx.allocateIntArray(static_cast<uint32_t>(Len));
     Tbl = H.tableData();
     if (Inc && Inc->isActive())
@@ -589,6 +668,34 @@ DispatchTop:
     BarrierCost += 2;
     if (Inc)
       Inc->recordWrite(Arr);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT();
+  }
+  CASE(AAStore_Gen) {
+    AASTORE_PROLOGUE();
+    BARRIER_SATB();
+    BARRIER_GEN_REMSET(Arr, Val.Ref);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT();
+  }
+  CASE(AAStore_GenPreNull) {
+    AASTORE_PROLOGUE();
+    BARRIER_ELIDED(Val.Ref);
+    BARRIER_GEN_REMSET(Arr, Val.Ref);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT();
+  }
+  CASE(AAStore_GenYoung) {
+    AASTORE_PROLOGUE();
+    BARRIER_SATB();
+    BARRIER_GEN_YOUNG(Arr);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT();
+  }
+  CASE(AAStore_GenElided) {
+    AASTORE_PROLOGUE();
+    BARRIER_ELIDED(Val.Ref);
+    BARRIER_GEN_YOUNG(Arr);
     storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
@@ -937,6 +1044,38 @@ DispatchTop:
     storeRefRelease(SlotP, Val.Ref);
     NEXT2();
   }
+  CASE(LoadPutFieldRef_Gen) {
+    FUSE_LOAD();
+    PUTFIELD_REF_PROLOGUE_AT(IP[1], Base[IP->A]);
+    BARRIER_SATB();
+    BARRIER_GEN_REMSET(Obj, Val.Ref);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT2();
+  }
+  CASE(LoadPutFieldRef_GenPreNull) {
+    FUSE_LOAD();
+    PUTFIELD_REF_PROLOGUE_AT(IP[1], Base[IP->A]);
+    BARRIER_ELIDED(Val.Ref);
+    BARRIER_GEN_REMSET(Obj, Val.Ref);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT2();
+  }
+  CASE(LoadPutFieldRef_GenYoung) {
+    FUSE_LOAD();
+    PUTFIELD_REF_PROLOGUE_AT(IP[1], Base[IP->A]);
+    BARRIER_SATB();
+    BARRIER_GEN_YOUNG(Obj);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT2();
+  }
+  CASE(LoadPutFieldRef_GenElided) {
+    FUSE_LOAD();
+    PUTFIELD_REF_PROLOGUE_AT(IP[1], Base[IP->A]);
+    BARRIER_ELIDED(Val.Ref);
+    BARRIER_GEN_YOUNG(Obj);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT2();
+  }
   CASE(LoadAALoad) {
     FUSE_LOAD();
     int64_t Idx = Base[IP->A].Int;
@@ -1013,6 +1152,38 @@ DispatchTop:
     BarrierCost += 2;
     if (Inc)
       Inc->recordWrite(Arr);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT2();
+  }
+  CASE(LoadAAStore_Gen) {
+    FUSE_LOAD();
+    AASTORE_PROLOGUE_AT(IP[1], Base[IP->A]);
+    BARRIER_SATB();
+    BARRIER_GEN_REMSET(Arr, Val.Ref);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT2();
+  }
+  CASE(LoadAAStore_GenPreNull) {
+    FUSE_LOAD();
+    AASTORE_PROLOGUE_AT(IP[1], Base[IP->A]);
+    BARRIER_ELIDED(Val.Ref);
+    BARRIER_GEN_REMSET(Arr, Val.Ref);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT2();
+  }
+  CASE(LoadAAStore_GenYoung) {
+    FUSE_LOAD();
+    AASTORE_PROLOGUE_AT(IP[1], Base[IP->A]);
+    BARRIER_SATB();
+    BARRIER_GEN_YOUNG(Arr);
+    storeRefRelease(SlotP, Val.Ref);
+    NEXT2();
+  }
+  CASE(LoadAAStore_GenElided) {
+    FUSE_LOAD();
+    AASTORE_PROLOGUE_AT(IP[1], Base[IP->A]);
+    BARRIER_ELIDED(Val.Ref);
+    BARRIER_GEN_YOUNG(Arr);
     storeRefRelease(SlotP, Val.Ref);
     NEXT2();
   }

@@ -37,6 +37,9 @@ public:
     Ctx.bindSatb(M);
   }
   void attachIncUpdate(IncrementalUpdateMarker *M) { Inc = M; }
+  /// Remembered-set client for BarrierMode::Generational (the marking
+  /// component still goes through the attached SatbMarker).
+  void attachGen(MinorGC *M) { Gen = M; }
 
   /// The engine's per-thread runtime state (TLAB, SATB buffer, safepoint
   /// flag). The multi-mutator driver switches it to buffered mode and
@@ -100,6 +103,7 @@ private:
   Heap &H;
   SatbMarker *Satb = nullptr;
   IncrementalUpdateMarker *Inc = nullptr;
+  MinorGC *Gen = nullptr;
   MutatorContext Ctx;
 
   std::vector<Slot> Arena; ///< MaxCallDepth * MaxFrameSlots, never resized

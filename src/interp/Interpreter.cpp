@@ -120,6 +120,11 @@ void Interpreter::refStoreBarrier(const Frame &F, uint32_t PC, ObjRef Base,
   if (Pre == NullRef)
     ++SS.PreNull;
 
+  // In Generational mode an elided *marking* barrier still owes the
+  // remembered-set component below; every other mode is done after the
+  // marking decision.
+  const bool IsGen = CP.Options.Barrier == BarrierMode::Generational;
+
   if (SS.ElideDecision) {
     ++SS.Elided;
 #ifndef SATB_NO_JUSTIFICATION_CHECK
@@ -135,57 +140,89 @@ void Interpreter::refStoreBarrier(const Frame &F, uint32_t PC, ObjRef Base,
 #else
     (void)New;
 #endif
-    return;
+    if (!IsGen)
+      return;
+  } else {
+    bool Kept = PC < CM.BarrierKept.size() && CM.BarrierKept[PC];
+    if (!Kept && !IsGen)
+      return; // BarrierMode::None
+
+    // Section 4.3 rearrangement protocol: while the array is inside an
+    // active enter/exit bracket, the permutation store skips the log (the
+    // genuinely overwritten element was logged at enter, and marker
+    // overlap is detected at exit). If the bracket was missed — marking
+    // began mid-loop — fall through to the normal barrier. Generational
+    // mode never takes this path (the remembered set must still see the
+    // store; the rearrangement protocol is not composed with it).
+    if (Kept && PC < CM.RearrangeStores.size() && CM.RearrangeStores[PC] &&
+        CP.Options.Barrier != BarrierMode::CardMarking && !IsGen && Satb &&
+        Satb->isActive() && Satb->inActiveRearrange(Base)) {
+      ++SS.Rearranged;
+      BarrierCost += 1; // the in-bracket check; state reads are hoisted
+      return;
+    }
+
+    if (Kept)
+      switch (CP.Options.Barrier) {
+      case BarrierMode::None:
+        break;
+      case BarrierMode::Satb:
+      case BarrierMode::Generational:
+        // Inline: is marking in progress? (The generational marking
+        // component is exactly the SATB sequence.)
+        BarrierCost += 2;
+        if (Satb && Satb->isActive()) {
+          // Inline: load the pre-value, null test.
+          BarrierCost += 3;
+          if (Pre != NullRef) {
+            // Out-of-line: append to the thread-local log buffer.
+            BarrierCost += 6;
+            Satb->logPreValue(Pre);
+          }
+        }
+        break;
+      case BarrierMode::SatbAlwaysLog:
+        // The Section 4.5 future-work mode: no marking check, always log
+        // non-null pre-values.
+        BarrierCost += 3;
+        if (Pre != NullRef) {
+          BarrierCost += 6;
+          if (Satb)
+            Satb->logPreValue(Pre);
+        }
+        break;
+      case BarrierMode::CardMarking:
+        BarrierCost += 2;
+        if (Inc && Base != NullRef)
+          Inc->recordWrite(Base);
+        break;
+      }
   }
 
-  bool Kept = PC < CM.BarrierKept.size() && CM.BarrierKept[PC];
-  if (!Kept)
-    return; // BarrierMode::None
-
-  // Section 4.3 rearrangement protocol: while the array is inside an
-  // active enter/exit bracket, the permutation store skips the log (the
-  // genuinely overwritten element was logged at enter, and marker overlap
-  // is detected at exit). If the bracket was missed — marking began
-  // mid-loop — fall through to the normal barrier.
-  if (PC < CM.RearrangeStores.size() && CM.RearrangeStores[PC] &&
-      CP.Options.Barrier != BarrierMode::CardMarking && Satb &&
-      Satb->isActive() && Satb->inActiveRearrange(Base)) {
-    ++SS.Rearranged;
-    BarrierCost += 1; // the in-bracket check; state reads are hoisted
-    return;
-  }
-
-  switch (CP.Options.Barrier) {
-  case BarrierMode::None:
-    break;
-  case BarrierMode::Satb:
-    // Inline: is marking in progress?
-    BarrierCost += 2;
-    if (Satb && Satb->isActive()) {
-      // Inline: load the pre-value, null test.
-      BarrierCost += 3;
-      if (Pre != NullRef) {
-        // Out-of-line: append to the thread-local log buffer.
-        BarrierCost += 6;
-        Satb->logPreValue(Pre);
+  // Generational remembered-set component. Statics never pay it (they are
+  // scanned as roots by every minor collection).
+  if (IsGen && Base != NullRef) {
+    if (SS.YoungDecision) {
+      ++SS.RemSetElided;
+#ifndef SATB_NO_JUSTIFICATION_CHECK
+      // A young-target elision is justified iff the base really is young
+      // (trivially so when the nursery is off: no old-to-young edges
+      // exist at all).
+      if (H.nurseryEnabled() && !H.isYoung(Base))
+        ++SS.RemSetViolations;
+#endif
+    } else {
+      BarrierCost += 2; // young-test the base
+      if (!H.isYoung(Base)) {
+        BarrierCost += 2; // null + young test the stored value
+        if (New != NullRef && H.isYoung(New)) {
+          BarrierCost += 2; // shift + dirty the card
+          ++SS.RemSetDirtied;
+          if (Gen)
+            Gen->recordOldToYoung(Base);
+        }
       }
     }
-    break;
-  case BarrierMode::SatbAlwaysLog:
-    // The Section 4.5 future-work mode: no marking check, always log
-    // non-null pre-values.
-    BarrierCost += 3;
-    if (Pre != NullRef) {
-      BarrierCost += 6;
-      if (Satb)
-        Satb->logPreValue(Pre);
-    }
-    break;
-  case BarrierMode::CardMarking:
-    BarrierCost += 2;
-    if (Inc && Base != NullRef)
-      Inc->recordWrite(Base);
-    break;
   }
 }
 

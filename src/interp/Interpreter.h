@@ -24,6 +24,7 @@
 #define SATB_INTERP_INTERPRETER_H
 
 #include "gc/IncrementalUpdateMarker.h"
+#include "gc/MinorGC.h"
 #include "gc/SatbMarker.h"
 #include "heap/Heap.h"
 #include "interp/BarrierStats.h"
@@ -66,6 +67,9 @@ public:
   /// program's BarrierMode.
   void attachSatb(SatbMarker *M) { Satb = M; }
   void attachIncUpdate(IncrementalUpdateMarker *M) { Inc = M; }
+  /// Remembered-set client for BarrierMode::Generational (the marking
+  /// component still goes through the attached SatbMarker).
+  void attachGen(MinorGC *M) { Gen = M; }
 
   /// Arms safepoint polling: step() returns (Status still Running) when
   /// \p Flag is set and the next instruction is a branch or call — the
@@ -142,6 +146,7 @@ private:
   Heap &H;
   SatbMarker *Satb = nullptr;
   IncrementalUpdateMarker *Inc = nullptr;
+  MinorGC *Gen = nullptr;
   const std::atomic<bool> *SafepointReq = nullptr;
 
   std::vector<Frame> Frames;

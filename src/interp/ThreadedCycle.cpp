@@ -118,6 +118,23 @@ MultiMutatorResult satb::runWithConcurrentMutators(
 
   H.enterMultiMutator(Cfg.HeapCapacityRefs);
 
+  // Generational layer: nursery TLAB chunks for every mutator, with the
+  // coordinator serving stop-the-world minor collections on request. The
+  // remembered set is only maintained by the generational barrier; any
+  // other barrier mode falls back to wholesale promotion (sound, less
+  // precise).
+  MinorGC Gen(H);
+  if (Cfg.EnableNursery) {
+    Heap::NurseryConfig NC;
+    NC.NurseryBytes = Cfg.NurseryBytes;
+    NC.PretenureBytes = Cfg.PretenureBytes;
+    H.enableNursery(NC);
+    Gen.attachSatb(&Satb);
+    Gen.attachIncUpdate(&Inc);
+    Gen.ensureCapacity(Cfg.HeapCapacityRefs);
+    Gen.setRemSetValid(CP.Options.Barrier == BarrierMode::Generational);
+  }
+
   std::vector<std::unique_ptr<FastInterp>> Engines;
   Engines.reserve(Mutators);
   for (unsigned T = 0; T != Mutators; ++T) {
@@ -126,10 +143,34 @@ MultiMutatorResult satb::runWithConcurrentMutators(
       E->attachSatb(&Satb);
     else
       E->attachIncUpdate(&Inc);
+    if (Cfg.EnableNursery)
+      E->attachGen(&Gen);
     E->context().enterMultiMutator(SC.flag(), Cfg.SatbBufferCap);
     SC.registerMutator();
     Engines.push_back(std::move(E));
   }
+
+  // Stop-the-world minor collection service: a mutator whose nursery
+  // chunk refill failed raised the heap's request flag (and fell back to
+  // old-space allocation, so it never blocks). Roots are every engine's
+  // frames; afterwards each context's TLAB is dropped if it pointed into
+  // the recycled nursery buffer.
+  auto ServeMinorGC = [&] {
+    if (!Cfg.EnableNursery || !H.minorGCRequested())
+      return;
+    SC.stopTheWorld([&] {
+      if (!H.minorGCRequested())
+        return; // raced with a collection already served
+      std::vector<ObjRef> Roots, Tmp;
+      for (auto &E : Engines) {
+        E->collectRoots(Tmp);
+        Roots.insert(Roots.end(), Tmp.begin(), Tmp.end());
+      }
+      Gen.collect(Roots);
+      for (auto &E : Engines)
+        E->context().invalidateNurseryTlab();
+    });
+  };
 
   std::vector<std::thread> Threads;
   Threads.reserve(Mutators);
@@ -154,8 +195,10 @@ MultiMutatorResult satb::runWithConcurrentMutators(
   }
 
   // Warmup: let the mutators build a heap before the cycle starts.
-  while (H.numAllocated() < Cfg.WarmupAllocs && SC.exitedCount() < Mutators)
+  while (H.numAllocated() < Cfg.WarmupAllocs && SC.exitedCount() < Mutators) {
+    ServeMinorGC();
     std::this_thread::yield();
+  }
 
   // STW #1: snapshot roots across every mutator and start the cycle.
   std::vector<bool> Snapshot;
@@ -180,6 +223,7 @@ MultiMutatorResult satb::runWithConcurrentMutators(
   // activity it may never get; proceed to the termination pause.
   size_t IdleStreak = 0;
   while (IdleStreak < 3 && SC.exitedCount() < Mutators) {
+    ServeMinorGC();
     bool Idle = UseSatb ? Satb.markStep(Cfg.MarkerQuantum)
                         : Inc.markStep(Cfg.MarkerQuantum);
     if (Idle) {
@@ -232,6 +276,14 @@ MultiMutatorResult satb::runWithConcurrentMutators(
     }
   });
 
+  // Marking is over, but the mutators keep running to completion; keep
+  // serving minor collections so the nursery stays usable for the tail.
+  if (Cfg.EnableNursery)
+    while (SC.exitedCount() < Mutators) {
+      ServeMinorGC();
+      std::this_thread::yield();
+    }
+
   for (std::thread &T : Threads)
     T.join();
 
@@ -250,6 +302,20 @@ MultiMutatorResult satb::runWithConcurrentMutators(
   }
   R.Violations = R.Merged.summarize().Violations;
   R.LoggedPreValues = Satb.stats().LoggedPreValues;
+  if (Cfg.EnableNursery) {
+    // Empty the nursery with one last collection (every thread has
+    // joined; the markers are idle, so survivors promote precisely when
+    // the remembered set is valid) — no young object may outlive the
+    // nursery buffer.
+    std::vector<ObjRef> Roots, Tmp;
+    for (auto &E : Engines) {
+      E->collectRoots(Tmp);
+      Roots.insert(Roots.end(), Tmp.begin(), Tmp.end());
+    }
+    Gen.collect(Roots);
+    H.disableNursery();
+  }
+  R.Minor = Gen.stats();
   H.exitMultiMutator();
   return R;
 }

@@ -87,6 +87,14 @@ struct MultiMutatorConfig {
   /// property) and, for SATB, the start-of-marking snapshot set into the
   /// result.
   bool DebugTraceCounts = false;
+  /// Generational layer: give every mutator nursery TLAB chunks and serve
+  /// stop-the-world minor collections from the coordinator whenever a
+  /// mutator's chunk refill finds the nursery exhausted. Works under any
+  /// barrier mode; only BarrierMode::Generational maintains the remembered
+  /// set, so other modes promote wholesale at every minor collection.
+  bool EnableNursery = false;
+  size_t NurseryBytes = 256 * 1024;
+  uint32_t PretenureBytes = 1024;
 };
 
 struct MultiMutatorResult {
@@ -114,6 +122,8 @@ struct MultiMutatorResult {
   /// 1). SnapshotSet stays empty for the incremental-update marker.
   std::vector<uint32_t> TraceCounts;
   std::vector<bool> SnapshotSet;
+  /// Minor-collection totals for the run (zero unless Cfg.EnableNursery).
+  MinorGCStats Minor;
 };
 
 /// Runs \p Mutators FastInterp instances against one heap with one

@@ -25,6 +25,11 @@ struct CodeSizeModel {
   static constexpr uint32_t SatbBarrierCost = 11;
   /// Card-marking barrier: shift + store byte.
   static constexpr uint32_t CardBarrierCost = 2;
+  /// Generational remembered-set barrier: young-test the base (2), null +
+  /// young-test the stored value (2), shift + store byte on the slow edge
+  /// (2). Charged per store site in BarrierMode::Generational on top of
+  /// any kept marking barrier; removed by the young-target proof.
+  static constexpr uint32_t GenRemSetCost = 6;
 
   /// \returns the modeled machine-instruction count for one bytecode,
   /// excluding any write barrier.

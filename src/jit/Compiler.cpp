@@ -63,12 +63,29 @@ CompiledMethod satb::compileMethod(const Program &P, MethodId Id,
   case BarrierMode::CardMarking:
     BarrierCost = CodeSizeModel::CardBarrierCost;
     break;
+  case BarrierMode::Generational:
+    BarrierCost = CodeSizeModel::SatbBarrierCost; // marking component
+    break;
   }
   CM.CodeSize =
       CodeSizeModel::bodyCost(CM.Body.Instructions, CM.BarrierKept,
                               BarrierCost);
   CM.CodeSizeNoElision =
       CodeSizeModel::bodyCost(CM.Body.Instructions, AllKept, BarrierCost);
+  if (Opts.Barrier == BarrierMode::Generational) {
+    // The remembered-set component prices separately: every heap store
+    // site carries it (statics are roots, not remembered-set clients)
+    // unless the young-target proof removes it.
+    for (size_t I = 0, E = CM.Body.Instructions.size(); I != E; ++I) {
+      const BarrierDecision &D = CM.Analysis.Decisions[I];
+      if (!D.IsBarrierSite ||
+          CM.Body.Instructions[I].Op == Opcode::PutStatic)
+        continue;
+      CM.CodeSizeNoElision += CodeSizeModel::GenRemSetCost;
+      if (!(Opts.ApplyElision && D.TargetYoung))
+        CM.CodeSize += CodeSizeModel::GenRemSetCost;
+    }
+  }
   if (CM.RearrangeStores.empty())
     CM.RearrangeStores.assign(CM.Body.Instructions.size(), false);
   CM.CompileTimeUs = Timer.elapsedUs();

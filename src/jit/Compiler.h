@@ -23,7 +23,13 @@ enum class BarrierMode : uint8_t {
   None,          ///< Table 2 "no-barrier": every barrier removed
   Satb,          ///< standard SATB: check marking, log non-null pre-values
   SatbAlwaysLog, ///< Table 2 "always-log": skip the marking check
-  CardMarking    ///< incremental-update comparison collector
+  CardMarking,   ///< incremental-update comparison collector
+  /// Generational heap: the SATB marking barrier composed with the
+  /// old-to-young remembered-set barrier. Pre-null elision removes the
+  /// marking component, the young-target proof (BarrierDecision::
+  /// TargetYoung) removes the remembered-set component; the two compose
+  /// independently into four store variants (see jit/FastCode.h).
+  Generational
 };
 
 /// Which execution engine runs the compiled program: the reference

@@ -103,7 +103,16 @@ namespace satb {
   X(RearrangeEnter)                                                            \
   X(RearrangeEnterDyn)                                                         \
   X(RearrangeExit)                                                             \
-  X(Safepoint)
+  X(Safepoint)                                                                 \
+  X(PutFieldRef_Gen)                                                           \
+  X(PutFieldRef_GenPreNull)                                                    \
+  X(PutFieldRef_GenYoung)                                                      \
+  X(PutFieldRef_GenElided)                                                     \
+  X(AAStore_Gen)                                                               \
+  X(AAStore_GenPreNull)                                                        \
+  X(AAStore_GenYoung)                                                          \
+  X(AAStore_GenElided)                                                         \
+  X(PutStaticRef_Gen)
 
 /// Fused superinstructions (translation-time peephole, DESIGN.md
 /// "Superinstructions"). A fused op replaces the *opcode of the first
@@ -177,7 +186,15 @@ namespace satb {
   X(IRemStore)                                                                 \
   X(IMulPop)                                                                   \
   X(IAddIConst)                                                                \
-  X(IMulIConst)
+  X(IMulIConst)                                                                \
+  X(LoadPutFieldRef_Gen)                                                       \
+  X(LoadPutFieldRef_GenPreNull)                                                \
+  X(LoadPutFieldRef_GenYoung)                                                  \
+  X(LoadPutFieldRef_GenElided)                                                 \
+  X(LoadAAStore_Gen)                                                           \
+  X(LoadAAStore_GenPreNull)                                                    \
+  X(LoadAAStore_GenYoung)                                                      \
+  X(LoadAAStore_GenElided)
 
 /// The full dispatch set: base ops first, fused ops appended (isFusedOp
 /// relies on the ordering).

@@ -81,6 +81,22 @@ std::optional<FastOp> satb::fusedOp(FastOp First, FastOp Second) {
       return FastOp::LoadAAStore_AlwaysLog;
     case FastOp::AAStore_Card:
       return FastOp::LoadAAStore_Card;
+    case FastOp::PutFieldRef_Gen:
+      return FastOp::LoadPutFieldRef_Gen;
+    case FastOp::PutFieldRef_GenPreNull:
+      return FastOp::LoadPutFieldRef_GenPreNull;
+    case FastOp::PutFieldRef_GenYoung:
+      return FastOp::LoadPutFieldRef_GenYoung;
+    case FastOp::PutFieldRef_GenElided:
+      return FastOp::LoadPutFieldRef_GenElided;
+    case FastOp::AAStore_Gen:
+      return FastOp::LoadAAStore_Gen;
+    case FastOp::AAStore_GenPreNull:
+      return FastOp::LoadAAStore_GenPreNull;
+    case FastOp::AAStore_GenYoung:
+      return FastOp::LoadAAStore_GenYoung;
+    case FastOp::AAStore_GenElided:
+      return FastOp::LoadAAStore_GenElided;
       // AAStore_Rearr_* stay unfused: the rearrangement bracket check is
       // cold and its active-set bookkeeping is easiest audited unfused.
     case FastOp::Store:
@@ -174,13 +190,29 @@ enum class StoreVariant {
   AlwaysLog,
   Card,
   RearrSatb,
-  RearrAlwaysLog
+  RearrAlwaysLog,
+  // BarrierMode::Generational: the SATB marking component and the
+  // old-to-young remembered-set component are independently removable,
+  // giving a 2x2 matrix of specialized bodies.
+  Gen,          ///< both components kept
+  GenPreNull,   ///< Section 3 pre-null proof removed the marking log
+  GenYoung,     ///< young-target proof removed the remset barrier
+  GenElided     ///< both proofs held: zero barrier instructions
 };
 
 StoreVariant storeVariant(const CompiledProgram &CP, const CompiledMethod &CM,
                           uint32_t PC) {
   const BarrierDecision &D = CM.Analysis.Decisions[PC];
   assert(D.IsBarrierSite && "specializing a non-store site");
+  if (CP.Options.Barrier == BarrierMode::Generational) {
+    // The rearrangement protocol is excluded from Generational (as from
+    // CardMarking): RearrangeStores is never consulted here.
+    bool MarkElided = D.Elide && CP.Options.ApplyElision;
+    bool RemElided = D.TargetYoung && CP.Options.ApplyElision;
+    if (MarkElided)
+      return RemElided ? StoreVariant::GenElided : StoreVariant::GenPreNull;
+    return RemElided ? StoreVariant::GenYoung : StoreVariant::Gen;
+  }
   if (D.Elide && CP.Options.ApplyElision)
     return StoreVariant::Elided;
   if (!(PC < CM.BarrierKept.size() && CM.BarrierKept[PC]))
@@ -194,6 +226,7 @@ StoreVariant storeVariant(const CompiledProgram &CP, const CompiledMethod &CM,
     return Rearr ? StoreVariant::RearrAlwaysLog : StoreVariant::AlwaysLog;
   case BarrierMode::CardMarking:
     return StoreVariant::Card;
+  case BarrierMode::Generational: // handled above
   case BarrierMode::None:
     break;
   }
@@ -213,6 +246,14 @@ FastOp selectPutField(StoreVariant V) {
     return FastOp::PutFieldRef_AlwaysLog;
   case StoreVariant::Card:
     return FastOp::PutFieldRef_Card;
+  case StoreVariant::Gen:
+    return FastOp::PutFieldRef_Gen;
+  case StoreVariant::GenPreNull:
+    return FastOp::PutFieldRef_GenPreNull;
+  case StoreVariant::GenYoung:
+    return FastOp::PutFieldRef_GenYoung;
+  case StoreVariant::GenElided:
+    return FastOp::PutFieldRef_GenElided;
   case StoreVariant::RearrSatb:
   case StoreVariant::RearrAlwaysLog:
     break;
@@ -233,6 +274,14 @@ FastOp selectPutStatic(StoreVariant V) {
     return FastOp::PutStaticRef_AlwaysLog;
   case StoreVariant::Card:
     return FastOp::PutStaticRef_Card;
+  case StoreVariant::Gen:
+    return FastOp::PutStaticRef_Gen;
+  case StoreVariant::GenPreNull:
+  case StoreVariant::GenElided:
+    // Statics are roots: no remembered-set component exists, so a
+    // marking-elided static store is fully elided.
+    return FastOp::PutStaticRef_Elided;
+  case StoreVariant::GenYoung: // the analysis never proves a static young
   case StoreVariant::RearrSatb:
   case StoreVariant::RearrAlwaysLog:
     break;
@@ -253,6 +302,14 @@ FastOp selectAAStore(StoreVariant V) {
     return FastOp::AAStore_AlwaysLog;
   case StoreVariant::Card:
     return FastOp::AAStore_Card;
+  case StoreVariant::Gen:
+    return FastOp::AAStore_Gen;
+  case StoreVariant::GenPreNull:
+    return FastOp::AAStore_GenPreNull;
+  case StoreVariant::GenYoung:
+    return FastOp::AAStore_GenYoung;
+  case StoreVariant::GenElided:
+    return FastOp::AAStore_GenElided;
   case StoreVariant::RearrSatb:
     return FastOp::AAStore_Rearr_Satb;
   case StoreVariant::RearrAlwaysLog:

@@ -13,6 +13,7 @@
 #include "RandomProgram.h"
 #include "TestUtil.h"
 
+#include "gc/MinorGC.h"
 #include "workloads/Workload.h"
 
 using namespace satb;
@@ -110,6 +111,82 @@ TEST_P(SatbOracleProperty, IncrementalUpdateOracle) {
   EXPECT_NE(R.Status, RunStatus::Trapped) << trapName(R.Trap);
 }
 
+TEST_P(SatbOracleProperty, GenerationalNurserySnapshotPreserved) {
+  // The generational pipeline end to end: BarrierMode::Generational with
+  // pre-null elision ON, a deliberately tiny nursery so the allocation
+  // slow path fires minor collections throughout the run (wholesale while
+  // the SATB cycle is active, precise otherwise), and the snapshot oracle
+  // at the final pause. RemSetViolations == 0 is the dynamic check that
+  // every young-target elision the compiler proved actually held.
+  const Interleaving &Cfg = GetParam();
+  GeneratedProgram G = RandomProgramGenerator(Cfg.Seed + 21).generate();
+  CompilerOptions Opts;
+  Opts.Barrier = BarrierMode::Generational;
+  CompiledProgram CP = compileProgram(*G.P, Opts);
+  Heap H(*G.P);
+  Heap::NurseryConfig NC;
+  NC.NurseryBytes = 4096;
+  NC.PretenureBytes = 512;
+  H.enableNursery(NC);
+  SatbMarker M(H);
+  MinorGC Gen(H);
+  Gen.attachSatb(&M);
+  Gen.setRemSetValid(true);
+  Interpreter I(*G.P, CP, H);
+  I.attachSatb(&M);
+  I.attachGen(&Gen);
+  installNurseryHook(H, Gen, I);
+
+  ConcurrentRunConfig RC;
+  RC.WarmupSteps = Cfg.Warmup;
+  RC.MutatorQuantum = Cfg.MutQ;
+  RC.MarkerQuantum = Cfg.MarkQ;
+  RC.StepLimit = 2'000'000;
+  ConcurrentRunResult R = runWithConcurrentSatb(I, M, H, G.Entry, {300}, RC);
+
+  EXPECT_TRUE(R.OracleHolds)
+      << "generational snapshot violated, seed " << Cfg.Seed;
+  BarrierStats::Summary S = I.stats().summarize();
+  EXPECT_EQ(S.Violations, 0u);
+  EXPECT_EQ(S.RemSetViolations, 0u);
+  EXPECT_NE(R.Status, RunStatus::Trapped) << trapName(R.Trap);
+}
+
+TEST_P(SatbOracleProperty, IncrementalUpdateOracleWithNursery) {
+  // The nursery under a non-generational barrier: nothing maintains the
+  // remembered set, so every minor collection must promote wholesale and
+  // free nothing; the incremental-update reachability oracle is the
+  // end-to-end witness that this fallback is sound.
+  const Interleaving &Cfg = GetParam();
+  GeneratedProgram G = RandomProgramGenerator(Cfg.Seed + 13).generate();
+  CompilerOptions Opts;
+  Opts.Barrier = BarrierMode::CardMarking;
+  Opts.ApplyElision = false;
+  CompiledProgram CP = compileProgram(*G.P, Opts);
+  Heap H(*G.P);
+  Heap::NurseryConfig NC;
+  NC.NurseryBytes = 4096;
+  NC.PretenureBytes = 512;
+  H.enableNursery(NC);
+  IncrementalUpdateMarker M(H);
+  MinorGC Gen(H);
+  Gen.attachIncUpdate(&M); // RemSetValid stays false: wholesale only
+  Interpreter I(*G.P, CP, H);
+  I.attachIncUpdate(&M);
+  installNurseryHook(H, Gen, I);
+  ConcurrentRunConfig RC;
+  RC.WarmupSteps = Cfg.Warmup;
+  RC.MutatorQuantum = Cfg.MutQ;
+  RC.MarkerQuantum = Cfg.MarkQ;
+  ConcurrentRunResult R =
+      runWithConcurrentIncUpdate(I, M, H, G.Entry, {300}, RC);
+  EXPECT_TRUE(R.OracleHolds) << "IU+nursery oracle violated, seed "
+                             << Cfg.Seed;
+  EXPECT_NE(R.Status, RunStatus::Trapped) << trapName(R.Trap);
+  EXPECT_EQ(Gen.stats().FreedYoung, 0u);
+  EXPECT_EQ(Gen.stats().WholesalePromotions, Gen.stats().Collections);
+}
+
 INSTANTIATE_TEST_SUITE_P(Interleavings, SatbOracleProperty,
                          ::testing::ValuesIn(interleavings()));
 
@@ -171,3 +248,38 @@ TEST_P(WorkloadGc, SatbFinalPauseSmallerThanIncUpdate) {
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadGc,
                          ::testing::Range<size_t>(0, 6));
+
+TEST(WorkloadGc, GenerationalCycleCollectsAndPromotes) {
+  // The allocation-heavy jbb workload against a small nursery: minor
+  // collections must actually happen, survivors must actually promote,
+  // and the concurrent SATB cycle layered on top must keep its oracle.
+  Workload W = makeJbbLike();
+  CompilerOptions Opts;
+  Opts.Barrier = BarrierMode::Generational;
+  CompiledProgram CP = compileProgram(*W.P, Opts);
+  Heap H(*W.P);
+  Heap::NurseryConfig NC;
+  NC.NurseryBytes = 4096;
+  NC.PretenureBytes = 512;
+  H.enableNursery(NC);
+  SatbMarker M(H);
+  MinorGC Gen(H);
+  Gen.attachSatb(&M);
+  Gen.setRemSetValid(true);
+  Interpreter I(*W.P, CP, H);
+  I.attachSatb(&M);
+  I.attachGen(&Gen);
+  installNurseryHook(H, Gen, I);
+  ConcurrentRunConfig RC;
+  RC.WarmupSteps = 3000;
+  ConcurrentRunResult R = runWithConcurrentSatb(I, M, H, W.Entry, {400}, RC);
+  EXPECT_TRUE(R.OracleHolds);
+  EXPECT_EQ(R.Status, RunStatus::Finished) << trapName(R.Trap);
+  BarrierStats::Summary S = I.stats().summarize();
+  EXPECT_EQ(S.Violations, 0u);
+  EXPECT_EQ(S.RemSetViolations, 0u);
+  const MinorGCStats &GS = Gen.stats();
+  EXPECT_GT(GS.Collections, 0u);
+  EXPECT_GT(GS.PromotedObjects, 0u);
+  EXPECT_GT(S.RemSetDirtied + S.RemSetElided, 0u);
+}

@@ -24,6 +24,7 @@
 #include "RandomProgram.h"
 #include "TestUtil.h"
 
+#include "gc/MinorGC.h"
 #include "interp/FastInterp.h"
 #include "workloads/Workload.h"
 
@@ -139,6 +140,17 @@ std::vector<std::pair<std::string, CompilerOptions>> configMatrix() {
   CompilerOptions Rearr;
   Rearr.EnableArrayRearrange = true;
   Out.emplace_back("satb-rearrange", Rearr);
+  // Generational runs in this matrix execute with the nursery *disabled*:
+  // the Gen/GenPreNull/GenYoung/GenElided opcode bodies run with isYoung
+  // always false, exercising the remembered-set cost ladder's old-base
+  // path and the justification counters without a collector.
+  CompilerOptions Gen;
+  Gen.Barrier = BarrierMode::Generational;
+  Out.emplace_back("generational", Gen);
+  CompilerOptions GenKeepAll;
+  GenKeepAll.Barrier = BarrierMode::Generational;
+  GenKeepAll.ApplyElision = false;
+  Out.emplace_back("generational-keep-all", GenKeepAll);
   return Out;
 }
 
@@ -177,6 +189,147 @@ TEST(MutatorEquivalence, RandomCorpusCardMarking) {
     Card.Barrier = BarrierMode::CardMarking;
     runBoth(*G.P, Card, G.Entry, {50}, "seed " + std::to_string(Seed));
   }
+}
+
+// --- Generational heap: nursery-enabled equivalence -------------------------
+
+namespace {
+
+/// runBoth with the nursery live: each engine gets a fresh heap with a
+/// tiny nursery and a MinorGC wired through the single-mutator allocation
+/// hook, so minor collections fire mid-run at allocation sites. GC points
+/// are deterministic (both engines allocate in the same order and flush
+/// their frame state before every allocation), so beyond the usual
+/// observables the collectors' own counters must agree engine for engine.
+void runBothWithNursery(const Program &P, const CompilerOptions &Opts,
+                        MethodId Entry, const std::vector<int64_t> &Args,
+                        const std::string &What,
+                        uint64_t StepLimit = 2'000'000'000) {
+  CompiledProgram CP = compileProgram(P, Opts);
+  Heap::NurseryConfig NC;
+  NC.NurseryBytes = 4096; // tiny: collections throughout the run
+  NC.PretenureBytes = 512;
+  const bool GenMode = Opts.Barrier == BarrierMode::Generational;
+  Observed Ref;
+  MinorGCStats RefGC;
+  {
+    Heap H(P);
+    H.enableNursery(NC);
+    Interpreter I(P, CP, H);
+    SatbMarker SM(H);
+    IncrementalUpdateMarker IM(H);
+    I.attachSatb(&SM);
+    I.attachIncUpdate(&IM);
+    MinorGC Gen(H);
+    Gen.attachSatb(&SM);
+    Gen.attachIncUpdate(&IM);
+    Gen.setRemSetValid(GenMode);
+    I.attachGen(&Gen);
+    installNurseryHook(H, Gen, I);
+    I.run(Entry, Args, StepLimit);
+    Ref = observe(I, H);
+    RefGC = Gen.stats();
+  }
+  for (bool Fuse : {true, false}) {
+    Heap H(P);
+    H.enableNursery(NC);
+    TranslateOptions TO;
+    TO.Fuse = Fuse;
+    FastProgram FP = translateProgram(P, CP, TO);
+    FastInterp I(FP, CP, H);
+    SatbMarker SM(H);
+    IncrementalUpdateMarker IM(H);
+    I.attachSatb(&SM);
+    I.attachIncUpdate(&IM);
+    MinorGC Gen(H);
+    Gen.attachSatb(&SM);
+    Gen.attachIncUpdate(&IM);
+    Gen.setRemSetValid(GenMode);
+    I.attachGen(&Gen);
+    installNurseryHook(H, Gen, I);
+    I.run(Entry, Args, StepLimit);
+    Observed Fast = observe(I, H);
+    const std::string Tag = What + (Fuse ? "/fused" : "/unfused");
+    expectEqual(Ref, Fast, Tag);
+    const MinorGCStats &GS = Gen.stats();
+    EXPECT_EQ(RefGC.Collections, GS.Collections) << Tag;
+    EXPECT_EQ(RefGC.WholesalePromotions, GS.WholesalePromotions) << Tag;
+    EXPECT_EQ(RefGC.PromotedObjects, GS.PromotedObjects) << Tag;
+    EXPECT_EQ(RefGC.PromotedBytes, GS.PromotedBytes) << Tag;
+    EXPECT_EQ(RefGC.FreedYoung, GS.FreedYoung) << Tag;
+    EXPECT_EQ(RefGC.CardsDirtied, GS.CardsDirtied) << Tag;
+  }
+}
+
+} // namespace
+
+TEST(MutatorEquivalence, WorkloadsWithNurseryGenerational) {
+  CompilerOptions Gen;
+  Gen.Barrier = BarrierMode::Generational;
+  CompilerOptions GenKeepAll;
+  GenKeepAll.Barrier = BarrierMode::Generational;
+  GenKeepAll.ApplyElision = false;
+  for (const Workload &W : allWorkloads()) {
+    runBothWithNursery(*W.P, Gen, W.Entry, {300}, W.Name + "/gen-nursery");
+    runBothWithNursery(*W.P, GenKeepAll, W.Entry, {300},
+                       W.Name + "/gen-nursery-keep-all");
+  }
+}
+
+TEST(MutatorEquivalence, WorkloadsWithNurserySatbWholesale) {
+  // Nursery under plain SATB: the remembered set is never valid, every
+  // minor collection promotes wholesale — and the engines must still be
+  // indistinguishable.
+  CompilerOptions Opts;
+  for (const Workload &W : allWorkloads())
+    runBothWithNursery(*W.P, Opts, W.Entry, {300},
+                       W.Name + "/satb-nursery");
+}
+
+TEST(MutatorEquivalence, RandomCorpusWithNursery) {
+  for (uint32_t Seed = 1; Seed <= 15; ++Seed) {
+    RandomProgramGenerator Gen(Seed);
+    GeneratedProgram G = Gen.generate();
+    CompilerOptions Opts;
+    Opts.Barrier = BarrierMode::Generational;
+    runBothWithNursery(*G.P, Opts, G.Entry, {50},
+                       "gen seed " + std::to_string(Seed));
+  }
+}
+
+TEST(MutatorEquivalence, DisabledNurseryIsObservablyAbsent) {
+  // Acceptance gate for the generational layer: enabling and immediately
+  // disabling the nursery must leave a heap whose entire observable
+  // behaviour — steps, barrier cost, per-site stats, allocation history,
+  // reachability — is bit-identical to one that never had a nursery.
+  Workload W = makeJbbLike();
+  CompilerOptions Opts;
+  Opts.Barrier = BarrierMode::Generational;
+  CompiledProgram CP = compileProgram(*W.P, Opts);
+  Observed Plain, Toggled;
+  {
+    Heap H(*W.P);
+    Interpreter I(*W.P, CP, H);
+    SatbMarker SM(H);
+    IncrementalUpdateMarker IM(H);
+    I.attachSatb(&SM);
+    I.attachIncUpdate(&IM);
+    I.run(W.Entry, {300});
+    Plain = observe(I, H);
+  }
+  {
+    Heap H(*W.P);
+    H.enableNursery();
+    H.disableNursery();
+    Interpreter I(*W.P, CP, H);
+    SatbMarker SM(H);
+    IncrementalUpdateMarker IM(H);
+    I.attachSatb(&SM);
+    I.attachIncUpdate(&IM);
+    I.run(W.Entry, {300});
+    Toggled = observe(I, H);
+  }
+  expectEqual(Plain, Toggled, "nursery enable/disable toggle");
 }
 
 // --- Trap semantics ---------------------------------------------------------

@@ -303,6 +303,89 @@ TEST(MultiMutator, RandomProgramsUnderMultiMutatorMarking) {
   }
 }
 
+// --- Generational nursery under multi-mutator marking -----------------------
+
+TEST(MultiMutator, GenerationalNurseryGrid) {
+  // Nursery-enabled multi-mutator runs: TLAB chunks carve from the
+  // nursery and the coordinator serves stop-the-world minor collections
+  // whenever a refill finds it exhausted. Generational mode keeps the
+  // remembered set valid (precise collections while the marker is idle);
+  // the same nursery under plain SATB has no remembered-set barrier and
+  // must fall back to wholesale promotion at every collection. Both must
+  // keep the marking oracle and the justification counters clean.
+  //
+  // Whether a refill-raised request is served while the mutators are
+  // still alive (promoting their live young objects) is OS-scheduled;
+  // like SatbBuffersReachTheMarker above, retry a few times for the
+  // overlap instead of assuming one particular schedule. The safety
+  // invariants are asserted on every attempt.
+  Workload W = makeJbbLike();
+  for (BarrierMode Mode : {BarrierMode::Generational, BarrierMode::Satb}) {
+    for (bool Fuse : {true, false}) {
+      CompilerOptions Opts;
+      Opts.Interp = InterpMode::Fast;
+      Opts.Barrier = Mode;
+      CompiledProgram CP = compileProgram(*W.P, Opts);
+      std::string What =
+          std::string(Mode == BarrierMode::Generational ? "generational"
+                                                        : "satb-wholesale") +
+          (Fuse ? "/fused" : "/unfused");
+      uint64_t Promoted = 0;
+      for (int Attempt = 0; Attempt != 5 && Promoted == 0; ++Attempt) {
+        MultiMutatorConfig Cfg;
+        Cfg.WarmupAllocs = 300;
+        Cfg.Fuse = Fuse;
+        // Vary the marking backend with fusion to cover the
+        // parallel-marker combination without doubling the grid.
+        Cfg.MarkThreads = Fuse ? 2 : 1;
+        Cfg.EnableNursery = true;
+        // Two TLAB chunks' worth: with three mutators the very first
+        // refill round already exhausts the nursery and raises the
+        // minor-GC request.
+        Cfg.NurseryBytes = 16 * 1024;
+        MultiMutatorResult R =
+            runWithConcurrentMutators(3, *W.P, CP, W.Entry, {20000}, Cfg);
+        expectClean(R, What.c_str());
+        EXPECT_GE(R.Minor.Collections, 1u) << What; // the final one at least
+        if (Mode == BarrierMode::Satb) {
+          // No generational barrier: every collection is wholesale.
+          EXPECT_EQ(R.Minor.WholesalePromotions, R.Minor.Collections) << What;
+          EXPECT_EQ(R.Minor.FreedYoung, 0u) << What;
+        }
+        uint64_t RemSetViolations = 0;
+        for (const SiteStats &S : R.Merged.flat())
+          RemSetViolations += S.RemSetViolations;
+        EXPECT_EQ(RemSetViolations, 0u) << What;
+        Promoted = R.Minor.PromotedObjects;
+      }
+      EXPECT_GT(Promoted, 0u) << What;
+    }
+  }
+}
+
+TEST(MultiMutator, RandomProgramsWithNursery) {
+  // Random shapes through the generational multi-mutator path; tiny
+  // nursery to maximize collection traffic relative to program size.
+  for (uint32_t Seed = 450; Seed != 454; ++Seed) {
+    GeneratedProgram G = RandomProgramGenerator(Seed).generate();
+    CompilerOptions Opts;
+    Opts.Interp = InterpMode::Fast;
+    Opts.Barrier = BarrierMode::Generational;
+    CompiledProgram CP = compileProgram(*G.P, Opts);
+    MultiMutatorConfig Cfg;
+    Cfg.WarmupAllocs = 50;
+    Cfg.MarkerQuantum = 4;
+    Cfg.Fuse = Seed % 2 == 0;
+    Cfg.EnableNursery = true;
+    Cfg.NurseryBytes = 32 * 1024;
+    MultiMutatorResult R =
+        runWithConcurrentMutators(3, *G.P, CP, G.Entry, {150}, Cfg);
+    EXPECT_TRUE(R.OracleHolds) << "seed " << Seed;
+    EXPECT_EQ(R.Violations, 0u) << "seed " << Seed;
+    EXPECT_GE(R.Minor.Collections, 1u) << "seed " << Seed;
+  }
+}
+
 // --- Parallel marking (sharded mark stacks, MarkThreads > 1) ----------------
 
 TEST(MultiMutator, MarkOnceUnderParallelMarking) {
