@@ -29,15 +29,27 @@ int64_t wrap32(int64_t V) { return static_cast<int32_t>(V); }
 
 FastInterp::FastInterp(const FastProgram &FP, const CompiledProgram &CP,
                        Heap &H)
-    : FP(FP), H(H), Ctx(H) {
+    : OwnedVT(std::make_unique<MethodVersionTable>(FP)), VT(OwnedVT.get()),
+      H(H), Ctx(H) {
   Stats.init(CP);
   Sites = Stats.flatData();
   StaticR = H.staticRefsData();
   StaticI = H.staticIntsData();
 }
 
+FastInterp::FastInterp(MethodVersionTable &VT, const CompiledProgram &CP,
+                       Heap &H)
+    : VT(&VT), H(H), Ctx(H) {
+  Stats.init(CP);
+  Sites = Stats.flatData();
+  StaticR = H.staticRefsData();
+  StaticI = H.staticIntsData();
+  if (VT.tiered())
+    ForceDeoptEvery = VT.options().ForceDeoptEvery;
+}
+
 void FastInterp::start(MethodId Entry, const std::vector<int64_t> &IntArgs) {
-  size_t Need = static_cast<size_t>(MaxCallDepth) * FP.MaxFrameSlots;
+  size_t Need = static_cast<size_t>(MaxCallDepth) * VT->maxFrameSlots();
   if (Arena.size() < Need)
     Arena.resize(Need);
   Frames.clear();
@@ -46,7 +58,10 @@ void FastInterp::start(MethodId Entry, const std::vector<int64_t> &IntArgs) {
   Trap = TrapKind::None;
   Result = Slot();
 
-  const FastMethod &FM = FP.Methods[Entry];
+  // The entry activation resolves through the table like any other (it
+  // is dispatched exactly once, so it never accumulates enough
+  // invocations to promote — DESIGN.md "Tiered execution").
+  const FastMethod &FM = VT->active(Entry);
   Frame F;
   F.FM = &FM;
   F.IP = FM.Code.data();
@@ -183,6 +198,11 @@ void FastInterp::collectRoots(std::vector<ObjRef> &Out) const {
         if (Gen)                                                               \
           Gen->recordOldToYoung(BaseRef);                                      \
       }                                                                        \
+    } else {                                                                   \
+      /* Young-speculation profile: the barrier's young test, counted.  \
+         Free for the tiered promotion policy; the reference engine      \
+         maintains it too, so stats stay bit-identical. */                     \
+      ++SS.YoungSeen;                                                          \
     }                                                                          \
   } while (0)
 
@@ -302,6 +322,83 @@ void FastInterp::collectRoots(std::vector<ObjRef> &Out) const {
       DISPATCH();                                                              \
     }                                                                          \
     NEXT2();                                                                   \
+  } while (0)
+
+// --- Speculative-tier plumbing ---------------------------------------------
+//
+// A *_Spec store carries its guarded-elision plan in the instruction's C
+// field (SpecFlags, jit/FastCode.h). Each barrier component either
+// elides behind a dynamic guard, replays the static tier's proven
+// elision, or keeps the conservative barrier. A failing guard executes
+// the full conservative barrier inline — so LoggedPreValues and
+// RemSetDirtied match a never-speculated run exactly — completes the
+// store, and only then deopts; the handler is past every trap check at
+// that point, so the frame sits at an instruction boundary
+// (Safepoint-compatible). The forcedDeopt() testing knob takes the same
+// failure path with the guard actually holding; the replayed
+// conservative barrier is then semantically a no-op, which is what keeps
+// forced deopt storms observationally invisible. `Deopt` / `Genuine` are
+// handler locals; the prologue's Pre / Val / SS are in scope.
+#define SPEC_MARK_COMPONENT(SI)                                                \
+  do {                                                                         \
+    uint16_t Flags = (SI).C;                                                   \
+    if (Flags & kSpecMarkNull) {                                               \
+      BarrierCost += 1; /* the null guard */                                   \
+      if (Pre == NullRef && !forcedDeopt()) {                                  \
+        ++SS.SpecElided;                                                       \
+      } else {                                                                 \
+        Genuine |= Pre != NullRef;                                             \
+        if (Flags & kSpecAlwaysLog)                                            \
+          BARRIER_ALWAYSLOG();                                                 \
+        else                                                                   \
+          BARRIER_SATB();                                                      \
+        Deopt = true;                                                          \
+      }                                                                        \
+    } else if (Flags & kSpecMarkStaticElided) {                                \
+      BARRIER_ELIDED(Val.Ref);                                                 \
+    } else if (Flags & kSpecMarkKept) {                                        \
+      if (Flags & kSpecAlwaysLog)                                              \
+        BARRIER_ALWAYSLOG();                                                   \
+      else                                                                     \
+        BARRIER_SATB();                                                        \
+    }                                                                          \
+  } while (0)
+
+#define SPEC_REM_COMPONENT(SI, BaseRef)                                        \
+  do {                                                                         \
+    uint16_t Flags = (SI).C;                                                   \
+    if (Flags & kSpecRemYoung) {                                               \
+      BarrierCost += 1; /* the young guard */                                  \
+      bool Young = H.isYoung(BaseRef);                                         \
+      if (Young && !forcedDeopt()) {                                           \
+        ++SS.SpecElided;                                                       \
+      } else {                                                                 \
+        Genuine |= !Young;                                                     \
+        BARRIER_GEN_REMSET(BaseRef, Val.Ref);                                  \
+        Deopt = true;                                                          \
+      }                                                                        \
+    } else if (Flags & kSpecRemStaticElided) {                                 \
+      BARRIER_GEN_YOUNG(BaseRef);                                              \
+    } else if (Flags & kSpecRemKept) {                                         \
+      BARRIER_GEN_REMSET(BaseRef, Val.Ref);                                    \
+    }                                                                          \
+  } while (0)
+
+// Guard failure: the conservative barrier already ran and the store
+// completed, so transfer every frame running this version onto Static
+// and resume at the next instruction of the *new* stream (all versions
+// share stream shape, so the transfer is index-preserving; Base and SP
+// are version-independent). The failing instruction paid its fuel on
+// entry and the DISPATCH here charges the successor exactly as NEXT
+// would — step totals are unchanged by deopt.
+#define SPEC_DEOPT(Advance)                                                    \
+  do {                                                                         \
+    ++SS.Deopts;                                                               \
+    IP += (Advance);                                                           \
+    FLUSH_FRAME();                                                             \
+    VT->deoptimize(Frames, /*Forced=*/!Genuine);                               \
+    IP = Frames.back().IP;                                                     \
+    DISPATCH();                                                                \
   } while (0)
 
 RunStatus FastInterp::step(uint64_t MaxSteps) {
@@ -506,6 +603,16 @@ DispatchTop:
     storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
+  CASE(PutFieldRef_Spec) {
+    PUTFIELD_REF_PROLOGUE();
+    bool Deopt = false, Genuine = false;
+    SPEC_MARK_COMPONENT(IP[0]);
+    SPEC_REM_COMPONENT(IP[0], Obj);
+    storeRefRelease(SlotP, Val.Ref);
+    if (Deopt)
+      SPEC_DEOPT(1);
+    NEXT();
+  }
   CASE(GetStaticRef) {
     PUSH(Slot::ofRef(loadRefAcquire(StaticR + IP->A)));
     NEXT();
@@ -555,6 +662,16 @@ DispatchTop:
     // reference engine passes Base = NullRef, skipping the remset).
     BARRIER_SATB();
     storeRefRelease(SlotP, Val.Ref);
+    NEXT();
+  }
+  CASE(PutStaticRef_Spec) {
+    PUTSTATIC_REF_PROLOGUE();
+    bool Deopt = false, Genuine = false;
+    // Statics never carry rem bits (roots need no remembered set).
+    SPEC_MARK_COMPONENT(IP[0]);
+    storeRefRelease(SlotP, Val.Ref);
+    if (Deopt)
+      SPEC_DEOPT(1);
     NEXT();
   }
   CASE(NewInstance) {
@@ -699,6 +816,16 @@ DispatchTop:
     storeRefRelease(SlotP, Val.Ref);
     NEXT();
   }
+  CASE(AAStore_Spec) {
+    AASTORE_PROLOGUE();
+    bool Deopt = false, Genuine = false;
+    SPEC_MARK_COMPONENT(IP[0]);
+    SPEC_REM_COMPONENT(IP[0], Arr);
+    storeRefRelease(SlotP, Val.Ref);
+    if (Deopt)
+      SPEC_DEOPT(1);
+    NEXT();
+  }
   CASE(AAStore_Rearr_Satb) {
     AASTORE_PROLOGUE();
     if (Satb && Satb->isActive() && Satb->inActiveRearrange(Arr)) {
@@ -724,7 +851,12 @@ DispatchTop:
   CASE(Invoke) {
     if (Frames.size() >= MaxCallDepth)
       TRAP(StackOverflow);
-    const FastMethod &Callee = FP.Methods[static_cast<MethodId>(IP->A)];
+    // THE tiered dispatch point: the table resolves the callee's current
+    // version and advances its lifecycle (profiling, promotion, lazy
+    // young-spec invalidation). Untiered tables reduce this to one
+    // predicted branch plus the array load.
+    const FastMethod &Callee =
+        VT->invoke(static_cast<MethodId>(IP->A), Sites, youngEpoch());
     uint32_t NumArgs = IP->C;
     SP -= NumArgs;
     Frame &Cur = Frames.back();
@@ -1076,6 +1208,17 @@ DispatchTop:
     storeRefRelease(SlotP, Val.Ref);
     NEXT2();
   }
+  CASE(LoadPutFieldRef_Spec) {
+    FUSE_LOAD();
+    PUTFIELD_REF_PROLOGUE_AT(IP[1], Base[IP->A]);
+    bool Deopt = false, Genuine = false;
+    SPEC_MARK_COMPONENT(IP[1]);
+    SPEC_REM_COMPONENT(IP[1], Obj);
+    storeRefRelease(SlotP, Val.Ref);
+    if (Deopt)
+      SPEC_DEOPT(2);
+    NEXT2();
+  }
   CASE(LoadAALoad) {
     FUSE_LOAD();
     int64_t Idx = Base[IP->A].Int;
@@ -1185,6 +1328,17 @@ DispatchTop:
     BARRIER_ELIDED(Val.Ref);
     BARRIER_GEN_YOUNG(Arr);
     storeRefRelease(SlotP, Val.Ref);
+    NEXT2();
+  }
+  CASE(LoadAAStore_Spec) {
+    FUSE_LOAD();
+    AASTORE_PROLOGUE_AT(IP[1], Base[IP->A]);
+    bool Deopt = false, Genuine = false;
+    SPEC_MARK_COMPONENT(IP[1]);
+    SPEC_REM_COMPONENT(IP[1], Arr);
+    storeRefRelease(SlotP, Val.Ref);
+    if (Deopt)
+      SPEC_DEOPT(2);
     NEXT2();
   }
   CASE(LoadStore) {

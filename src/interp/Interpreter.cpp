@@ -221,6 +221,11 @@ void Interpreter::refStoreBarrier(const Frame &F, uint32_t PC, ObjRef Base,
           if (Gen)
             Gen->recordOldToYoung(Base);
         }
+      } else {
+        // Young-speculation profile: the barrier's own young test, kept
+        // as a counter. Both engines maintain it so per-site stats stay
+        // comparable.
+        ++SS.YoungSeen;
       }
     }
   }

@@ -96,7 +96,18 @@ MultiMutatorResult satb::runWithConcurrentMutators(
   TranslateOptions TO;
   TO.InsertSafepoints = true;
   TO.Fuse = Cfg.Fuse;
-  FastProgram FP = translateProgram(P, CP, TO);
+  // Tiered mode: one version table per mutator (tables are not
+  // thread-safe; per-engine tables also keep promotion deterministic per
+  // thread). Untiered mode shares one static translation, wrapped by
+  // each engine in a zero-overhead table.
+  FastProgram FP;
+  std::vector<std::unique_ptr<MethodVersionTable>> Tables;
+  if (Cfg.Tiered.Enabled)
+    for (unsigned T = 0; T != Mutators; ++T)
+      Tables.push_back(
+          std::make_unique<MethodVersionTable>(P, CP, TO, Cfg.Tiered));
+  else
+    FP = translateProgram(P, CP, TO);
 
   Heap H(P);
   SatbMarker Satb(H, Cfg.SatbBufferCap);
@@ -138,7 +149,9 @@ MultiMutatorResult satb::runWithConcurrentMutators(
   std::vector<std::unique_ptr<FastInterp>> Engines;
   Engines.reserve(Mutators);
   for (unsigned T = 0; T != Mutators; ++T) {
-    auto E = std::make_unique<FastInterp>(FP, CP, H);
+    auto E = Cfg.Tiered.Enabled
+                 ? std::make_unique<FastInterp>(*Tables[T], CP, H)
+                 : std::make_unique<FastInterp>(FP, CP, H);
     if (UseSatb)
       E->attachSatb(&Satb);
     else
@@ -167,8 +180,14 @@ MultiMutatorResult satb::runWithConcurrentMutators(
         Roots.insert(Roots.end(), Tmp.begin(), Tmp.end());
       }
       Gen.collect(Roots);
-      for (auto &E : Engines)
+      for (auto &E : Engines) {
         E->context().invalidateNurseryTlab();
+        // Young-speculating versions assumed "allocated after the last
+        // GC"; the collection just falsified that, so retire them and
+        // transfer their frames while every mutator is parked with
+        // flushed frames (interp/Safepoint.h invalidation rules).
+        E->invalidateYoungSpeculation();
+      }
     });
   };
 

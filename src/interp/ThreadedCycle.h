@@ -34,6 +34,7 @@
 #include "interp/BarrierStats.h"
 #include "interp/Interpreter.h"
 #include "jit/FastCode.h"
+#include "jit/MethodVersionTable.h"
 
 namespace satb {
 
@@ -95,6 +96,14 @@ struct MultiMutatorConfig {
   bool EnableNursery = false;
   size_t NurseryBytes = 256 * 1024;
   uint32_t PretenureBytes = 1024;
+  /// Tiered execution: when Enabled, every mutator gets its own
+  /// MethodVersionTable (tables are not thread-safe) and starts in the
+  /// profiling Baseline tier; minor collections invalidate
+  /// young-speculating versions inside the same stop-the-world pause
+  /// that serves them. Defaults from the SATB_TIERED / SATB_TIER_* /
+  /// SATB_DEOPT_EVERY environment, so CI re-runs the whole grid tiered
+  /// without touching test code.
+  TieredOptions Tiered;
 };
 
 struct MultiMutatorResult {

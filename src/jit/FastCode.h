@@ -112,7 +112,10 @@ namespace satb {
   X(AAStore_GenPreNull)                                                        \
   X(AAStore_GenYoung)                                                          \
   X(AAStore_GenElided)                                                         \
-  X(PutStaticRef_Gen)
+  X(PutStaticRef_Gen)                                                          \
+  X(PutFieldRef_Spec)                                                          \
+  X(PutStaticRef_Spec)                                                         \
+  X(AAStore_Spec)
 
 /// Fused superinstructions (translation-time peephole, DESIGN.md
 /// "Superinstructions"). A fused op replaces the *opcode of the first
@@ -194,7 +197,9 @@ namespace satb {
   X(LoadAAStore_Gen)                                                           \
   X(LoadAAStore_GenPreNull)                                                    \
   X(LoadAAStore_GenYoung)                                                      \
-  X(LoadAAStore_GenElided)
+  X(LoadAAStore_GenElided)                                                     \
+  X(LoadPutFieldRef_Spec)                                                      \
+  X(LoadAAStore_Spec)
 
 /// The full dispatch set: base ops first, fused ops appended (isFusedOp
 /// relies on the ordering).
@@ -221,6 +226,23 @@ inline bool isFusedOp(FastOp Op) {
 
 /// Opcode name for profile dumps and diagnostics.
 const char *fastOpName(FastOp Op);
+
+/// Speculative store sites (the *_Spec opcodes) describe their barrier
+/// composition in FastInst::C — unused at every other store site — so one
+/// handler covers all guard/static/kept combinations per component. The
+/// marking component carries exactly one of {SpecMarkNull,
+/// SpecMarkStaticElided, SpecMarkKept}; under BarrierMode::Generational
+/// the remembered-set component carries at most one of {SpecRemYoung,
+/// SpecRemStaticElided, SpecRemKept}.
+enum : uint16_t {
+  kSpecMarkNull = 1u << 0,         ///< guard Pre == null, skip marking barrier
+  kSpecMarkStaticElided = 1u << 1, ///< Section 3 proof already removed it
+  kSpecMarkKept = 1u << 2,         ///< full conservative marking barrier
+  kSpecRemYoung = 1u << 3,         ///< guard isYoung(Base), skip remset barrier
+  kSpecRemStaticElided = 1u << 4,  ///< TargetYoung proof already removed it
+  kSpecRemKept = 1u << 5,          ///< full remembered-set barrier
+  kSpecAlwaysLog = 1u << 6,        ///< marking flavor is SatbAlwaysLog
+};
 
 /// The fusion selection table: the superinstruction for an adjacent
 /// (First, Second) pair, or std::nullopt if the pair is not fused.
@@ -261,6 +283,24 @@ struct FastProgram {
   uint32_t MaxFrameSlots = 0;
 };
 
+/// Which version of a method a translation produces (DESIGN.md "Tiered
+/// execution"). All tiers translate the *same* compiled body with the
+/// same Safepoint-poll placement, so their streams have identical
+/// lengths, branch displacements, and Site numbering — the property that
+/// makes deopt an index-preserving IP transfer.
+enum class TranslationTier : uint8_t {
+  /// Every barrier kept regardless of the static proof; the profiling
+  /// tier. Semantically identical to Static (a conservative barrier at a
+  /// proven-pre-null site logs nothing), it just pays the cost the proof
+  /// would have removed.
+  Baseline,
+  /// Today's translation: the Section 2/3 static elision applied.
+  Static,
+  /// Static plus profile-driven guarded elision at the sites named by
+  /// TranslateOptions::Spec; emits the *_Spec opcodes.
+  Speculative,
+};
+
 /// Translation knobs. The default translation is 1:1 with the compiled
 /// body (the equivalence test's invariant); the multi-mutator driver opts
 /// into safepoint polls, which insert extra instructions.
@@ -281,6 +321,13 @@ struct TranslateOptions {
   /// SATB_NO_FUSE environment variable is set (the in-tree oracle knob
   /// CI's release matrix and TSan job flip).
   bool Fuse = fusionDefault();
+  /// Which tier this translation produces. Static is today's behavior;
+  /// Baseline suppresses the static elision (every barrier kept);
+  /// Speculative additionally consumes Spec.
+  TranslationTier Tier = TranslationTier::Static;
+  /// Per-PC speculation requests for the method being translated. Only
+  /// read when Tier == Speculative; must outlive the call.
+  const SpeculativeFacts *Spec = nullptr;
 
   static bool fusionDefault();
 };
@@ -290,6 +337,22 @@ struct TranslateOptions {
 /// uses — so baked slot indices can never disagree with the heap.
 FastProgram translateProgram(const Program &P, const CompiledProgram &CP,
                              const TranslateOptions &Opts = {});
+
+/// Translates a single method — the MethodVersionTable's re-translation
+/// entry point. Produces exactly the stream translateProgram would have
+/// produced for \p M under \p Opts (same length, displacements, and Site
+/// numbering for every tier).
+FastMethod translateMethod(const Program &P, const CompiledProgram &CP,
+                           MethodId M, const TranslateOptions &Opts);
+
+/// The static tier's verdict for the barrier site at \p PC of method
+/// \p M, recomputed from the compiled decisions: which of the two
+/// barrier components the Static translation *keeps* (and speculation
+/// could therefore remove), and whether the site is eligible for
+/// speculation at all (rearranged and card-marking sites are not).
+/// Returns false for non-barrier-site PCs.
+bool siteComponentsKept(const CompiledProgram &CP, MethodId M, uint32_t PC,
+                        bool &MarkKept, bool &RemKept, bool &Speculable);
 
 } // namespace satb
 

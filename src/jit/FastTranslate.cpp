@@ -97,6 +97,10 @@ std::optional<FastOp> satb::fusedOp(FastOp First, FastOp Second) {
       return FastOp::LoadAAStore_GenYoung;
     case FastOp::AAStore_GenElided:
       return FastOp::LoadAAStore_GenElided;
+    case FastOp::PutFieldRef_Spec:
+      return FastOp::LoadPutFieldRef_Spec;
+    case FastOp::AAStore_Spec:
+      return FastOp::LoadAAStore_Spec;
       // AAStore_Rearr_* stay unfused: the rearrangement bracket check is
       // cold and its active-set bookkeeping is easiest audited unfused.
     case FastOp::Store:
@@ -201,21 +205,34 @@ enum class StoreVariant {
 };
 
 StoreVariant storeVariant(const CompiledProgram &CP, const CompiledMethod &CM,
-                          uint32_t PC) {
+                          uint32_t PC,
+                          TranslationTier Tier = TranslationTier::Static) {
   const BarrierDecision &D = CM.Analysis.Decisions[PC];
   assert(D.IsBarrierSite && "specializing a non-store site");
+  // The Baseline tier is the profiling tier: it keeps every barrier the
+  // mode prescribes, ignoring the static elision proof (but not the
+  // rearrangement protocol, which is a logging *protocol*, not an
+  // elision — dropping it would change what gets logged). A conservative
+  // barrier at a proven-pre-null site logs nothing, so Baseline is
+  // observably identical to Static everywhere but BarrierCost and the
+  // Elided/RemSetElided bookkeeping.
+  bool ApplyElision =
+      CP.Options.ApplyElision && Tier != TranslationTier::Baseline;
   if (CP.Options.Barrier == BarrierMode::Generational) {
     // The rearrangement protocol is excluded from Generational (as from
     // CardMarking): RearrangeStores is never consulted here.
-    bool MarkElided = D.Elide && CP.Options.ApplyElision;
-    bool RemElided = D.TargetYoung && CP.Options.ApplyElision;
+    bool MarkElided = D.Elide && ApplyElision;
+    bool RemElided = D.TargetYoung && ApplyElision;
     if (MarkElided)
       return RemElided ? StoreVariant::GenElided : StoreVariant::GenPreNull;
     return RemElided ? StoreVariant::GenYoung : StoreVariant::Gen;
   }
-  if (D.Elide && CP.Options.ApplyElision)
+  if (D.Elide && ApplyElision)
     return StoreVariant::Elided;
-  if (!(PC < CM.BarrierKept.size() && CM.BarrierKept[PC]))
+  bool Kept = Tier == TranslationTier::Baseline
+                  ? CP.Options.Barrier != BarrierMode::None
+                  : (PC < CM.BarrierKept.size() && CM.BarrierKept[PC]);
+  if (!Kept)
     return StoreVariant::NoBarrier; // BarrierMode::None lands here too
   bool Rearr = PC < CM.RearrangeStores.size() && CM.RearrangeStores[PC] &&
                CP.Options.Barrier != BarrierMode::CardMarking;
@@ -317,6 +334,77 @@ FastOp selectAAStore(StoreVariant V) {
   }
   assert(false && "unhandled store variant");
   return FastOp::AAStore_NoBarrier;
+}
+
+/// Per-component view of the *static* tier's verdict at a barrier site,
+/// shared by the speculative lowering below and the promotion policy's
+/// candidate scan (siteComponentsKept). Statics have no remembered-set
+/// component (they are scanned as roots); rearranged and card-marking
+/// sites are never speculated — rearrangement is a logging protocol the
+/// pre-null guard says nothing about, and the card barrier keys on the
+/// *new* value, which Pre == null cannot discharge.
+struct SiteComponents {
+  bool MarkKept = false;
+  bool RemKept = false;
+  bool MarkStaticElided = false;
+  bool RemStaticElided = false;
+  bool Speculable = false;
+};
+
+SiteComponents siteComponents(const CompiledProgram &CP,
+                              const CompiledMethod &CM, uint32_t PC,
+                              bool IsStaticStore) {
+  StoreVariant V = storeVariant(CP, CM, PC, TranslationTier::Static);
+  SiteComponents R;
+  R.MarkKept = V == StoreVariant::Satb || V == StoreVariant::AlwaysLog ||
+               V == StoreVariant::Gen || V == StoreVariant::GenYoung;
+  R.MarkStaticElided = V == StoreVariant::Elided ||
+                       V == StoreVariant::GenPreNull ||
+                       V == StoreVariant::GenElided;
+  if (!IsStaticStore) {
+    R.RemKept = V == StoreVariant::Gen || V == StoreVariant::GenPreNull;
+    R.RemStaticElided =
+        V == StoreVariant::GenYoung || V == StoreVariant::GenElided;
+  }
+  R.Speculable = V != StoreVariant::Card && V != StoreVariant::NoBarrier &&
+                 V != StoreVariant::RearrSatb &&
+                 V != StoreVariant::RearrAlwaysLog;
+  return R;
+}
+
+/// The FastInst::C flag word for a speculative store site, or 0 when no
+/// requested speculation applies (the caller falls back to the static
+/// selection). A speculation request is honored only for a component the
+/// static tier actually keeps — speculating on a statically-removed
+/// component would be a strict regression.
+uint16_t specSiteFlags(const CompiledProgram &CP, const CompiledMethod &CM,
+                       uint32_t PC, const SpeculativeFacts &Spec,
+                       bool IsStaticStore) {
+  SiteComponents SC = siteComponents(CP, CM, PC, IsStaticStore);
+  if (!SC.Speculable)
+    return 0;
+  bool SpecNull =
+      PC < Spec.NullSpec.size() && Spec.NullSpec[PC] && SC.MarkKept;
+  bool SpecYoung =
+      PC < Spec.YoungSpec.size() && Spec.YoungSpec[PC] && SC.RemKept;
+  if (!SpecNull && !SpecYoung)
+    return 0;
+  uint16_t F = 0;
+  if (SpecNull)
+    F |= kSpecMarkNull;
+  else if (SC.MarkStaticElided)
+    F |= kSpecMarkStaticElided;
+  else if (SC.MarkKept)
+    F |= kSpecMarkKept;
+  if (SpecYoung)
+    F |= kSpecRemYoung;
+  else if (SC.RemStaticElided)
+    F |= kSpecRemStaticElided;
+  else if (SC.RemKept)
+    F |= kSpecRemKept;
+  if (CP.Options.Barrier == BarrierMode::SatbAlwaysLog)
+    F |= kSpecAlwaysLog;
+  return F;
 }
 
 /// Net operand-stack effect of one instruction (callee effects folded in
@@ -475,6 +563,280 @@ uint32_t maxStackDepth(const CompiledProgram &CP, const Method &Body) {
   return static_cast<uint32_t>(Max);
 }
 
+/// One method's translation — the loop body translateProgram always had,
+/// extracted so the MethodVersionTable can re-translate a single hot
+/// method at a different tier. Every tier shares the Safepoint-poll
+/// placement below, so all of a method's versions have identical stream
+/// lengths, branch displacements, and Site numbering.
+FastMethod translateMethodImpl(const Program &P, const CompiledProgram &CP,
+                               MethodId M, const TranslateOptions &Opts,
+                               const std::vector<FieldSlot> &Layout,
+                               const std::vector<uint32_t> &Offsets) {
+  const CompiledMethod &CM = CP.Methods[M];
+  const Method &Body = CM.Body;
+  FastMethod FM;
+  FM.NumLocals = Body.NumLocals;
+  FM.NumArgs = Body.numArgs();
+  FM.FrameSlots = Body.NumLocals + maxStackDepth(CP, Body);
+
+  // Safepoint placement: a poll before every loop header (any target of
+  // a backward branch) and before every call bounds the instructions a
+  // mutator can execute between polls on any path — straight-line code
+  // without calls terminates on its own. Polls have no stack effect, so
+  // FrameSlots is computed on the original body above.
+  uint32_t NumPCs = static_cast<uint32_t>(Body.Instructions.size());
+  std::vector<bool> Poll(NumPCs, false);
+  if (Opts.InsertSafepoints) {
+    for (uint32_t PC = 0; PC != NumPCs; ++PC) {
+      const Instruction &Ins = Body.Instructions[PC];
+      if (isBranch(Ins.Op) && static_cast<uint32_t>(Ins.A) <= PC)
+        Poll[static_cast<uint32_t>(Ins.A)] = true;
+      if (Ins.Op == Opcode::Invoke)
+        Poll[PC] = true;
+    }
+  }
+  // NewIdx[PC] = the instruction's index in the emitted stream; its
+  // poll, if any, sits at NewIdx[PC] - 1. Branches land on the poll so
+  // every back-edge polls.
+  std::vector<uint32_t> NewIdx(NumPCs);
+  uint32_t Emitted = 0;
+  for (uint32_t PC = 0; PC != NumPCs; ++PC) {
+    if (Poll[PC])
+      ++Emitted;
+    NewIdx[PC] = Emitted++;
+  }
+
+  FM.Code.resize(Emitted);
+  for (uint32_t PC = 0; PC != NumPCs; ++PC) {
+    const Instruction &Ins = Body.Instructions[PC];
+    if (Poll[PC])
+      FM.Code[NewIdx[PC] - 1].Op =
+          static_cast<uint16_t>(FastOp::Safepoint);
+    FastInst &FI = FM.Code[NewIdx[PC]];
+    FI.A = Ins.A;
+    FI.B = Ins.B;
+    auto Set = [&FI](FastOp Op) { FI.Op = static_cast<uint16_t>(Op); };
+    switch (Ins.Op) {
+    case Opcode::IConst:
+      Set(FastOp::IConst);
+      break;
+    case Opcode::AConstNull:
+      Set(FastOp::AConstNull);
+      break;
+    case Opcode::ILoad:
+    case Opcode::ALoad:
+      Set(FastOp::Load);
+      break;
+    case Opcode::IStore:
+    case Opcode::AStore:
+      Set(FastOp::Store);
+      break;
+    case Opcode::IInc:
+      Set(FastOp::IInc);
+      break;
+    case Opcode::Dup:
+      Set(FastOp::Dup);
+      break;
+    case Opcode::Pop:
+      Set(FastOp::Pop);
+      break;
+    case Opcode::Swap:
+      Set(FastOp::Swap);
+      break;
+    case Opcode::IAdd:
+      Set(FastOp::IAdd);
+      break;
+    case Opcode::ISub:
+      Set(FastOp::ISub);
+      break;
+    case Opcode::IMul:
+      Set(FastOp::IMul);
+      break;
+    case Opcode::IDiv:
+      Set(FastOp::IDiv);
+      break;
+    case Opcode::IRem:
+      Set(FastOp::IRem);
+      break;
+    case Opcode::INeg:
+      Set(FastOp::INeg);
+      break;
+    case Opcode::GetField:
+    case Opcode::PutField: {
+      FieldId FId = static_cast<FieldId>(Ins.A);
+      const FieldDecl &FD = P.fieldDecl(FId);
+      FI.A = static_cast<int32_t>(Layout[FId].Slot);
+      FI.B = static_cast<int32_t>(FD.Owner);
+      if (Ins.Op == Opcode::GetField) {
+        Set(FD.Type == JType::Ref ? FastOp::GetFieldRef
+                                  : FastOp::GetFieldInt);
+      } else if (FD.Type == JType::Int) {
+        Set(FastOp::PutFieldInt);
+      } else {
+        uint16_t SF = Opts.Tier == TranslationTier::Speculative && Opts.Spec
+                          ? specSiteFlags(CP, CM, PC, *Opts.Spec,
+                                          /*IsStaticStore=*/false)
+                          : 0;
+        if (SF) {
+          Set(FastOp::PutFieldRef_Spec);
+          FI.C = SF;
+        } else {
+          Set(selectPutField(storeVariant(CP, CM, PC, Opts.Tier)));
+        }
+        FI.Site = Offsets[M] + PC;
+      }
+      break;
+    }
+    case Opcode::GetStatic: {
+      StaticFieldId SId = static_cast<StaticFieldId>(Ins.A);
+      Set(P.staticDecl(SId).Type == JType::Ref ? FastOp::GetStaticRef
+                                               : FastOp::GetStaticInt);
+      break;
+    }
+    case Opcode::PutStatic: {
+      StaticFieldId SId = static_cast<StaticFieldId>(Ins.A);
+      if (P.staticDecl(SId).Type == JType::Int) {
+        Set(FastOp::PutStaticInt);
+      } else {
+        uint16_t SF = Opts.Tier == TranslationTier::Speculative && Opts.Spec
+                          ? specSiteFlags(CP, CM, PC, *Opts.Spec,
+                                          /*IsStaticStore=*/true)
+                          : 0;
+        if (SF) {
+          Set(FastOp::PutStaticRef_Spec);
+          FI.C = SF;
+        } else {
+          Set(selectPutStatic(storeVariant(CP, CM, PC, Opts.Tier)));
+        }
+        FI.Site = Offsets[M] + PC;
+      }
+      break;
+    }
+    case Opcode::NewInstance:
+      Set(FastOp::NewInstance);
+      break;
+    case Opcode::NewRefArray:
+      Set(FastOp::NewRefArray);
+      break;
+    case Opcode::NewIntArray:
+      Set(FastOp::NewIntArray);
+      break;
+    case Opcode::AALoad:
+      Set(FastOp::AALoad);
+      break;
+    case Opcode::IALoad:
+      Set(FastOp::IALoad);
+      break;
+    case Opcode::IAStore:
+      Set(FastOp::IAStore);
+      break;
+    case Opcode::AAStore: {
+      uint16_t SF = Opts.Tier == TranslationTier::Speculative && Opts.Spec
+                        ? specSiteFlags(CP, CM, PC, *Opts.Spec,
+                                        /*IsStaticStore=*/false)
+                        : 0;
+      if (SF) {
+        Set(FastOp::AAStore_Spec);
+        FI.C = SF;
+      } else {
+        Set(selectAAStore(storeVariant(CP, CM, PC, Opts.Tier)));
+      }
+      FI.Site = Offsets[M] + PC;
+      break;
+    }
+    case Opcode::ArrayLength:
+      Set(FastOp::ArrayLength);
+      break;
+    case Opcode::Invoke:
+      Set(FastOp::Invoke);
+      FI.C = static_cast<uint16_t>(
+          CP.method(static_cast<MethodId>(Ins.A)).Body.numArgs());
+      break;
+    case Opcode::Goto:
+      Set(FastOp::Goto);
+      break;
+    case Opcode::IfEq:
+      Set(FastOp::IfEq);
+      break;
+    case Opcode::IfNe:
+      Set(FastOp::IfNe);
+      break;
+    case Opcode::IfLt:
+      Set(FastOp::IfLt);
+      break;
+    case Opcode::IfGe:
+      Set(FastOp::IfGe);
+      break;
+    case Opcode::IfGt:
+      Set(FastOp::IfGt);
+      break;
+    case Opcode::IfLe:
+      Set(FastOp::IfLe);
+      break;
+    case Opcode::IfICmpEq:
+      Set(FastOp::IfICmpEq);
+      break;
+    case Opcode::IfICmpNe:
+      Set(FastOp::IfICmpNe);
+      break;
+    case Opcode::IfICmpLt:
+      Set(FastOp::IfICmpLt);
+      break;
+    case Opcode::IfICmpGe:
+      Set(FastOp::IfICmpGe);
+      break;
+    case Opcode::IfICmpGt:
+      Set(FastOp::IfICmpGt);
+      break;
+    case Opcode::IfICmpLe:
+      Set(FastOp::IfICmpLe);
+      break;
+    case Opcode::IfNull:
+      Set(FastOp::IfNull);
+      break;
+    case Opcode::IfNonNull:
+      Set(FastOp::IfNonNull);
+      break;
+    case Opcode::IfACmpEq:
+      Set(FastOp::IfACmpEq);
+      break;
+    case Opcode::IfACmpNe:
+      Set(FastOp::IfACmpNe);
+      break;
+    case Opcode::Ret:
+      Set(FastOp::Ret);
+      break;
+    case Opcode::IReturn:
+      Set(FastOp::IReturn);
+      break;
+    case Opcode::AReturn:
+      Set(FastOp::AReturn);
+      break;
+    case Opcode::RearrangeEnter:
+      Set(FastOp::RearrangeEnter);
+      break;
+    case Opcode::RearrangeEnterDyn:
+      Set(FastOp::RearrangeEnterDyn);
+      break;
+    case Opcode::RearrangeExit:
+      Set(FastOp::RearrangeExit);
+      break;
+    }
+    // Branches become self-relative displacements: a taken branch is a
+    // single IP += A with no code-base register in the dispatch loop.
+    // With polls inserted, a branch targets its target's poll (if any)
+    // so the back-edge cannot skip it.
+    if (isBranch(Ins.Op)) {
+      uint32_t T = static_cast<uint32_t>(Ins.A);
+      uint32_t TIdx = NewIdx[T] - (Poll[T] ? 1 : 0);
+      FI.A = static_cast<int32_t>(TIdx) - static_cast<int32_t>(NewIdx[PC]);
+    }
+  }
+  if (Opts.Fuse)
+    fuseMethod(FM);
+  return FM;
+}
+
 } // namespace
 
 FastProgram satb::translateProgram(const Program &P, const CompiledProgram &CP,
@@ -485,241 +847,29 @@ FastProgram satb::translateProgram(const Program &P, const CompiledProgram &CP,
   FastProgram FP;
   FP.Methods.resize(CP.Methods.size());
   for (MethodId M = 0; M != CP.Methods.size(); ++M) {
-    const CompiledMethod &CM = CP.Methods[M];
-    const Method &Body = CM.Body;
-    FastMethod &FM = FP.Methods[M];
-    FM.NumLocals = Body.NumLocals;
-    FM.NumArgs = Body.numArgs();
-    FM.FrameSlots = Body.NumLocals + maxStackDepth(CP, Body);
-    FP.MaxFrameSlots = std::max(FP.MaxFrameSlots, FM.FrameSlots);
-
-    // Safepoint placement: a poll before every loop header (any target of
-    // a backward branch) and before every call bounds the instructions a
-    // mutator can execute between polls on any path — straight-line code
-    // without calls terminates on its own. Polls have no stack effect, so
-    // FrameSlots is computed on the original body above.
-    uint32_t NumPCs = static_cast<uint32_t>(Body.Instructions.size());
-    std::vector<bool> Poll(NumPCs, false);
-    if (Opts.InsertSafepoints) {
-      for (uint32_t PC = 0; PC != NumPCs; ++PC) {
-        const Instruction &Ins = Body.Instructions[PC];
-        if (isBranch(Ins.Op) && static_cast<uint32_t>(Ins.A) <= PC)
-          Poll[static_cast<uint32_t>(Ins.A)] = true;
-        if (Ins.Op == Opcode::Invoke)
-          Poll[PC] = true;
-      }
-    }
-    // NewIdx[PC] = the instruction's index in the emitted stream; its
-    // poll, if any, sits at NewIdx[PC] - 1. Branches land on the poll so
-    // every back-edge polls.
-    std::vector<uint32_t> NewIdx(NumPCs);
-    uint32_t Emitted = 0;
-    for (uint32_t PC = 0; PC != NumPCs; ++PC) {
-      if (Poll[PC])
-        ++Emitted;
-      NewIdx[PC] = Emitted++;
-    }
-
-    FM.Code.resize(Emitted);
-    for (uint32_t PC = 0; PC != NumPCs; ++PC) {
-      const Instruction &Ins = Body.Instructions[PC];
-      if (Poll[PC])
-        FM.Code[NewIdx[PC] - 1].Op =
-            static_cast<uint16_t>(FastOp::Safepoint);
-      FastInst &FI = FM.Code[NewIdx[PC]];
-      FI.A = Ins.A;
-      FI.B = Ins.B;
-      auto Set = [&FI](FastOp Op) { FI.Op = static_cast<uint16_t>(Op); };
-      switch (Ins.Op) {
-      case Opcode::IConst:
-        Set(FastOp::IConst);
-        break;
-      case Opcode::AConstNull:
-        Set(FastOp::AConstNull);
-        break;
-      case Opcode::ILoad:
-      case Opcode::ALoad:
-        Set(FastOp::Load);
-        break;
-      case Opcode::IStore:
-      case Opcode::AStore:
-        Set(FastOp::Store);
-        break;
-      case Opcode::IInc:
-        Set(FastOp::IInc);
-        break;
-      case Opcode::Dup:
-        Set(FastOp::Dup);
-        break;
-      case Opcode::Pop:
-        Set(FastOp::Pop);
-        break;
-      case Opcode::Swap:
-        Set(FastOp::Swap);
-        break;
-      case Opcode::IAdd:
-        Set(FastOp::IAdd);
-        break;
-      case Opcode::ISub:
-        Set(FastOp::ISub);
-        break;
-      case Opcode::IMul:
-        Set(FastOp::IMul);
-        break;
-      case Opcode::IDiv:
-        Set(FastOp::IDiv);
-        break;
-      case Opcode::IRem:
-        Set(FastOp::IRem);
-        break;
-      case Opcode::INeg:
-        Set(FastOp::INeg);
-        break;
-      case Opcode::GetField:
-      case Opcode::PutField: {
-        FieldId FId = static_cast<FieldId>(Ins.A);
-        const FieldDecl &FD = P.fieldDecl(FId);
-        FI.A = static_cast<int32_t>(Layout[FId].Slot);
-        FI.B = static_cast<int32_t>(FD.Owner);
-        if (Ins.Op == Opcode::GetField) {
-          Set(FD.Type == JType::Ref ? FastOp::GetFieldRef
-                                    : FastOp::GetFieldInt);
-        } else if (FD.Type == JType::Int) {
-          Set(FastOp::PutFieldInt);
-        } else {
-          Set(selectPutField(storeVariant(CP, CM, PC)));
-          FI.Site = Offsets[M] + PC;
-        }
-        break;
-      }
-      case Opcode::GetStatic: {
-        StaticFieldId SId = static_cast<StaticFieldId>(Ins.A);
-        Set(P.staticDecl(SId).Type == JType::Ref ? FastOp::GetStaticRef
-                                                 : FastOp::GetStaticInt);
-        break;
-      }
-      case Opcode::PutStatic: {
-        StaticFieldId SId = static_cast<StaticFieldId>(Ins.A);
-        if (P.staticDecl(SId).Type == JType::Int) {
-          Set(FastOp::PutStaticInt);
-        } else {
-          Set(selectPutStatic(storeVariant(CP, CM, PC)));
-          FI.Site = Offsets[M] + PC;
-        }
-        break;
-      }
-      case Opcode::NewInstance:
-        Set(FastOp::NewInstance);
-        break;
-      case Opcode::NewRefArray:
-        Set(FastOp::NewRefArray);
-        break;
-      case Opcode::NewIntArray:
-        Set(FastOp::NewIntArray);
-        break;
-      case Opcode::AALoad:
-        Set(FastOp::AALoad);
-        break;
-      case Opcode::IALoad:
-        Set(FastOp::IALoad);
-        break;
-      case Opcode::IAStore:
-        Set(FastOp::IAStore);
-        break;
-      case Opcode::AAStore:
-        Set(selectAAStore(storeVariant(CP, CM, PC)));
-        FI.Site = Offsets[M] + PC;
-        break;
-      case Opcode::ArrayLength:
-        Set(FastOp::ArrayLength);
-        break;
-      case Opcode::Invoke:
-        Set(FastOp::Invoke);
-        FI.C = static_cast<uint16_t>(
-            CP.method(static_cast<MethodId>(Ins.A)).Body.numArgs());
-        break;
-      case Opcode::Goto:
-        Set(FastOp::Goto);
-        break;
-      case Opcode::IfEq:
-        Set(FastOp::IfEq);
-        break;
-      case Opcode::IfNe:
-        Set(FastOp::IfNe);
-        break;
-      case Opcode::IfLt:
-        Set(FastOp::IfLt);
-        break;
-      case Opcode::IfGe:
-        Set(FastOp::IfGe);
-        break;
-      case Opcode::IfGt:
-        Set(FastOp::IfGt);
-        break;
-      case Opcode::IfLe:
-        Set(FastOp::IfLe);
-        break;
-      case Opcode::IfICmpEq:
-        Set(FastOp::IfICmpEq);
-        break;
-      case Opcode::IfICmpNe:
-        Set(FastOp::IfICmpNe);
-        break;
-      case Opcode::IfICmpLt:
-        Set(FastOp::IfICmpLt);
-        break;
-      case Opcode::IfICmpGe:
-        Set(FastOp::IfICmpGe);
-        break;
-      case Opcode::IfICmpGt:
-        Set(FastOp::IfICmpGt);
-        break;
-      case Opcode::IfICmpLe:
-        Set(FastOp::IfICmpLe);
-        break;
-      case Opcode::IfNull:
-        Set(FastOp::IfNull);
-        break;
-      case Opcode::IfNonNull:
-        Set(FastOp::IfNonNull);
-        break;
-      case Opcode::IfACmpEq:
-        Set(FastOp::IfACmpEq);
-        break;
-      case Opcode::IfACmpNe:
-        Set(FastOp::IfACmpNe);
-        break;
-      case Opcode::Ret:
-        Set(FastOp::Ret);
-        break;
-      case Opcode::IReturn:
-        Set(FastOp::IReturn);
-        break;
-      case Opcode::AReturn:
-        Set(FastOp::AReturn);
-        break;
-      case Opcode::RearrangeEnter:
-        Set(FastOp::RearrangeEnter);
-        break;
-      case Opcode::RearrangeEnterDyn:
-        Set(FastOp::RearrangeEnterDyn);
-        break;
-      case Opcode::RearrangeExit:
-        Set(FastOp::RearrangeExit);
-        break;
-      }
-      // Branches become self-relative displacements: a taken branch is a
-      // single IP += A with no code-base register in the dispatch loop.
-      // With polls inserted, a branch targets its target's poll (if any)
-      // so the back-edge cannot skip it.
-      if (isBranch(Ins.Op)) {
-        uint32_t T = static_cast<uint32_t>(Ins.A);
-        uint32_t TIdx = NewIdx[T] - (Poll[T] ? 1 : 0);
-        FI.A = static_cast<int32_t>(TIdx) - static_cast<int32_t>(NewIdx[PC]);
-      }
-    }
-    if (Opts.Fuse)
-      fuseMethod(FM);
+    FP.Methods[M] = translateMethodImpl(P, CP, M, Opts, Layout, Offsets);
+    FP.MaxFrameSlots = std::max(FP.MaxFrameSlots, FP.Methods[M].FrameSlots);
   }
   return FP;
+}
+
+FastMethod satb::translateMethod(const Program &P, const CompiledProgram &CP,
+                                 MethodId M, const TranslateOptions &Opts) {
+  return translateMethodImpl(P, CP, M, Opts, computeFieldLayout(P),
+                             CP.instrOffsets());
+}
+
+bool satb::siteComponentsKept(const CompiledProgram &CP, MethodId M,
+                              uint32_t PC, bool &MarkKept, bool &RemKept,
+                              bool &Speculable) {
+  const CompiledMethod &CM = CP.Methods[M];
+  if (PC >= CM.Analysis.Decisions.size() ||
+      !CM.Analysis.Decisions[PC].IsBarrierSite)
+    return false;
+  bool IsStaticStore = CM.Body.Instructions[PC].Op == Opcode::PutStatic;
+  SiteComponents SC = siteComponents(CP, CM, PC, IsStaticStore);
+  MarkKept = SC.MarkKept;
+  RemKept = SC.RemKept;
+  Speculable = SC.Speculable;
+  return true;
 }

@@ -24,12 +24,15 @@ This checker has three layers:
     each gated bench, the metric KEY is read from the selected row (the
     row whose SELKEY equals SELVAL, or the last row carrying KEY when no
     selector is given — the summary-row convention) in both the fresh
-    document and the baseline. Metrics are higher-is-better; the check
-    fails when fresh < baseline * (1 - --tolerance). Setting the
-    SATB_BENCH_GATE_SKIP environment variable (any non-empty value)
-    reports the comparison but never fails it — the escape hatch for
-    1-CPU containers whose timings are not comparable to the baseline
-    host's.
+    document and the baseline. Metrics are higher-is-better by default:
+    the check fails when fresh < baseline * (1 - --tolerance). Prefixing
+    KEY with '-' (e.g. --gate tiered_exec:-deopt_rate) flips the gate to
+    lower-is-better: the check fails when fresh > baseline *
+    (1 + --tolerance). The '-' is gate syntax, not part of the JSON key.
+    Setting the SATB_BENCH_GATE_SKIP environment variable (any non-empty
+    value) reports the comparison but never fails it — the escape hatch
+    for 1-CPU containers whose timings are not comparable to the
+    baseline host's.
 
 --require NAME (repeatable) additionally fails if no input document came
 from bench NAME; CI uses it so an exiting-early bench cannot silently
@@ -102,18 +105,25 @@ def check_doc(where, doc, errors):
 
 
 def parse_gate(spec, errors):
-    """Parses BENCH:KEY[:SELKEY=SELVAL] into (bench, key, sel) or None."""
+    """Parses BENCH:[-]KEY[:SELKEY=SELVAL] into (bench, key, sel, lower)
+    or None; a '-' prefix on KEY marks the metric lower-is-better."""
     parts = spec.split(":")
     if len(parts) not in (2, 3) or not parts[0] or not parts[1]:
         errors.append(f"--gate {spec!r}: expected BENCH:KEY[:SELKEY=SELVAL]")
         return None
+    key, lower = parts[1], False
+    if key.startswith("-"):
+        key, lower = key[1:], True
+        if not key:
+            errors.append(f"--gate {spec!r}: '-' prefix without a key")
+            return None
     sel = None
     if len(parts) == 3:
         if "=" not in parts[2]:
             errors.append(f"--gate {spec!r}: selector must be SELKEY=SELVAL")
             return None
         sel = tuple(parts[2].split("=", 1))
-    return parts[0], parts[1], sel
+    return parts[0], key, sel, lower
 
 
 def gated_value(rows, key, sel):
@@ -205,7 +215,7 @@ def main(argv):
                 )
 
     gate_skip = bool(os.environ.get("SATB_BENCH_GATE_SKIP"))
-    for bench, key, sel in gates:
+    for bench, key, sel, lower in gates:
         if bench not in seen:
             errors.append(f"--gate {bench}:{key}: no fresh document for bench")
             continue
@@ -221,17 +231,26 @@ def main(argv):
                 f"non-numeric in fresh or baseline document"
             )
             continue
-        floor = base * (1.0 - args.tolerance)
-        verdict = "OK" if fresh >= floor else "REGRESSION"
+        if lower:
+            bound = base * (1.0 + args.tolerance)
+            failed = fresh > bound
+            kind = "ceiling"
+        else:
+            bound = base * (1.0 - args.tolerance)
+            failed = fresh < bound
+            kind = "floor"
+        verdict = "OK" if not failed else "REGRESSION"
         print(
             f"check_bench_json: gate [{bench}] {key}: fresh {fresh:g} vs "
-            f"baseline {base:g} (floor {floor:g}): {verdict}"
+            f"baseline {base:g} ({kind} {bound:g}): {verdict}"
             + (" (skipped: SATB_BENCH_GATE_SKIP)" if gate_skip else "")
         )
-        if fresh < floor and not gate_skip:
+        if failed and not gate_skip:
+            cmp = ">" if lower else "<"
             errors.append(
                 f"{where}: [{bench}] metric '{key}' regressed: fresh "
-                f"{fresh:g} < baseline {base:g} - {args.tolerance:.0%}"
+                f"{fresh:g} {cmp} baseline {base:g} "
+                f"{'+' if lower else '-'} {args.tolerance:.0%}"
             )
 
     for bench in args.require:

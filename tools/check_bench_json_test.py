@@ -154,6 +154,64 @@ class CheckBenchJsonTest(unittest.TestCase):
             0,
         )
 
+    def lower_gate_files(self, fresh_rate, base_rate=10.0):
+        base = write_doc(
+            self.dir, "base.json", "b",
+            [{"workload": "a", "deopt_rate": base_rate}],
+        )
+        fresh = write_doc(
+            self.dir, "fresh.json", "b",
+            [{"workload": "a", "deopt_rate": fresh_rate}],
+        )
+        return fresh, base
+
+    def test_lower_gate_passes_within_tolerance(self):
+        fresh, base = self.lower_gate_files(fresh_rate=12.0)
+        self.assertEqual(
+            self.run_main(
+                fresh, "--baseline", base, "--gate", "b:-deopt_rate",
+                "--tolerance", "0.25",
+            ),
+            0,
+        )
+
+    def test_lower_gate_fails_beyond_tolerance(self):
+        fresh, base = self.lower_gate_files(fresh_rate=20.0)
+        self.assertEqual(
+            self.run_main(
+                fresh, "--baseline", base, "--gate", "b:-deopt_rate",
+                "--tolerance", "0.25",
+            ),
+            1,
+        )
+
+    def test_lower_gate_improvement_passes(self):
+        fresh, base = self.lower_gate_files(fresh_rate=0.0)
+        self.assertEqual(
+            self.run_main(
+                fresh, "--baseline", base, "--gate", "b:-deopt_rate",
+                "--tolerance", "0.25",
+            ),
+            0,
+        )
+
+    def test_lower_gate_env_escape_hatch(self):
+        fresh, base = self.lower_gate_files(fresh_rate=100.0)
+        os.environ["SATB_BENCH_GATE_SKIP"] = "1"
+        self.assertEqual(
+            self.run_main(
+                fresh, "--baseline", base, "--gate", "b:-deopt_rate",
+                "--tolerance", "0.25",
+            ),
+            0,
+        )
+
+    def test_dash_only_key_rejected(self):
+        fresh, base = self.lower_gate_files(fresh_rate=10.0)
+        self.assertEqual(
+            self.run_main(fresh, "--baseline", base, "--gate", "b:-"), 1
+        )
+
     def test_gate_missing_metric_fails(self):
         base = write_doc(self.dir, "base.json", "b", [{"workload": "a"}])
         fresh = write_doc(self.dir, "fresh.json", "b", [{"workload": "a"}])

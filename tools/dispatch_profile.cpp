@@ -12,7 +12,12 @@
 /// of this list, and any hot unfused pair is a candidate for the next
 /// revision.
 ///
-/// Usage: dispatch_profile [scale]   (default 2000, or SATB_BENCH_SCALE)
+/// Usage: dispatch_profile [scale] [--threshold=PCT]
+///
+/// [scale] defaults to 2000, or SATB_BENCH_SCALE. --threshold=PCT (or
+/// SATB_PROFILE_THRESHOLD; the flag wins) suppresses rows whose share of
+/// dynamic adjacent pairs is below PCT — the tail is summarized instead
+/// of printed, with its aggregate coverage, so the cut is auditable.
 ///
 /// CI's bench-smoke job uploads this dump as an artifact.
 ///
@@ -24,6 +29,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 using namespace satb;
@@ -32,8 +38,23 @@ int main(int Argc, char **Argv) {
   int64_t Scale = 2000;
   if (const char *Env = std::getenv("SATB_BENCH_SCALE"))
     Scale = std::atoll(Env);
-  if (Argc > 1)
-    Scale = std::atoll(Argv[1]);
+  double ThresholdPct = 0.0; // print everything by default
+  if (const char *Env = std::getenv("SATB_PROFILE_THRESHOLD"))
+    ThresholdPct = std::atof(Env);
+  for (int I = 1; I != Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--threshold=", 12) == 0) {
+      ThresholdPct = std::atof(Arg + 12);
+    } else if (std::strcmp(Arg, "--threshold") == 0 && I + 1 != Argc) {
+      ThresholdPct = std::atof(Argv[++I]);
+    } else if (Arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: dispatch_profile [scale] [--threshold=PCT]\n");
+      return 2;
+    } else {
+      Scale = std::atoll(Arg);
+    }
+  }
 
   CompilerOptions Opts;
   std::vector<uint64_t> Total(static_cast<size_t>(kNumFastOps) * kNumFastOps,
@@ -82,9 +103,14 @@ int main(int Argc, char **Argv) {
   std::printf("# steps %llu, adjacent pairs %llu, distinct pairs %zu\n",
               static_cast<unsigned long long>(Steps),
               static_cast<unsigned long long>(PairTotal), Rows.size());
+  if (ThresholdPct > 0.0)
+    std::printf("# threshold: hiding pairs below %.3f%% of dynamic total\n",
+                ThresholdPct);
   std::printf("%-12s %7s %6s  %s\n", "count", "pct", "cum", "pair");
   double Cum = 0.0;
   uint64_t FusedCovered = 0;
+  uint64_t Excluded = 0, ExcludedFused = 0;
+  size_t ExcludedRows = 0;
   for (const Row &R : Rows) {
     double Pct = 100.0 * R.Count / PairTotal;
     Cum += Pct;
@@ -93,12 +119,25 @@ int main(int Argc, char **Argv) {
                      .has_value();
     if (Fused)
       FusedCovered += R.Count;
+    if (Pct < ThresholdPct) {
+      // Rows arrive sorted, so everything from here down is tail; keep
+      // accumulating instead of printing.
+      Excluded += R.Count;
+      ExcludedFused += Fused ? R.Count : 0;
+      ++ExcludedRows;
+      continue;
+    }
     std::printf("%-12llu %6.2f%% %5.1f%%  %s+%s%s\n",
                 static_cast<unsigned long long>(R.Count), Pct, Cum,
                 fastOpName(static_cast<FastOp>(R.First)),
                 fastOpName(static_cast<FastOp>(R.Second)),
                 Fused ? "  [fused]" : "");
   }
+  if (ExcludedRows)
+    std::printf("# threshold excluded %zu pairs covering %.2f%% of dynamic "
+                "adjacent pairs (%.2f%% of them already fused)\n",
+                ExcludedRows, PairTotal ? 100.0 * Excluded / PairTotal : 0.0,
+                Excluded ? 100.0 * ExcludedFused / Excluded : 0.0);
   std::printf("# fused pairs cover %.1f%% of dynamic adjacent pairs\n",
               PairTotal ? 100.0 * FusedCovered / PairTotal : 0.0);
   return 0;
