@@ -126,8 +126,11 @@ inline void printRule(int Width = 78) {
 ///
 ///   {"bench": "<name>", "scale": <n>, "rows": [{...}, ...]}
 ///
-/// Rows carry flat string/number fields added via field(); the writer
-/// keeps insertion order and handles comma placement.
+/// Rows carry string/number fields added via field(); the writer keeps
+/// insertion order and handles comma placement. beginObject()/endObject()
+/// nest one level of sub-object (histogram percentile blocks) — the
+/// schema checker flattens them into dotted keys (tools/
+/// check_bench_json.py).
 class JsonBench {
 public:
   JsonBench(int Argc, char **Argv, std::string BenchName, int64_t Scale)
@@ -206,6 +209,22 @@ public:
       Rows += std::to_string(V);
   }
   void field(const char *Key, uint32_t V) { field(Key, uint64_t(V)); }
+
+  /// Opens a nested object value under \p Key; subsequent field() calls
+  /// land inside it until endObject(). One level deep only.
+  void beginObject(const char *Key) {
+    addKey(Key);
+    if (!enabled())
+      return;
+    Rows += "{";
+    FirstField = true;
+  }
+  void endObject() {
+    if (!enabled())
+      return;
+    Rows += "}";
+    FirstField = false;
+  }
 
 private:
   void addKey(const char *Key) {

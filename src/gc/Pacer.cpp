@@ -1,0 +1,46 @@
+//===- gc/Pacer.cpp - PacerConfig environment defaults --------------------===//
+
+#include "gc/Pacer.h"
+
+#include <cstdlib>
+
+using namespace satb;
+
+bool PacerConfig::enabledDefault() {
+  static const bool V = [] {
+    const char *E = std::getenv("SATB_PACER");
+    return E && *E && *E != '0';
+  }();
+  return V;
+}
+
+static uint64_t envU64(const char *Name, uint64_t Default) {
+  const char *E = std::getenv(Name);
+  if (!E || !*E)
+    return Default;
+  long long V = std::atoll(E);
+  return V > 0 ? static_cast<uint64_t>(V) : Default;
+}
+
+uint64_t PacerConfig::triggerBytesDefault() {
+  static const uint64_t V = envU64("SATB_PACER_TRIGGER_KB", 256) * 1024;
+  return V;
+}
+
+uint64_t PacerConfig::liveHighWaterDefault() {
+  // High enough that allocation pressure, not occupancy, is the normal
+  // trigger; the watermark exists for the hysteresis band and for tests
+  // and soaks that pin it low.
+  static const uint64_t V = envU64("SATB_PACER_LIVE_HIGH", 1u << 20);
+  return V;
+}
+
+uint64_t PacerConfig::liveHeadroomDefault() {
+  static const uint64_t V = envU64("SATB_PACER_LIVE_HEADROOM", 4096);
+  return V;
+}
+
+uint32_t PacerConfig::nurseryFillPctDefault() {
+  static const uint64_t V = envU64("SATB_PACER_NURSERY_PCT", 75);
+  return V > 100 ? 100u : static_cast<uint32_t>(V);
+}

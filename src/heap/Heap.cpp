@@ -51,6 +51,7 @@ void Heap::enableNursery(const NurseryConfig &Cfg) {
   NurseryBase = NurseryBuf.get();
   NurseryCur = NurseryBase;
   NurseryEnd = NurseryBase + Cfg.NurseryBytes;
+  NurseryCarved.store(0, std::memory_order_relaxed);
 }
 
 void Heap::disableNursery() {
@@ -61,6 +62,7 @@ void Heap::disableNursery() {
 #endif
   NurseryBuf.reset();
   NurseryBase = NurseryCur = NurseryEnd = nullptr;
+  NurseryCarved.store(0, std::memory_order_relaxed);
   NurseryGCHook = nullptr;
   MinorGCNeeded.store(false, std::memory_order_relaxed);
 }
@@ -69,6 +71,14 @@ uint32_t Heap::promoteToOld(ObjRef R) {
   assert(isLive(R) && isYoung(R) && "promoting a non-young reference");
   HeapObject *Young = Table[R];
   uint32_t Bytes = Young->blockBytes();
+  if (!inNursery(Young)) {
+    // Born young in an old-space block (nursery-exhausted TLAB fallback):
+    // the storage is already tenured, so promotion is just dropping the
+    // young bit — no copy, no republication.
+    __atomic_fetch_and(&YoungWords[R >> 6], ~(uint64_t(1) << (R & 63)),
+                       __ATOMIC_RELAXED);
+    return Bytes;
+  }
   char *Mem = oldBlockMem(Bytes);
   std::memcpy(Mem, Young, Bytes);
   // Young bit off before the new address is published: a reader that sees
@@ -87,6 +97,7 @@ void Heap::resetNursery() {
     assert(W == 0 && "nursery reset with unprocessed young objects");
 #endif
   NurseryCur = NurseryBase;
+  NurseryCarved.store(0, std::memory_order_relaxed);
 }
 
 char *Heap::carveFromSlab(uint32_t Bytes) {
@@ -210,16 +221,16 @@ char *Heap::tlabBlock(Tlab &T, uint32_t Bytes) {
     return carveFromSlab(Bytes);
   }
   if (NurseryBase) {
-    // A TLAB chunk is uniformly young or old (it comes from exactly one
-    // space), so install's inNursery check classifies every object in it
-    // correctly. When the nursery cannot hand out a whole chunk, raise
-    // the minor-GC request and fall back to an old-space chunk — the
-    // mutator never blocks; the collection happens at the next pause.
+    // When the nursery cannot hand out a whole chunk, raise the minor-GC
+    // request and fall back to an old-space chunk — the mutator never
+    // blocks; the collection happens at the next pause.
     if (static_cast<size_t>(NurseryEnd - NurseryCur) >= TlabChunkBytes) {
       char *Chunk = NurseryCur;
       NurseryCur += TlabChunkBytes;
+      NurseryCarved.fetch_add(TlabChunkBytes, std::memory_order_relaxed);
       T.Cur = Chunk + Bytes;
       T.End = Chunk + TlabChunkBytes;
+      T.ChunkYoung = true;
       return Chunk;
     }
     MinorGCNeeded.store(true, std::memory_order_relaxed);
@@ -227,6 +238,13 @@ char *Heap::tlabBlock(Tlab &T, uint32_t Bytes) {
   char *Chunk = carveFromSlab(TlabChunkBytes);
   T.Cur = Chunk + Bytes;
   T.End = Chunk + TlabChunkBytes;
+  // The fallback chunk's storage is old space, but with the nursery
+  // enabled its objects are still *born young*: the compiler's
+  // young-target proof elides the remembered-set barrier on stores into
+  // freshly allocated objects, which is only sound if "freshly allocated"
+  // implies "young". Promotion is in-place for these blocks and free()
+  // already routes non-nursery storage to the old free lists.
+  T.ChunkYoung = NurseryBase != nullptr;
   return Chunk;
 }
 
@@ -251,7 +269,9 @@ ObjRef Heap::tlabInstall(Tlab &T, HeapObject *Obj) {
   // a fully formed (zeroed, live, maybe born-marked) object.
   __atomic_fetch_or(&LiveWords[R >> 6], uint64_t(1) << (R & 63),
                     __ATOMIC_RELAXED);
-  if (inNursery(Obj))
+  // Large blocks (>= TlabChunkBytes) bypass the chunk and are implicitly
+  // pretenured; everything else inherits the current chunk's birth class.
+  if (T.ChunkYoung && Obj->blockBytes() < TlabChunkBytes)
     __atomic_fetch_or(&YoungWords[R >> 6], uint64_t(1) << (R & 63),
                       __ATOMIC_RELAXED);
   if (AllocateMarked.load(std::memory_order_relaxed))

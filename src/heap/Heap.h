@@ -172,6 +172,13 @@ public:
     char *End = nullptr;
     ObjRef NextRef = 0;
     ObjRef RefEnd = 0;
+    /// Objects carved from the current chunk are born young. True for
+    /// nursery chunks, but also for old-space chunks handed out while the
+    /// nursery is enabled but exhausted: youngness is a logical property
+    /// (the ObjRef-indexed bitmap), not an address range, and the
+    /// compile-time young-target proof relies on every small allocation
+    /// made under an enabled nursery being young at birth.
+    bool ChunkYoung = false;
   };
 
   // --- Generational layer (nursery) ---------------------------------------
@@ -204,6 +211,13 @@ public:
   const NurseryConfig &nurseryConfig() const { return NurseryCfg; }
   uint64_t nurseryUsedBytes() const {
     return static_cast<uint64_t>(NurseryCur - NurseryBase);
+  }
+  /// Bytes carved from the nursery since the last reset, as a relaxed
+  /// atomic mirror of the bump pointer: the pacer polls this from the
+  /// coordinator thread while mutators advance NurseryCur under the
+  /// allocation lock (gc/Pacer.h).
+  uint64_t nurseryCarvedBytes() const {
+    return NurseryCarved.load(std::memory_order_relaxed);
   }
 
   bool isYoung(ObjRef R) const {
@@ -239,6 +253,12 @@ public:
   }
   void clearMinorGCRequest() {
     MinorGCNeeded.store(false, std::memory_order_relaxed);
+  }
+  /// Raises the request from outside the allocation path — the pacer's
+  /// proactive nursery-fill trigger uses this; the coordinator serves the
+  /// collection exactly as for a mutator-raised request.
+  void requestMinorGC() {
+    MinorGCNeeded.store(true, std::memory_order_relaxed);
   }
 
   /// Evacuates young object \p R into old space: copy the block, clear the
@@ -426,6 +446,7 @@ private:
       return nullptr;
     char *Mem = NurseryCur;
     NurseryCur += Bytes;
+    NurseryCarved.fetch_add(Bytes, std::memory_order_relaxed);
     return Mem;
   }
   ObjRef install(HeapObject *Obj);
@@ -489,6 +510,8 @@ private:
   char *NurseryBase = nullptr;
   char *NurseryCur = nullptr;
   char *NurseryEnd = nullptr;
+  /// Relaxed mirror of NurseryCur - NurseryBase (see nurseryCarvedBytes).
+  std::atomic<uint64_t> NurseryCarved{0};
   std::function<void()> NurseryGCHook;
   std::atomic<bool> MinorGCNeeded{false};
 };

@@ -35,12 +35,28 @@
 #ifndef SATB_INTERP_SAFEPOINT_H
 #define SATB_INTERP_SAFEPOINT_H
 
+#include "support/Histogram.h"
+#include "support/Stopwatch.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
 
 namespace satb {
+
+/// Coordinator-side stop-the-world accounting, measured at the handshake
+/// (DESIGN.md "Server workload & pacer"): TimeToStopNs is
+/// request-to-all-parked — the time-to-safepoint the translated poll
+/// sites bound — and PauseNs is all-parked-to-release, the window the
+/// pause work itself owns. Both are recorded by the one coordinator
+/// thread inside stopTheWorld, so the histograms need no synchronization;
+/// the mutator-observed pause (its park() wait) is timed by the driver
+/// per mutator and overlaps both components.
+struct SafepointPauseStats {
+  Histogram TimeToStopNs;
+  Histogram PauseNs;
+};
 
 class SafepointCoordinator {
 public:
@@ -80,18 +96,31 @@ public:
 
   /// Requests a pause, waits until every registered mutator is parked or
   /// exited, runs \p F with the world stopped, then releases everyone.
+  /// Records time-to-stop and pause duration into the attached
+  /// SafepointPauseStats, if any.
   template <typename Fn> void stopTheWorld(Fn &&F) {
+    Stopwatch Timer;
     std::unique_lock<std::mutex> Lock(M);
     ReqLocked = true;
     Requested.store(true, std::memory_order_relaxed);
     CoordinatorCV.wait(Lock, [&] { return Parked + Exited == Registered; });
+    double StoppedUs = Timer.elapsedUs();
     F();
+    if (Pauses) {
+      Pauses->TimeToStopNs.record(static_cast<uint64_t>(StoppedUs * 1000.0));
+      Pauses->PauseNs.record(
+          static_cast<uint64_t>((Timer.elapsedUs() - StoppedUs) * 1000.0));
+    }
     ReqLocked = false;
     Requested.store(false, std::memory_order_relaxed);
     ++Generation;
     Lock.unlock();
     MutatorCV.notify_all();
   }
+
+  /// Attach coordinator-side pause accounting (nullptr detaches). Only
+  /// the thread calling stopTheWorld may touch \p P afterwards.
+  void setPauseStats(SafepointPauseStats *P) { Pauses = P; }
 
   size_t exitedCount() const {
     std::lock_guard<std::mutex> Lock(M);
@@ -108,6 +137,7 @@ private:
   size_t Registered = 0;
   size_t Parked = 0;
   size_t Exited = 0;
+  SafepointPauseStats *Pauses = nullptr;
 };
 
 } // namespace satb

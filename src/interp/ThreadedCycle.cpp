@@ -113,6 +113,12 @@ MultiMutatorResult satb::runWithConcurrentMutators(
   SatbMarker Satb(H, Cfg.SatbBufferCap);
   IncrementalUpdateMarker Inc(H);
   SafepointCoordinator SC;
+  SafepointPauseStats PauseStats;
+  SC.setPauseStats(&PauseStats);
+  // Pacer-driven cycle triggering; DebugTraceCounts pins the scripted
+  // single-cycle driver (the mark-once instrumentation is per-cycle).
+  const bool UsePacer = Cfg.Pacer.Enabled && !Cfg.DebugTraceCounts;
+  Pacer Pace(H, Cfg.Pacer);
 
   // Mark worker pool: the coordinator thread participates as one worker,
   // so a pool of MarkThreads gives exactly that many marking threads.
@@ -169,7 +175,14 @@ MultiMutatorResult satb::runWithConcurrentMutators(
   // frames; afterwards each context's TLAB is dropped if it pointed into
   // the recycled nursery buffer.
   auto ServeMinorGC = [&] {
-    if (!Cfg.EnableNursery || !H.minorGCRequested())
+    if (!Cfg.EnableNursery)
+      return;
+    // Pacer mode: raise the request proactively once the nursery is
+    // NurseryFillPct carved, so the collection runs while mutators still
+    // have headroom instead of after a refill already failed.
+    if (UsePacer && !H.minorGCRequested() && Pace.shouldRequestMinorGC())
+      H.requestMinorGC();
+    if (!H.minorGCRequested())
       return;
     SC.stopTheWorld([&] {
       if (!H.minorGCRequested())
@@ -191,19 +204,49 @@ MultiMutatorResult satb::runWithConcurrentMutators(
     });
   };
 
+  // Per-mutator histogram shards, merged after the join (same discipline
+  // as the BarrierStats shards: no synchronization while threads run).
+  std::vector<Histogram> ParkShards(Mutators);
+  std::vector<Histogram> RequestShards(Mutators);
+  R.RequestsCompleted.assign(Mutators, 0);
+
   std::vector<std::thread> Threads;
   Threads.reserve(Mutators);
   for (unsigned T = 0; T != Mutators; ++T) {
     Threads.emplace_back([&, T] {
       FastInterp &E = *Engines[T];
-      E.start(Entry, IntArgs);
       uint64_t Remaining = Cfg.StepLimit;
-      while (E.status() == RunStatus::Running && Remaining > 0) {
-        if (SC.requested())
-          SC.park();
-        uint64_t Before = E.stepsExecuted();
-        E.step(std::min<uint64_t>(Cfg.PollQuantum, Remaining));
-        Remaining -= std::min<uint64_t>(E.stepsExecuted() - Before, Remaining);
+      auto Drive = [&] {
+        while (E.status() == RunStatus::Running && Remaining > 0) {
+          if (SC.requested()) {
+            Stopwatch ParkTimer;
+            SC.park();
+            ParkShards[T].record(
+                static_cast<uint64_t>(ParkTimer.elapsedUs() * 1000.0));
+          }
+          uint64_t Before = E.stepsExecuted();
+          E.step(std::min<uint64_t>(Cfg.PollQuantum, Remaining));
+          Remaining -=
+              std::min<uint64_t>(E.stepsExecuted() - Before, Remaining);
+        }
+      };
+      if (Cfg.Requests == 0) {
+        E.start(Entry, IntArgs);
+        Drive();
+      } else {
+        // Server mode: one Entry invocation per request. start() resets
+        // frames but accumulates stepsExecuted, so Remaining keeps
+        // bounding the mutator's total work.
+        for (uint64_t Q = 0; Q != Cfg.Requests && Remaining > 0; ++Q) {
+          Stopwatch RequestTimer;
+          E.start(Entry, IntArgs);
+          Drive();
+          if (E.status() != RunStatus::Finished)
+            break; // trap or step-limit: Statuses[T] reports it
+          RequestShards[T].record(
+              static_cast<uint64_t>(RequestTimer.elapsedUs() * 1000.0));
+          ++R.RequestsCompleted[T];
+        }
       }
       // Hand over any in-flight SATB buffer before counting as exited; the
       // coordinator is still waiting on this thread's headcount, so the
@@ -213,95 +256,205 @@ MultiMutatorResult satb::runWithConcurrentMutators(
     });
   }
 
-  // Warmup: let the mutators build a heap before the cycle starts.
-  while (H.numAllocated() < Cfg.WarmupAllocs && SC.exitedCount() < Mutators) {
-    ServeMinorGC();
-    std::this_thread::yield();
-  }
+  if (!UsePacer) {
+    // --- Scripted driver: warmup, then exactly one marking cycle ----------
 
-  // STW #1: snapshot roots across every mutator and start the cycle.
-  std::vector<bool> Snapshot;
-  SC.stopTheWorld([&] {
-    std::vector<ObjRef> Roots, Tmp;
-    for (auto &E : Engines) {
-      E->collectRoots(Tmp);
-      Roots.insert(Roots.end(), Tmp.begin(), Tmp.end());
-    }
-    if (UseSatb) {
-      Snapshot = computeReachable(H, Roots);
-      for (bool B : Snapshot)
-        R.OracleLive += B;
-      Satb.beginMarking(Roots);
-    } else {
-      Inc.beginMarking(Roots);
-    }
-  });
-
-  // Concurrent marking on this (coordinator) thread while the mutators run.
-  // A few consecutive idle rounds mean the marker is waiting on mutator
-  // activity it may never get; proceed to the termination pause.
-  size_t IdleStreak = 0;
-  while (IdleStreak < 3 && SC.exitedCount() < Mutators) {
-    ServeMinorGC();
-    bool Idle = UseSatb ? Satb.markStep(Cfg.MarkerQuantum)
-                        : Inc.markStep(Cfg.MarkerQuantum);
-    if (Idle) {
-      ++IdleStreak;
+    // Warmup: let the mutators build a heap before the cycle starts.
+    while (H.numAllocated() < Cfg.WarmupAllocs &&
+           SC.exitedCount() < Mutators) {
+      ServeMinorGC();
       std::this_thread::yield();
-    } else {
-      IdleStreak = 0;
     }
-  }
 
-  // Final STW: flush every context, terminate marking, check the oracle
-  // and sweep — all inside the pause.
-  SC.stopTheWorld([&] {
-    for (auto &E : Engines)
-      E->context().flush();
-    if (UseSatb) {
-      R.FinalPauseWork = Satb.finishMarking();
-      R.OracleHolds = true;
-      for (ObjRef Ref = 1; Ref < Snapshot.size(); ++Ref)
-        if (Snapshot[Ref] && !(H.isLive(Ref) && H.isMarked(Ref)))
-          R.OracleHolds = false;
-      R.Marked = Satb.stats().MarkedObjects;
-      R.Swept = Satb.sweep();
-    } else {
+    // STW #1: snapshot roots across every mutator and start the cycle.
+    std::vector<bool> Snapshot;
+    SC.stopTheWorld([&] {
       std::vector<ObjRef> Roots, Tmp;
       for (auto &E : Engines) {
         E->collectRoots(Tmp);
         Roots.insert(Roots.end(), Tmp.begin(), Tmp.end());
       }
-      R.FinalPauseWork = Inc.finishMarking(Roots);
-      std::vector<bool> LiveNow = computeReachable(H, Roots);
-      R.OracleHolds = true;
-      for (ObjRef Ref = 1; Ref < LiveNow.size(); ++Ref) {
-        if (!LiveNow[Ref])
-          continue;
-        ++R.OracleLive;
-        if (!(H.isLive(Ref) && H.isMarked(Ref)))
-          R.OracleHolds = false;
+      if (UseSatb) {
+        Snapshot = computeReachable(H, Roots);
+        for (bool B : Snapshot)
+          R.OracleLive += B;
+        Satb.beginMarking(Roots);
+      } else {
+        Inc.beginMarking(Roots);
       }
-      R.Marked = Inc.stats().MarkedObjects;
-      R.Swept = Inc.sweep();
-    }
-    if (Cfg.DebugTraceCounts) {
-      R.TraceCounts.resize(H.maxRef() + 1, 0);
-      for (ObjRef Ref = 1; Ref <= H.maxRef(); ++Ref)
-        R.TraceCounts[Ref] =
-            UseSatb ? Satb.traceCount(Ref) : Inc.traceCount(Ref);
-      if (UseSatb)
-        R.SnapshotSet = Snapshot;
-    }
-  });
+    });
 
-  // Marking is over, but the mutators keep running to completion; keep
-  // serving minor collections so the nursery stays usable for the tail.
-  if (Cfg.EnableNursery)
+    // Concurrent marking on this (coordinator) thread while the mutators
+    // run. A few consecutive idle rounds mean the marker is waiting on
+    // mutator activity it may never get; proceed to the termination pause.
+    size_t IdleStreak = 0;
+    while (IdleStreak < 3 && SC.exitedCount() < Mutators) {
+      ServeMinorGC();
+      bool Idle = UseSatb ? Satb.markStep(Cfg.MarkerQuantum)
+                          : Inc.markStep(Cfg.MarkerQuantum);
+      if (Idle) {
+        ++IdleStreak;
+        std::this_thread::yield();
+      } else {
+        IdleStreak = 0;
+      }
+    }
+
+    // Final STW: flush every context, terminate marking, check the oracle
+    // and sweep — all inside the pause.
+    SC.stopTheWorld([&] {
+      for (auto &E : Engines)
+        E->context().flush();
+      if (UseSatb) {
+        R.FinalPauseWork = Satb.finishMarking();
+        R.OracleHolds = true;
+        for (ObjRef Ref = 1; Ref < Snapshot.size(); ++Ref)
+          if (Snapshot[Ref] && !(H.isLive(Ref) && H.isMarked(Ref)))
+            R.OracleHolds = false;
+        R.Marked = Satb.stats().MarkedObjects;
+        R.Swept = Satb.sweep();
+      } else {
+        std::vector<ObjRef> Roots, Tmp;
+        for (auto &E : Engines) {
+          E->collectRoots(Tmp);
+          Roots.insert(Roots.end(), Tmp.begin(), Tmp.end());
+        }
+        R.FinalPauseWork = Inc.finishMarking(Roots);
+        std::vector<bool> LiveNow = computeReachable(H, Roots);
+        R.OracleHolds = true;
+        for (ObjRef Ref = 1; Ref < LiveNow.size(); ++Ref) {
+          if (!LiveNow[Ref])
+            continue;
+          ++R.OracleLive;
+          if (!(H.isLive(Ref) && H.isMarked(Ref)))
+            R.OracleHolds = false;
+        }
+        R.Marked = Inc.stats().MarkedObjects;
+        R.Swept = Inc.sweep();
+      }
+      if (Cfg.DebugTraceCounts) {
+        R.TraceCounts.resize(H.maxRef() + 1, 0);
+        for (ObjRef Ref = 1; Ref <= H.maxRef(); ++Ref)
+          R.TraceCounts[Ref] =
+              UseSatb ? Satb.traceCount(Ref) : Inc.traceCount(Ref);
+        if (UseSatb)
+          R.SnapshotSet = Snapshot;
+      }
+    });
+    R.Cycles = 1;
+
+    // Marking is over, but the mutators keep running to completion; keep
+    // serving minor collections so the nursery stays usable for the tail.
+    if (Cfg.EnableNursery)
+      while (SC.exitedCount() < Mutators) {
+        ServeMinorGC();
+        std::this_thread::yield();
+      }
+  } else {
+    // --- Pacer-driven cycles: as many as allocation pressure asks for ----
+    //
+    // The coordinator polls the pacer between marking quanta: a trigger
+    // starts a cycle with the same snapshot handshake as the scripted
+    // driver; three idle marking rounds finish it with the same
+    // termination pause, including the per-cycle oracle (accumulated
+    // across cycles — one bad cycle fails the run). Mutators never wait
+    // on the pacer; they only stop at the handshakes themselves.
+    R.OracleHolds = true; // vacuously, when pressure never triggers
+    std::vector<bool> Snapshot;
+    size_t IdleStreak = 0;
+
+    auto BeginCycle = [&] {
+      SC.stopTheWorld([&] {
+        std::vector<ObjRef> Roots, Tmp;
+        for (auto &E : Engines) {
+          E->collectRoots(Tmp);
+          Roots.insert(Roots.end(), Tmp.begin(), Tmp.end());
+        }
+        if (UseSatb) {
+          Snapshot = computeReachable(H, Roots);
+          for (bool B : Snapshot)
+            R.OracleLive += B;
+          Satb.beginMarking(Roots);
+        } else {
+          Inc.beginMarking(Roots);
+        }
+      });
+      Pace.noteCycleStart();
+      IdleStreak = 0;
+    };
+
+    auto FinishCycle = [&] {
+      SC.stopTheWorld([&] {
+        for (auto &E : Engines)
+          E->context().flush();
+        if (UseSatb) {
+          R.FinalPauseWork += Satb.finishMarking();
+          for (ObjRef Ref = 1; Ref < Snapshot.size(); ++Ref)
+            if (Snapshot[Ref] && !(H.isLive(Ref) && H.isMarked(Ref)))
+              R.OracleHolds = false;
+          R.Swept += Satb.sweep();
+        } else {
+          std::vector<ObjRef> Roots, Tmp;
+          for (auto &E : Engines) {
+            E->collectRoots(Tmp);
+            Roots.insert(Roots.end(), Tmp.begin(), Tmp.end());
+          }
+          R.FinalPauseWork += Inc.finishMarking(Roots);
+          std::vector<bool> LiveNow = computeReachable(H, Roots);
+          for (ObjRef Ref = 1; Ref < LiveNow.size(); ++Ref) {
+            if (!LiveNow[Ref])
+              continue;
+            ++R.OracleLive;
+            if (!(H.isLive(Ref) && H.isMarked(Ref)))
+              R.OracleHolds = false;
+          }
+          R.Swept += Inc.sweep();
+        }
+      });
+      Pace.noteCycleEnd();
+      ++R.Cycles;
+    };
+
     while (SC.exitedCount() < Mutators) {
       ServeMinorGC();
-      std::this_thread::yield();
+      if (Pace.inCycle()) {
+        bool Idle = UseSatb ? Satb.markStep(Cfg.MarkerQuantum)
+                            : Inc.markStep(Cfg.MarkerQuantum);
+        if (Idle) {
+          if (++IdleStreak >= 3)
+            FinishCycle();
+          else
+            std::this_thread::yield();
+        } else {
+          IdleStreak = 0;
+        }
+      } else if (Pace.shouldStartCycle()) {
+        BeginCycle();
+      } else {
+        std::this_thread::yield();
+      }
     }
+    // Every mutator exited: terminate an in-flight cycle against the
+    // quiesced heap, then drain work that accrued too late to be
+    // scheduled while the mutators ran — on a busy (or single-CPU) host
+    // a short run can finish inside one scheduler slice, before the
+    // coordinator's first poll. Outstanding allocation pressure still
+    // owes a collection; a raised minor-GC request still owes a nursery
+    // sweep. Both run exactly as they would have mid-run, so the
+    // "pressure implies a cycle" contract holds on any host.
+    ServeMinorGC();
+    if (Pace.inCycle()) {
+      FinishCycle();
+    } else if (Pace.shouldStartCycle()) {
+      BeginCycle();
+      while (!(UseSatb ? Satb.markStep(Cfg.MarkerQuantum)
+                       : Inc.markStep(Cfg.MarkerQuantum)))
+        ;
+      FinishCycle();
+    }
+    R.Marked =
+        UseSatb ? Satb.stats().MarkedObjects : Inc.stats().MarkedObjects;
+  }
 
   for (std::thread &T : Threads)
     T.join();
@@ -321,6 +474,14 @@ MultiMutatorResult satb::runWithConcurrentMutators(
   }
   R.Violations = R.Merged.summarize().Violations;
   R.LoggedPreValues = Satb.stats().LoggedPreValues;
+  for (unsigned T = 0; T != Mutators; ++T) {
+    R.MutatorPauseNs.merge(ParkShards[T]);
+    R.RequestNs.merge(RequestShards[T]);
+    R.TotalRequests += R.RequestsCompleted[T];
+  }
+  R.Pacing = Pace.stats();
+  SC.setPauseStats(nullptr);
+  R.Safepoint = PauseStats;
   if (Cfg.EnableNursery) {
     // Empty the nursery with one last collection (every thread has
     // joined; the markers are idle, so survivors promote precisely when

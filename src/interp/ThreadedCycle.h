@@ -31,8 +31,10 @@
 #ifndef SATB_INTERP_THREADEDCYCLE_H
 #define SATB_INTERP_THREADEDCYCLE_H
 
+#include "gc/Pacer.h"
 #include "interp/BarrierStats.h"
 #include "interp/Interpreter.h"
+#include "interp/Safepoint.h"
 #include "jit/FastCode.h"
 #include "jit/MethodVersionTable.h"
 
@@ -104,6 +106,21 @@ struct MultiMutatorConfig {
   /// SATB_DEOPT_EVERY environment, so CI re-runs the whole grid tiered
   /// without touching test code.
   TieredOptions Tiered;
+  /// Allocation-pressure pacing (gc/Pacer.h): when Pacer.Enabled the
+  /// coordinator replaces the scripted warmup + single-cycle sequence
+  /// with pacer-triggered cycles — as many as allocation pressure asks
+  /// for, each with its own begin/finish handshakes and per-cycle
+  /// oracle — and serves proactive nursery-fill minor collections.
+  /// Defaults from the SATB_PACER* environment. DebugTraceCounts forces
+  /// the scripted driver: the mark-once instrumentation accumulates
+  /// across cycles and is only meaningful for exactly one.
+  PacerConfig Pacer;
+  /// Server mode: when nonzero, every mutator invokes Entry this many
+  /// times (one request per invocation; heap and static state persist
+  /// across requests) instead of once, recording each invocation's
+  /// latency into a per-mutator histogram shard. StepLimit still bounds
+  /// each mutator's total steps across all its requests.
+  uint64_t Requests = 0;
 };
 
 struct MultiMutatorResult {
@@ -133,6 +150,21 @@ struct MultiMutatorResult {
   std::vector<bool> SnapshotSet;
   /// Minor-collection totals for the run (zero unless Cfg.EnableNursery).
   MinorGCStats Minor;
+  /// Marking cycles completed: 1 for the scripted driver, pacer-driven
+  /// otherwise (0 when pressure never reached the trigger).
+  uint64_t Cycles = 0;
+  PacerStats Pacing; ///< pacer trigger counters (pacer mode only)
+  /// Coordinator-side handshake accounting (interp/Safepoint.h): every
+  /// stop-the-world pause of the run — cycle edges and minor GCs.
+  SafepointPauseStats Safepoint;
+  /// Mutator-observed safepoint pauses: each mutator's park() waits,
+  /// merged across the per-mutator shards (nanoseconds).
+  Histogram MutatorPauseNs;
+  /// Server mode only: per-request latencies merged across mutators
+  /// (nanoseconds), and completed-request counts per mutator.
+  Histogram RequestNs;
+  std::vector<uint64_t> RequestsCompleted;
+  uint64_t TotalRequests = 0;
 };
 
 /// Runs \p Mutators FastInterp instances against one heap with one

@@ -1,0 +1,116 @@
+//===- support/Histogram.h - HDR-style latency histogram -------*- C++ -*-===//
+///
+/// \file
+/// A fixed-size log-bucketed histogram for pause and request latencies
+/// (DESIGN.md "Server workload & pacer"). The layout is the HDR idea cut
+/// to what the benches need: values below 2^SubBucketBits get exact
+/// buckets; above that, every power-of-two octave is split into
+/// 2^(SubBucketBits-1) sub-buckets, so a recorded value lands in a bucket
+/// whose width is at most 1/16 of its magnitude (SubBucketBits = 5 gives
+/// a <= 6.25% relative quantization error for percentiles). Min, max,
+/// count and sum are tracked exactly.
+///
+/// Like BarrierStats, histograms are recorded into per-mutator shards
+/// with no synchronization and merged after the threads join; merge() is
+/// exact (buckets add). Record nanoseconds: the octave layout is
+/// unit-agnostic, but ns keeps sub-microsecond pauses out of bucket 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATB_SUPPORT_HISTOGRAM_H
+#define SATB_SUPPORT_HISTOGRAM_H
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+namespace satb {
+
+class Histogram {
+public:
+  void record(uint64_t V) {
+    ++Buckets[bucketIndex(V)];
+    ++Count;
+    Sum += V;
+    Lo = std::min(Lo, V);
+    Hi = std::max(Hi, V);
+  }
+
+  uint64_t count() const { return Count; }
+  uint64_t sum() const { return Sum; }
+  uint64_t min() const { return Count ? Lo : 0; }
+  uint64_t max() const { return Hi; }
+  double mean() const { return Count ? double(Sum) / double(Count) : 0.0; }
+
+  /// The value at percentile \p P (0..100): the upper bound of the bucket
+  /// holding the P-th ranked recording, clamped to the exact max so the
+  /// tail never reads beyond an observed value. 0 when empty.
+  uint64_t percentile(double P) const {
+    if (Count == 0)
+      return 0;
+    if (P >= 100.0)
+      return Hi;
+    uint64_t Rank = static_cast<uint64_t>(P / 100.0 * double(Count));
+    if (Rank >= Count)
+      Rank = Count - 1;
+    uint64_t Seen = 0;
+    for (unsigned I = 0; I != NumBuckets; ++I) {
+      Seen += Buckets[I];
+      if (Seen > Rank)
+        return std::min(bucketUpperBound(I), Hi);
+    }
+    return Hi;
+  }
+
+  /// Exact: the merged histogram is identical to one that recorded both
+  /// input sequences (buckets and exact extrema simply combine).
+  void merge(const Histogram &O) {
+    for (unsigned I = 0; I != NumBuckets; ++I)
+      Buckets[I] += O.Buckets[I];
+    Count += O.Count;
+    Sum += O.Sum;
+    Lo = std::min(Lo, O.Lo);
+    Hi = std::max(Hi, O.Hi);
+  }
+
+  void clear() { *this = Histogram(); }
+
+  /// Bucket geometry, exposed for the unit tests: values in the same
+  /// bucket differ by at most bucketUpperBound/2^(SubBucketBits-1).
+  static constexpr unsigned SubBucketBits = 5;
+  static constexpr unsigned SubBuckets = 1u << SubBucketBits; // 32
+  static constexpr unsigned HalfBuckets = SubBuckets / 2;     // per octave
+  static constexpr unsigned NumBuckets =
+      SubBuckets + (64 - SubBucketBits) * HalfBuckets;
+
+  static unsigned bucketIndex(uint64_t V) {
+    if (V < SubBuckets)
+      return static_cast<unsigned>(V);
+    // Octave = position of the leading bit above the exact range; the
+    // next SubBucketBits-1 bits select the sub-bucket within it.
+    unsigned Msb = 63u - static_cast<unsigned>(__builtin_clzll(V));
+    unsigned Shift = Msb - (SubBucketBits - 1);
+    unsigned Sub = static_cast<unsigned>(V >> Shift) & (HalfBuckets - 1);
+    return SubBuckets + (Shift - 1) * HalfBuckets + Sub;
+  }
+
+  static uint64_t bucketUpperBound(unsigned Idx) {
+    if (Idx < SubBuckets)
+      return Idx;
+    unsigned Shift = (Idx - SubBuckets) / HalfBuckets + 1;
+    unsigned Sub = (Idx - SubBuckets) % HalfBuckets;
+    uint64_t Base = uint64_t(HalfBuckets + Sub) << Shift;
+    return Base + (uint64_t(1) << Shift) - 1;
+  }
+
+private:
+  std::array<uint64_t, NumBuckets> Buckets{};
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Lo = UINT64_MAX;
+  uint64_t Hi = 0;
+};
+
+} // namespace satb
+
+#endif // SATB_SUPPORT_HISTOGRAM_H

@@ -1,0 +1,211 @@
+//===- workloads/ServerLike.cpp - Request/response server workload --------===//
+///
+/// \file
+/// The server-shaped workload for the latency benches (ROADMAP
+/// "Server-shaped workload", DESIGN.md "Server workload & pacer"). Unlike
+/// the Table 1 programs — batch transactions over per-run private state —
+/// this one is built for N mutators against one heap:
+///
+///   - long-lived shared state in statics: a session table (ref array)
+///     and a hashtable cache, lazily initialized under a null check and
+///     never overwritten with null afterwards;
+///   - per-request young graph: a Request, a variable-length payload
+///     array filled with Items (initializing stores, §3-elidable), and a
+///     history Node — allocated fresh every request and mostly dead by
+///     the next one;
+///   - old-to-young traffic: the surviving Session's lastReq/history
+///     fields are rewritten every request (remembered-set pressure under
+///     BarrierMode::Generational), with seed-driven history trims and
+///     session evictions producing old garbage for the major cycles;
+///   - root churn: every handler-local ref is reassigned per request.
+///
+/// Race tolerance (the multi-mutator contract): every ref read from
+/// shared state goes through a local and is null-checked before any
+/// getfield/putfield; array indices are computed locally and bounded by
+/// irem against compile-time sizes; statics are written in dependency
+/// order (table before the session array that gates init), so the
+/// release/acquire static-slot protocol makes a non-null gate imply a
+/// fully initialized cache. Int-field and seed races stay benign: values
+/// remain in range, and no control flow dereferences them.
+///
+/// The RNG seed lives in a static, so on one heap `main(1)` called R
+/// times walks the same request mix as one `main(R)` call — that is what
+/// lets MultiMutatorConfig::Requests time individual requests without
+/// changing the workload's shape.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "bytecode/MethodBuilder.h"
+#include "workloads/StdLib.h"
+
+using namespace satb;
+
+namespace {
+void emitRand(MethodBuilder &B, Local Seed, int32_t Mod, Local Dest) {
+  B.iload(Seed).iconst(75).imul().iconst(74).iadd().iconst(65537).irem()
+      .istore(Seed);
+  B.iload(Seed).iconst(Mod).irem().istore(Dest);
+}
+} // namespace
+
+Workload satb::makeServerLike() {
+  Workload W;
+  W.Name = "server";
+  W.Mimics = "request/response server, shared session state";
+  W.Description = "per-request young graphs against long-lived sessions";
+  W.P = std::make_shared<Program>();
+  Program &P = *W.P;
+
+  constexpr int32_t SessionSlots = 32;
+  constexpr int32_t CacheSlots = 16;
+
+  ClassId Session = P.addClass("Session");
+  FieldId LastReq = P.addField(Session, "lastReq", JType::Ref);
+  FieldId History = P.addField(Session, "history", JType::Ref);
+  FieldId Hits = P.addField(Session, "hits", JType::Int);
+
+  ClassId Request = P.addClass("Request");
+  FieldId ReqSession = P.addField(Request, "session", JType::Ref);
+  FieldId ReqPayload = P.addField(Request, "payload", JType::Ref);
+
+  ClassId Item = P.addClass("Item");
+  FieldId ItemOwner = P.addField(Item, "owner", JType::Ref);
+  FieldId ItemV = P.addField(Item, "v", JType::Int);
+
+  StaticFieldId SessionsSt = P.addStaticField("srv.sessions", JType::Ref);
+  StaticFieldId CacheSt = P.addStaticField("srv.cache", JType::Ref);
+  StaticFieldId SeedSt = P.addStaticField("srv.seed", JType::Int);
+
+  ListParts List = addListClass(P, "srv.");
+  HashtableParts HT = addHashtableClass(P, "srv.");
+
+  MethodId SessionCtor;
+  {
+    MethodBuilder B(P, "Session.<init>", Session, {}, std::nullopt,
+                    /*IsConstructor=*/true);
+    B.aload(B.arg(0)).aconstNull().putfield(LastReq);
+    B.aload(B.arg(0)).aconstNull().putfield(History);
+    B.aload(B.arg(0)).iconst(0).putfield(Hits);
+    B.ret();
+    SessionCtor = B.finish();
+  }
+  MethodId RequestCtor;
+  {
+    MethodBuilder B(P, "Request.<init>", Request, {JType::Ref}, std::nullopt,
+                    true);
+    B.aload(B.arg(0)).aload(B.arg(1)).putfield(ReqSession);
+    B.aload(B.arg(0)).aconstNull().putfield(ReqPayload);
+    B.ret();
+    RequestCtor = B.finish();
+  }
+  MethodId ItemCtor;
+  {
+    MethodBuilder B(P, "Item.<init>", Item, {JType::Ref, JType::Int},
+                    std::nullopt, true);
+    B.aload(B.arg(0)).aload(B.arg(1)).putfield(ItemOwner);
+    B.aload(B.arg(0)).iload(B.arg(2)).putfield(ItemV);
+    B.ret();
+    ItemCtor = B.finish();
+  }
+
+  {
+    MethodBuilder B(P, "srv.main", {JType::Int}, JType::Int);
+    Local N = B.arg(0);
+    Local T = B.newLocal(JType::Int), Seed = B.newLocal(JType::Int);
+    Local Idx = B.newLocal(JType::Int), Len = B.newLocal(JType::Int);
+    Local J = B.newLocal(JType::Int), Tmp = B.newLocal(JType::Int);
+    Local Sessions = B.newLocal(JType::Ref), Cache = B.newLocal(JType::Ref);
+    Local Sess = B.newLocal(JType::Ref), Req = B.newLocal(JType::Ref);
+    Local Payload = B.newLocal(JType::Ref), Hist = B.newLocal(JType::Ref);
+    Label Ready = B.newLabel(), Loop = B.newLabel(), Done = B.newLabel();
+    Label HaveSess = B.newLabel(), FillLoop = B.newLabel();
+    Label FillDone = B.newLabel(), NoTrim = B.newLabel();
+    Label NoEvict = B.newLabel(), NoPut = B.newLabel(), NoScan = B.newLabel();
+
+    // Lazy shared-state init, gated on the session array: the cache is
+    // published first, so a non-null gate implies a non-null cache (see
+    // file comment). A racing double-init is benign — the loser's
+    // structures become garbage for the next cycle.
+    B.getstatic(SessionsSt).ifnonnull(Ready);
+    B.newInstance(HT.Table).dup().iconst(CacheSlots).invoke(HT.Ctor)
+        .putstatic(CacheSt);
+    B.iconst(SessionSlots).newRefArray().putstatic(SessionsSt);
+    B.bind(Ready);
+    B.getstatic(SessionsSt).astore(Sessions);
+    B.getstatic(CacheSt).astore(Cache);
+    B.getstatic(SeedSt).istore(Seed);
+    B.iconst(0).istore(T);
+
+    B.bind(Loop);
+    B.iload(T).iload(N).ifICmpGe(Done);
+
+    // Pick a session; resurrect an evicted slot with a fresh (long-lived)
+    // Session. The local survives even if another mutator evicts the slot
+    // mid-request.
+    emitRand(B, Seed, SessionSlots, Idx);
+    B.aload(Sessions).iload(Idx).aaload().astore(Sess);
+    B.aload(Sess).ifnonnull(HaveSess);
+    B.newInstance(Session).dup().invoke(SessionCtor).astore(Sess);
+    B.aload(Sessions).iload(Idx).aload(Sess).aastore();
+    B.bind(HaveSess);
+
+    // Per-request young graph: Request + variable-length payload of Items
+    // (the fill loop's stores are initializing — §3 array analysis).
+    B.newInstance(Request).dup().aload(Sess).invoke(RequestCtor).astore(Req);
+    emitRand(B, Seed, 4, Tmp);
+    B.iload(Tmp).iconst(4).iadd().istore(Len);
+    B.iload(Len).newRefArray().astore(Payload);
+    B.iconst(0).istore(J);
+    B.bind(FillLoop);
+    B.iload(J).iload(Len).ifICmpGe(FillDone);
+    B.aload(Payload).iload(J);
+    B.newInstance(Item).dup().aload(Req).iload(J).invoke(ItemCtor);
+    B.aastore();
+    B.iinc(J, 1).jump(FillLoop);
+    B.bind(FillDone);
+    B.aload(Req).aload(Payload).putfield(ReqPayload); // pre-null dynamic
+
+    // Publish into the surviving session: old-to-young stores every
+    // request (remembered-set traffic under the generational barrier).
+    B.aload(Sess).aload(Req).putfield(LastReq);
+    B.aload(Sess).aload(Sess).getfield(Hits).iconst(1).iadd().putfield(Hits);
+    B.aload(Sess).getfield(History).astore(Hist);
+    B.newInstance(List.Node).dup().aload(Hist).aload(Req).invoke(List.Ctor)
+        .astore(Hist);
+    B.aload(Sess).aload(Hist).putfield(History);
+
+    // History trim and session eviction: seed-driven so the mix persists
+    // across per-request entry invocations; both produce old garbage.
+    emitRand(B, Seed, 13, Tmp);
+    B.iload(Tmp).ifne(NoTrim);
+    B.aload(Sess).aconstNull().putfield(History);
+    B.bind(NoTrim);
+    emitRand(B, Seed, 23, Tmp);
+    B.iload(Tmp).ifne(NoEvict);
+    B.aload(Sessions).iload(Idx).aconstNull().aastore();
+    B.bind(NoEvict);
+
+    // Shared-cache traffic: put every other request, and the Section 4.3
+    // null-or-same scan on a third of them.
+    emitRand(B, Seed, 2, Tmp);
+    B.iload(Tmp).ifne(NoPut);
+    emitRand(B, Seed, CacheSlots, Tmp);
+    B.aload(Cache).iload(Tmp).aload(Req).invoke(HT.Put);
+    B.bind(NoPut);
+    emitRand(B, Seed, 3, Tmp);
+    B.iload(Tmp).iconst(1).ifICmpNe(NoScan);
+    B.aload(Cache).invoke(HT.Scan);
+    B.bind(NoScan);
+
+    B.iinc(T, 1).jump(Loop);
+    B.bind(Done);
+    B.iload(Seed).putstatic(SeedSt);
+    B.iload(Seed).ireturn();
+    W.Entry = B.finish();
+  }
+
+  W.DefaultScale = 2000;
+  return W;
+}

@@ -50,6 +50,18 @@ Workload makeJbbLike(int32_t PadIterations = 0);
 /// All six Table 1 workloads, in the paper's row order.
 std::vector<Workload> allWorkloads();
 
+/// The server-shaped request/response workload (DESIGN.md "Server
+/// workload & pacer"): each entry invocation handles `scale` requests
+/// against long-lived shared state (a session table and a hashtable in
+/// statics), allocating a fresh request graph per request with old-to-
+/// young stores into surviving sessions. Written race-tolerant — shared
+/// refs are loaded into locals and null-checked before use — so N
+/// mutators can run it against one heap; the RNG seed persists in a
+/// static, so consecutive invocations on one heap continue the request
+/// mix (the driver's per-request server mode calls it with {1}).
+/// Not part of allWorkloads(): it has no Table 1 row to mimic.
+Workload makeServerLike();
+
 } // namespace satb
 
 #endif // SATB_WORKLOADS_WORKLOAD_H

@@ -311,7 +311,11 @@ TEST_F(HeapFixture, MinorGCWholesaleDuringActiveMarking) {
 TEST_F(HeapFixture, NurseryTlabRefillRequestsMinorGCAndFallsBack) {
   // Multi-mutator mode: a TLAB chunk refill that finds the nursery
   // exhausted raises the minor-GC request and hands out an old-space
-  // chunk — the mutator never blocks inside an allocation.
+  // chunk — the mutator never blocks inside an allocation. Objects in
+  // the fallback chunk are still *born young* (youngness is the logical
+  // bitmap, not an address range): the compile-time young-target proof
+  // elides the remembered-set barrier on stores into freshly allocated
+  // objects, which a pretenured-at-birth object would break.
   Heap H(P);
   H.enterMultiMutator(1u << 12);
   Heap::NurseryConfig NC;
@@ -323,8 +327,8 @@ TEST_F(HeapFixture, NurseryTlabRefillRequestsMinorGCAndFallsBack) {
   EXPECT_FALSE(H.minorGCRequested());
   H.invalidateNurseryTlab(T); // drop the nursery chunk mid-use
   EXPECT_EQ(T.Cur, nullptr);
-  ObjRef B = H.allocateObjectTlab(T, C); // refill fails: old chunk
-  EXPECT_FALSE(H.isYoung(B));
+  ObjRef B = H.allocateObjectTlab(T, C); // refill fails: old-space chunk
+  EXPECT_TRUE(H.isYoung(B));
   EXPECT_TRUE(H.isLive(B));
   EXPECT_TRUE(H.minorGCRequested());
   // An old-space TLAB is unaffected by nursery invalidation.
@@ -333,6 +337,12 @@ TEST_F(HeapFixture, NurseryTlabRefillRequestsMinorGCAndFallsBack) {
   EXPECT_EQ(T.Cur, OldCur);
   // The pre-exhaustion young object kept its placement.
   EXPECT_TRUE(H.isYoung(A));
+  // Promoting a fallback-chunk survivor is in-place: the storage is
+  // already tenured, so only the young bit changes.
+  const HeapObject *Before = &H.object(B);
+  H.promoteToOld(B);
+  EXPECT_FALSE(H.isYoung(B));
+  EXPECT_EQ(&H.object(B), Before);
   H.clearMinorGCRequest();
   H.exitMultiMutator();
 }

@@ -1,10 +1,12 @@
-//===- tests/support_test.cpp - BitSet and Stopwatch tests ----------------===//
+//===- tests/support_test.cpp - BitSet, Stopwatch, Histogram tests --------===//
 
 #include "support/BitSet.h"
+#include "support/Histogram.h"
 #include "support/Stopwatch.h"
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <set>
 
 using namespace satb;
@@ -105,4 +107,108 @@ TEST(Stopwatch, MeasuresNonNegativeTime) {
   EXPECT_GE(B, A);
   W.reset();
   EXPECT_GE(W.elapsedMs(), 0.0);
+}
+
+TEST(Histogram, EmptyReportsZeros) {
+  Histogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.sum(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.mean(), 0.0);
+  EXPECT_EQ(H.percentile(50), 0u);
+  EXPECT_EQ(H.percentile(99.9), 0u);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  // Values below 2^SubBucketBits get one bucket each, so every percentile
+  // of a small-value population is exact.
+  Histogram H;
+  for (uint64_t V = 0; V != Histogram::SubBuckets; ++V)
+    H.record(V);
+  EXPECT_EQ(H.count(), uint64_t(Histogram::SubBuckets));
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 31u);
+  EXPECT_EQ(H.percentile(0), 0u);
+  EXPECT_EQ(H.percentile(50), 16u);
+  EXPECT_EQ(H.percentile(100), 31u);
+  EXPECT_EQ(H.sum(), 31u * 32u / 2u);
+}
+
+TEST(Histogram, BucketGeometryRoundTrips) {
+  // bucketUpperBound(bucketIndex(V)) >= V, buckets are contiguous and
+  // monotone, and the relative quantization error stays within
+  // 1/HalfBuckets (6.25% at SubBucketBits = 5).
+  uint64_t Probes[] = {0,    1,     31,        32,        33,      47,
+                       63,   64,    100,       1000,      4096,    65537,
+                       1u << 20,    (1u << 20) + 12345,   UINT32_MAX,
+                       uint64_t(1) << 40, (uint64_t(1) << 40) + 999,
+                       UINT64_MAX};
+  for (uint64_t V : Probes) {
+    unsigned Idx = Histogram::bucketIndex(V);
+    ASSERT_LT(Idx, Histogram::NumBuckets) << V;
+    uint64_t Ub = Histogram::bucketUpperBound(Idx);
+    EXPECT_GE(Ub, V) << V;
+    if (Idx + 1 < Histogram::NumBuckets) {
+      EXPECT_EQ(Histogram::bucketIndex(Ub + 1), Idx + 1) << V;
+    }
+    if (V >= Histogram::SubBuckets) {
+      double Err = double(Ub - V) / double(V);
+      EXPECT_LE(Err, 1.0 / Histogram::HalfBuckets) << V;
+    }
+  }
+}
+
+TEST(Histogram, PercentileErrorBoundOnRandomData) {
+  std::mt19937_64 Rng(42);
+  std::vector<uint64_t> Values;
+  Histogram H;
+  for (int I = 0; I != 10000; ++I) {
+    // Log-uniform spread across six orders of magnitude, like latencies.
+    uint64_t V = uint64_t(1) << (Rng() % 40);
+    V += Rng() % V;
+    Values.push_back(V);
+    H.record(V);
+  }
+  std::sort(Values.begin(), Values.end());
+  for (double P : {50.0, 90.0, 99.0, 99.9}) {
+    uint64_t Exact = Values[size_t(P / 100.0 * Values.size())];
+    uint64_t Approx = H.percentile(P);
+    EXPECT_GE(Approx, Exact) << P;
+    EXPECT_LE(double(Approx - Exact) / double(Exact),
+              1.0 / Histogram::HalfBuckets)
+        << P;
+  }
+  EXPECT_EQ(H.percentile(100), Values.back());
+  EXPECT_EQ(H.min(), Values.front());
+  EXPECT_EQ(H.max(), Values.back());
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  std::mt19937_64 Rng(7);
+  Histogram A, B, Combined;
+  for (int I = 0; I != 5000; ++I) {
+    uint64_t V = Rng() % 1'000'000;
+    (I % 2 ? A : B).record(V);
+    Combined.record(V);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), Combined.count());
+  EXPECT_EQ(A.sum(), Combined.sum());
+  EXPECT_EQ(A.min(), Combined.min());
+  EXPECT_EQ(A.max(), Combined.max());
+  for (double P : {1.0, 25.0, 50.0, 75.0, 99.0, 99.9})
+    EXPECT_EQ(A.percentile(P), Combined.percentile(P)) << P;
+}
+
+TEST(Histogram, MergeWithEmptyKeepsExtrema) {
+  Histogram A, Empty;
+  A.record(100);
+  A.merge(Empty);
+  EXPECT_EQ(A.count(), 1u);
+  EXPECT_EQ(A.min(), 100u);
+  EXPECT_EQ(A.max(), 100u);
+  Empty.merge(A);
+  EXPECT_EQ(Empty.count(), 1u);
+  EXPECT_EQ(Empty.min(), 100u);
 }

@@ -10,11 +10,14 @@ This checker has three layers:
 
  1. Well-formedness: every input file must be non-empty, every non-blank
     line must parse as a JSON object with a string "bench", an integer
-    "scale", and a non-empty "rows" list of non-empty objects. Row 0
-    defines the document's key set; later rows must carry either the
-    same keys or a subset of them (summary rows such as a trailing
-    geomean legitimately omit per-workload columns, but may never invent
-    keys the data rows lack).
+    "scale", and a non-empty "rows" list of non-empty objects. Rows may
+    nest objects one level deep (BenchUtil.h beginObject — histogram
+    percentile blocks); nested fields are flattened to dotted keys
+    ("stw.p99_us") for all schema purposes. Row 0 defines the document's
+    key set; later rows must carry either the same keys or a subset of
+    them (summary rows such as a trailing geomean legitimately omit
+    per-workload columns, but may never invent keys the data rows lack).
+    Empty nested objects and deeper nesting are malformed.
  2. Baseline schema comparison (--baseline FILE, repeatable): the
     committed BENCH_*.json files define, per bench name, the expected
     row-0 key set. A fresh document for a known bench must carry exactly
@@ -29,6 +32,8 @@ This checker has three layers:
     KEY with '-' (e.g. --gate tiered_exec:-deopt_rate) flips the gate to
     lower-is-better: the check fails when fresh > baseline *
     (1 + --tolerance). The '-' is gate syntax, not part of the JSON key.
+    A dotted KEY (e.g. --gate server_latency:-stw.p99_us) gates a field
+    inside a nested object.
     Setting the SATB_BENCH_GATE_SKIP environment variable (any non-empty
     value) reports the comparison but never fails it — the escape hatch
     for 1-CPU containers whose timings are not comparable to the
@@ -71,8 +76,33 @@ def load_docs(path, errors):
     return docs
 
 
+def flat_keys(row, prefix=""):
+    """The row's key set with nested objects flattened to dotted keys
+    (BenchUtil.h beginObject/endObject emits histogram percentile blocks
+    as one-level sub-objects: {"stw": {"p99_us": ...}} contributes
+    "stw.p99_us"). An empty nested object contributes nothing and is
+    reported separately by check_doc. Returns None on nesting deeper
+    than one level — the writer cannot produce it, so it marks a
+    hand-edited or corrupted document."""
+    keys = set()
+    for k, v in row.items():
+        if isinstance(v, dict):
+            if prefix:
+                return None
+            sub = flat_keys(v, prefix=f"{k}.")
+            if sub is None:
+                return None
+            keys |= sub
+            if not v:
+                keys.add(f"{k}.")  # sentinel so schema comparison flags it
+        else:
+            keys.add(prefix + k)
+    return keys
+
+
 def check_doc(where, doc, errors):
-    """Well-formedness of one document; returns (bench, row0_keys, rows)."""
+    """Well-formedness of one document; returns (bench, row0_keys, rows).
+    Row keys are the flattened (dotted) key sets."""
     if not isinstance(doc, dict):
         errors.append(f"{where}: document is not an object")
         return None
@@ -92,10 +122,19 @@ def check_doc(where, doc, errors):
         if not isinstance(row, dict) or not row:
             errors.append(f"{where}: [{bench}] row {i} is not a non-empty object")
             return None
+        if any(isinstance(v, dict) and not v for v in row.values()):
+            errors.append(f"{where}: [{bench}] row {i} has an empty nested object")
+            return None
+        row_keys = flat_keys(row)
+        if row_keys is None:
+            errors.append(
+                f"{where}: [{bench}] row {i} nests objects deeper than one level"
+            )
+            return None
         if keys is None:
-            keys = frozenset(row)
-        elif not frozenset(row) <= keys:
-            extra = sorted(frozenset(row) - keys)
+            keys = frozenset(row_keys)
+        elif not frozenset(row_keys) <= keys:
+            extra = sorted(frozenset(row_keys) - keys)
             errors.append(
                 f"{where}: [{bench}] row {i} carries keys {extra} absent "
                 f"from row 0 (summary rows may only drop columns)"
@@ -126,19 +165,31 @@ def parse_gate(spec, errors):
     return parts[0], key, sel, lower
 
 
+def row_value(row, key):
+    """Reads KEY from a row; a dotted key ("stw.p99_us") descends into the
+    flattened nested object. Returns a sentinel (None) when absent."""
+    if "." in key:
+        outer, inner = key.split(".", 1)
+        sub = row.get(outer)
+        return sub.get(inner) if isinstance(sub, dict) else None
+    value = row.get(key)
+    return None if isinstance(value, dict) else value
+
+
 def gated_value(rows, key, sel):
     """The gated metric from a row list: the selected row's value, or the
-    last row carrying the key (the summary-row convention)."""
+    last row carrying the key (the summary-row convention). Dotted keys
+    gate fields inside nested objects."""
     picked = None
     for row in rows:
         if sel is not None:
-            if str(row.get(sel[0])) == sel[1] and key in row:
+            if str(row.get(sel[0])) == sel[1] and row_value(row, key) is not None:
                 picked = row
-        elif key in row:
+        elif row_value(row, key) is not None:
             picked = row
     if picked is None:
         return None
-    value = picked[key]
+    value = row_value(picked, key)
     return value if isinstance(value, (int, float)) else None
 
 

@@ -223,6 +223,109 @@ class CheckBenchJsonTest(unittest.TestCase):
         fresh = write_doc(self.dir, "fresh.json", "b", [{"workload": "a"}])
         self.assertEqual(self.run_main(fresh, "--require", "other"), 1)
 
+    # --- Nested (dotted-key) rows: the server_latency histogram blocks ---
+
+    def nested_row(self, p99=5.0, config="satb"):
+        return {
+            "config": config,
+            "requests_per_sec": 1000.0,
+            "stw": {"count": 4, "p99_us": p99},
+        }
+
+    def test_nested_rows_are_well_formed(self):
+        fresh = write_doc(
+            self.dir, "fresh.json", "b",
+            [self.nested_row(), self.nested_row(config="all")],
+        )
+        self.assertEqual(self.run_main(fresh), 0)
+
+    def test_nested_schema_drift_fails(self):
+        base = write_doc(self.dir, "base.json", "b", [self.nested_row()])
+        row = self.nested_row()
+        row["stw"] = {"count": 4, "renamed_us": 5.0}
+        drifted = write_doc(self.dir, "fresh.json", "b", [row])
+        self.assertEqual(self.run_main(drifted, "--baseline", base), 1)
+
+    def test_summary_row_may_drop_nested_block(self):
+        row = self.nested_row()
+        summary = {"config": "all", "requests_per_sec": 900.0}
+        fresh = write_doc(self.dir, "fresh.json", "b", [row, summary])
+        self.assertEqual(self.run_main(fresh), 0)
+
+    def test_summary_row_may_not_add_nested_keys(self):
+        row = self.nested_row()
+        summary = self.nested_row(config="all")
+        summary["stw"]["extra_us"] = 1.0
+        fresh = write_doc(self.dir, "fresh.json", "b", [row, summary])
+        self.assertEqual(self.run_main(fresh), 1)
+
+    def test_empty_nested_object_rejected(self):
+        row = self.nested_row()
+        row["stw"] = {}
+        fresh = write_doc(self.dir, "fresh.json", "b", [row])
+        self.assertEqual(self.run_main(fresh), 1)
+
+    def test_deep_nesting_rejected(self):
+        row = self.nested_row()
+        row["stw"] = {"inner": {"p99_us": 5.0}}
+        fresh = write_doc(self.dir, "fresh.json", "b", [row])
+        self.assertEqual(self.run_main(fresh), 1)
+
+    def test_dotted_gate_reads_nested_metric(self):
+        base = write_doc(
+            self.dir, "base.json", "b",
+            [self.nested_row(p99=10.0), self.nested_row(p99=10.0, config="all")],
+        )
+        fresh = write_doc(
+            self.dir, "fresh.json", "b",
+            [self.nested_row(p99=11.0), self.nested_row(p99=11.0, config="all")],
+        )
+        self.assertEqual(
+            self.run_main(
+                fresh, "--baseline", base, "--gate", "b:-stw.p99_us",
+                "--tolerance", "0.25",
+            ),
+            0,
+        )
+        worse = write_doc(
+            self.dir, "worse.json", "b",
+            [self.nested_row(p99=20.0), self.nested_row(p99=20.0, config="all")],
+        )
+        self.assertEqual(
+            self.run_main(
+                worse, "--baseline", base, "--gate", "b:-stw.p99_us",
+                "--tolerance", "0.25",
+            ),
+            1,
+        )
+
+    def test_dotted_gate_with_selector(self):
+        rows = [self.nested_row(p99=4.0), self.nested_row(p99=40.0, config="all")]
+        base = write_doc(self.dir, "base.json", "b", rows)
+        fresh = write_doc(self.dir, "fresh.json", "b", rows)
+        self.assertEqual(
+            self.run_main(
+                fresh, "--baseline", base,
+                "--gate", "b:-stw.p99_us:config=satb",
+            ),
+            0,
+        )
+
+    def test_dotted_gate_missing_inner_key_fails(self):
+        fresh = write_doc(self.dir, "fresh.json", "b", [self.nested_row()])
+        base = write_doc(self.dir, "base.json", "b", [self.nested_row()])
+        self.assertEqual(
+            self.run_main(fresh, "--baseline", base, "--gate", "b:stw.absent"),
+            1,
+        )
+
+    def test_whole_object_is_not_a_gateable_metric(self):
+        fresh = write_doc(self.dir, "fresh.json", "b", [self.nested_row()])
+        base = write_doc(self.dir, "base.json", "b", [self.nested_row()])
+        self.assertEqual(
+            self.run_main(fresh, "--baseline", base, "--gate", "b:stw"), 1
+        )
+
 
 if __name__ == "__main__":
     unittest.main()
