@@ -161,6 +161,65 @@ void runGenMode(benchmark::State &State, uint32_t PretenureBytes,
       Stores ? static_cast<double>(CostInstrs) / Stores : 0;
 }
 
+/// Bulk-store rows: one 64-slot ArrayFill per iteration. \p Fresh fills
+/// a freshly allocated array (the Section 3 range proof removes the
+/// barrier); otherwise one published long-lived array is refilled every
+/// iteration and the range barrier stays. Costs are modeled per bulk
+/// execution, not per slot: the idle range barrier is the same 2-instr
+/// check as one scalar store, and an active-marking refill pays the
+/// per-slot SATB log for all 64 non-null pre-values.
+struct RangeProgram {
+  Program P;
+  MethodId Main;
+
+  explicit RangeProgram(bool Fresh) {
+    StaticFieldId Sink = P.addStaticField("sink", JType::Ref);
+    MethodBuilder B(P, "main", {JType::Int}, std::nullopt);
+    Local T = B.newLocal(JType::Int), Arr = B.newLocal(JType::Ref);
+    Label Head = B.newLabel(), Done = B.newLabel();
+    if (!Fresh) {
+      B.iconst(64).newRefArray().astore(Arr);
+      B.aload(Arr).putstatic(Sink); // escape: the range barrier stays
+    }
+    B.iconst(0).istore(T);
+    B.bind(Head).iload(T).iload(B.arg(0)).ifICmpGe(Done);
+    if (Fresh)
+      B.iconst(64).newRefArray().astore(Arr);
+    B.aload(Arr).aload(Arr).iconst(0).iconst(64).arrayfill();
+    B.iinc(T, 1).jump(Head);
+    B.bind(Done).ret();
+    Main = B.finish();
+  }
+};
+
+void runRange(benchmark::State &State, bool Fresh, bool MarkingActive) {
+  RangeProgram RP(Fresh);
+  CompilerOptions Opts;
+  Opts.Barrier = BarrierMode::Satb;
+  CompiledProgram CP = compileProgram(RP.P, Opts);
+  const int64_t N = 20000;
+  uint64_t BulkStores = 0, CostInstrs = 0;
+  for (auto _ : State) {
+    Heap H(RP.P);
+    SatbMarker M(H);
+    Interpreter I(RP.P, CP, H);
+    I.attachSatb(&M);
+    if (MarkingActive)
+      M.beginMarking({});
+    I.run(RP.Main, {N});
+    BulkStores += N;
+    CostInstrs += I.barrierCostInstrs();
+    if (MarkingActive)
+      M.finishMarking();
+    benchmark::DoNotOptimize(I.stepsExecuted());
+  }
+  State.counters["sec/store"] = benchmark::Counter(
+      static_cast<double>(N), benchmark::Counter::kIsIterationInvariantRate |
+                                  benchmark::Counter::kInvert);
+  State.counters["model instrs/store"] =
+      BulkStores ? static_cast<double>(CostInstrs) / BulkStores : 0;
+}
+
 void BM_NoBarrier(benchmark::State &S) {
   runMode(S, BarrierMode::None, false);
 }
@@ -187,6 +246,16 @@ void BM_GenOldStore(benchmark::State &S) {
 void BM_GenElided(benchmark::State &S) {
   runGenMode(S, /*PretenureBytes=*/1024, /*Elided=*/true);
 }
+// Bulk rows: 64-slot ArrayFill, cost per bulk execution.
+void BM_RangeBarrierIdle(benchmark::State &S) {
+  runRange(S, /*Fresh=*/false, /*MarkingActive=*/false);
+}
+void BM_RangeBarrierMarking(benchmark::State &S) {
+  runRange(S, /*Fresh=*/false, /*MarkingActive=*/true);
+}
+void BM_RangeElided(benchmark::State &S) {
+  runRange(S, /*Fresh=*/true, /*MarkingActive=*/false);
+}
 
 BENCHMARK(BM_NoBarrier);
 BENCHMARK(BM_SatbIdle);
@@ -196,6 +265,9 @@ BENCHMARK(BM_CardMarking);
 BENCHMARK(BM_GenYoungStore);
 BENCHMARK(BM_GenOldStore);
 BENCHMARK(BM_GenElided);
+BENCHMARK(BM_RangeBarrierIdle);
+BENCHMARK(BM_RangeBarrierMarking);
+BENCHMARK(BM_RangeElided);
 
 } // namespace
 
@@ -203,7 +275,10 @@ int main(int argc, char **argv) {
   std::printf("Barrier micro-costs. Expected model instrs/store: SATB idle "
               "2, SATB marking\n(non-null pre-value) 11 (the paper's 9-12 "
               "budget), always-log 9, card 2,\ngenerational young store 4, "
-              "old store 6, statically elided 0.\n\n");
+              "old store 6, statically elided 0.\nBulk rows (64-slot "
+              "ArrayFill, per bulk execution): range barrier idle 2,\nrange "
+              "barrier marking ~389 (2 + 3 + 64 non-null pre-value logs at "
+              "6), range\nelided 0.\n\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

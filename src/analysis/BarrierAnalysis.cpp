@@ -54,6 +54,8 @@ std::vector<bool> computePureReaders(const Program &P) {
       case Opcode::PutStatic:
       case Opcode::AAStore:
       case Opcode::IAStore:
+      case Opcode::ArrayFill:
+      case Opcode::ArrayCopy:
         Pure[M] = false;
         break;
       default:
@@ -386,8 +388,18 @@ private:
                      const AbstractValue &Val, FieldId F, uint32_t InstrIdx);
   void judgeAAStore(const AnalysisState &S, const AbstractValue &Arr,
                     const AbstractValue &Ind, uint32_t InstrIdx);
+  void judgeRangeStore(const AnalysisState &S, const AbstractValue &Arr,
+                       const AbstractValue &Start, const AbstractValue &Cnt,
+                       uint32_t InstrIdx);
   bool indexInNullRange(const AnalysisState &S, RefId At,
                         const IntVal &Ind) const;
+  bool rangeInNullRange(const AnalysisState &S, RefId At, const IntVal &Start,
+                        const IntVal &Cnt) const;
+  /// Shared abstract effect of a bulk store: escape, the weak f_elems
+  /// update, and the null-range contraction over [Start .. Start+Cnt).
+  void rangeStoreEffect(AnalysisState &S, const AbstractValue &Arr,
+                        AbstractValue Val, const AbstractValue &Start,
+                        const AbstractValue &Cnt);
 
   AnalysisState initialState();
 
@@ -587,6 +599,82 @@ void BarrierAnalyzer::judgeAAStore(const AnalysisState &S,
   Arr.refSet().forEach([&](size_t At) {
     RefId R = static_cast<RefId>(At);
     if (S.NL.test(R) || !indexInNullRange(S, R, Ind.intValue()))
+      Ok = false;
+  });
+  if (Ok) {
+    D.Elide = true;
+    D.Reason = ElisionReason::PreNullArrayElement;
+  }
+}
+
+bool BarrierAnalyzer::rangeInNullRange(const AnalysisState &S, RefId At,
+                                       const IntVal &Start,
+                                       const IntVal &Cnt) const {
+  const IntRange R = S.nullRangeOf(At);
+  // The whole destination [Start .. Start+Cnt) must lie inside the null
+  // range. As with the per-slot judgment, the runtime bounds check
+  // discharges what it already enforces: Start < 0 traps before any slot
+  // is written, and Start+Cnt <= length likewise.
+  const IntVal Last = Start + Cnt.addConstant(-1);
+  auto LowerOk = [&](const IntVal &Lo) {
+    return Lo == IntVal::constant(0) ||
+           provablyNonNegative(Start - Lo, ConstReg);
+  };
+  switch (R.kind()) {
+  case IntRange::Kind::Empty:
+    return false;
+  case IntRange::Kind::From:
+    // [lo..]: need lo <= Start; the bounds check discharges the top end.
+    return LowerOk(R.lo());
+  case IntRange::Kind::To:
+    // [..hi]: need Start+Cnt-1 <= hi; a negative start traps first.
+    return !R.hi().isTop() && provablyNonNegative(R.hi() - Last, ConstReg);
+  case IntRange::Kind::Full: {
+    if (!LowerOk(R.lo()))
+      return false;
+    const IntVal &Hi = R.hi();
+    if (Hi.isTop())
+      return false;
+    if (provablyNonNegative(Hi - Last, ConstReg))
+      return true;
+    // When the range's upper bound is the array's last valid index, the
+    // runtime bounds check discharges the upper side.
+    IntVal Len = S.lenOf(At);
+    return !Len.isTop() && Hi.addConstant(1) == Len;
+  }
+  }
+  return false;
+}
+
+void BarrierAnalyzer::judgeRangeStore(const AnalysisState &S,
+                                      const AbstractValue &Arr,
+                                      const AbstractValue &Start,
+                                      const AbstractValue &Cnt,
+                                      uint32_t InstrIdx) {
+  BarrierDecision &D = Result.Decisions[InstrIdx];
+  if (Arr.isBottom()) {
+    D.Elide = true;
+    D.Reason = ElisionReason::DeadCode;
+    return;
+  }
+  // Generational judgment: identical to the per-slot one — the whole range
+  // lands in one object, so one young destination proof covers it.
+  if (Arr.isRefs() && !Arr.refSet().empty()) {
+    bool AllYoung = true;
+    Arr.refSet().forEach([&](size_t At) {
+      if (!S.Young.test(At))
+        AllYoung = false;
+    });
+    D.TargetYoung = AllYoung;
+  }
+  if (!modeA() || !Arr.isRefs() || !Start.isInt() ||
+      Start.intValue().isTop() || !Cnt.isInt() || Cnt.intValue().isTop())
+    return;
+  bool Ok = true;
+  Arr.refSet().forEach([&](size_t At) {
+    RefId R = static_cast<RefId>(At);
+    if (S.NL.test(R) ||
+        !rangeInNullRange(S, R, Start.intValue(), Cnt.intValue()))
       Ok = false;
   });
   if (Ok) {
@@ -890,6 +978,30 @@ void BarrierAnalyzer::transfer(AnalysisState &S, uint32_t InstrIdx) {
     }
     return;
   }
+  case Opcode::ArrayFill: {
+    AbstractValue Cnt = S.popValue();
+    AbstractValue Start = S.popValue();
+    AbstractValue Val = S.popValue();
+    AbstractValue Arr = S.popValue();
+    if (Judging)
+      judgeRangeStore(S, Arr, Start, Cnt, InstrIdx);
+    rangeStoreEffect(S, Arr, std::move(Val), Start, Cnt);
+    return;
+  }
+  case Opcode::ArrayCopy: {
+    AbstractValue Cnt = S.popValue();
+    AbstractValue DstPos = S.popValue();
+    AbstractValue Dst = S.popValue();
+    S.popValue(); // source position: no abstract effect
+    AbstractValue Src = S.popValue();
+    if (Judging)
+      judgeRangeStore(S, Dst, DstPos, Cnt, InstrIdx);
+    // The stored values are whatever the source's elements may hold.
+    AbstractValue Vals =
+        lookupJoin(S, Src, AnalysisState::ElemsFieldBase, JType::Ref);
+    rangeStoreEffect(S, Dst, std::move(Vals), DstPos, Cnt);
+    return;
+  }
   case Opcode::IALoad:
     S.popValue();
     S.popValue();
@@ -982,6 +1094,39 @@ void BarrierAnalyzer::transfer(AnalysisState &S, uint32_t InstrIdx) {
   assert(false && "unknown opcode in transfer");
 }
 
+void BarrierAnalyzer::rangeStoreEffect(AnalysisState &S,
+                                       const AbstractValue &Arr,
+                                       AbstractValue Val,
+                                       const AbstractValue &Start,
+                                       const AbstractValue &Cnt) {
+  allNonTLCond(S, Arr, Val);
+  if (!Arr.isRefs())
+    return;
+  Val.clearSrcLocal();
+  Val.clearNosTags();
+  // Arrays always take weak updates (Section 2.4).
+  Arr.refSet().forEach([&](size_t At) {
+    StoreKey Key{static_cast<RefId>(At), AnalysisState::ElemsFieldBase};
+    auto It = S.Store.find(Key);
+    if (It == S.Store.end())
+      S.Store.emplace(Key, Val);
+    else
+      It->second.mergeFrom(Val, simpleIntMerge);
+  });
+  if (modeA()) {
+    IntVal StartV = Start.isInt() ? Start.intValue() : IntVal::top();
+    IntVal CntV = Cnt.isInt() ? Cnt.intValue() : IntVal::top();
+    Arr.refSet().forEach([&](size_t At) {
+      auto It = S.NR.find(static_cast<RefId>(At));
+      if (It == S.NR.end())
+        return;
+      It->second = Cfg.EnableContract
+                       ? It->second.contractRange(StartV, CntV)
+                       : IntRange::empty();
+    });
+  }
+}
+
 template <typename FnT>
 void BarrierAnalyzer::processBlock(uint32_t BI, AnalysisState &S,
                                    FnT EmitOut) {
@@ -1030,7 +1175,8 @@ AnalysisResult BarrierAnalyzer::run() {
     if (Ins.Op == Opcode::PutField &&
         P.fieldDecl(static_cast<FieldId>(Ins.A)).Type == JType::Ref)
       D.IsBarrierSite = true;
-    else if (Ins.Op == Opcode::AAStore)
+    else if (Ins.Op == Opcode::AAStore || Ins.Op == Opcode::ArrayFill ||
+             Ins.Op == Opcode::ArrayCopy)
       D.IsBarrierSite = D.IsArraySite = true;
     else if (Ins.Op == Opcode::PutStatic &&
              P.staticDecl(static_cast<StaticFieldId>(Ins.A)).Type ==

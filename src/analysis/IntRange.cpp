@@ -31,6 +31,31 @@ IntRange IntRange::contract(const IntVal &Ind) const {
   return empty();
 }
 
+IntRange IntRange::contractRange(const IntVal &Start,
+                                 const IntVal &Count) const {
+  if (K == Kind::Empty || Start.isTop() || Count.isTop())
+    return empty();
+  // Bulk store at the low end: [Start..x] -> [Start+Count..x].
+  if (hasLo() && Start == LoBound) {
+    IntVal NewLo = LoBound + Count;
+    if (NewLo.isTop())
+      return empty();
+    if (K == Kind::Full)
+      return full(NewLo, HiBound);
+    return from(NewLo);
+  }
+  // Bulk store at the high end: [x..Start+Count-1] -> [x..Start-1].
+  if (hasHi() && Start + Count.addConstant(-1) == HiBound) {
+    IntVal NewHi = Start.addConstant(-1);
+    if (NewHi.isTop())
+      return empty();
+    if (K == Kind::Full)
+      return full(LoBound, NewHi);
+    return to(NewHi);
+  }
+  return empty();
+}
+
 std::string IntRange::str() const {
   switch (K) {
   case Kind::Empty:

@@ -74,6 +74,12 @@ public:
   /// A bound that becomes Top also empties the range.
   IntRange contract(const IntVal &Ind) const;
 
+  /// Range form of contract for the bulk-store bytecodes: a store covering
+  /// [Start .. Start+Count) anchored at either end shrinks the range by
+  /// Count; anything else loses all information. Sound for Count = 0 (the
+  /// surviving range only ever excludes covered indices).
+  IntRange contractRange(const IntVal &Start, const IntVal &Count) const;
+
   bool operator==(const IntRange &O) const {
     if (K != O.K)
       return false;

@@ -112,6 +112,10 @@ public:
   MethodBuilder &iaload() { return emit(Opcode::IALoad); }
   MethodBuilder &iastore() { return emit(Opcode::IAStore); }
   MethodBuilder &arraylength() { return emit(Opcode::ArrayLength); }
+  /// Stack: ..., arrayref, value(ref), start, count -> ...
+  MethodBuilder &arrayfill() { return emit(Opcode::ArrayFill); }
+  /// Stack: ..., srcref, srcpos, dstref, dstpos, count -> ...
+  MethodBuilder &arraycopy() { return emit(Opcode::ArrayCopy); }
   MethodBuilder &invoke(MethodId Callee) {
     return emit(Opcode::Invoke, static_cast<int32_t>(Callee));
   }

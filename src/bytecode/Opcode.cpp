@@ -112,6 +112,10 @@ const char *satb::opcodeName(Opcode Op) {
     return "rearrange_exit";
   case Opcode::RearrangeEnterDyn:
     return "rearrange_enter_dyn";
+  case Opcode::ArrayFill:
+    return "arrayfill";
+  case Opcode::ArrayCopy:
+    return "arraycopy";
   }
   assert(false && "unknown opcode");
   return "<bad>";

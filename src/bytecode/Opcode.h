@@ -102,6 +102,16 @@ enum class Opcode : uint8_t {
   RearrangeEnterDyn, ///< Like RearrangeEnter, but B names the *int local*
                      ///< holding the index of the first-overwritten
                      ///< element (the swap idiom's dynamic index).
+
+  // Bulk array stores. One execution is one barrier-site event: a single
+  // range barrier (or range elision, when the Section 3 null-range proof
+  // covers the whole destination) replaces count per-slot barriers.
+  ArrayFill, ///< pop count, start, value(ref), arrayref; store value into
+             ///< arr[start .. start+count). Traps null/kind/bounds.
+             ///< SATB range-barrier site.
+  ArrayCopy, ///< pop count, dstpos, dstarrayref, srcpos, srcarrayref;
+             ///< memmove-style overlap-safe copy of count elements.
+             ///< Traps null/kind/bounds. SATB range-barrier site on dst.
 };
 
 /// \returns a stable mnemonic for \p Op, e.g. "putfield".

@@ -48,8 +48,18 @@ void IncrementalUpdateMarker::pushIfUnmarked(ObjRef R, size_t &Work) {
 void IncrementalUpdateMarker::scanObject(ObjRef R, size_t &Work) {
   HeapObject &Obj = H.object(R);
   const ObjRef *Slots = Obj.refs();
-  for (uint32_t I = 0, E = Obj.NumRefs; I != E; ++I)
-    pushIfUnmarked(loadRefAcquire(&Slots[I]), Work);
+  if (Obj.Kind == ObjectKind::RefArray) {
+    // Word-at-a-time range marking, same path as the SATB marker's array
+    // scan: one bitmap fetch_or per touched mark word.
+    H.markRangeWords(Slots, Obj.NumRefs, [&](ObjRef V) {
+      ++Stats.MarkedObjects;
+      ++Work;
+      MarkStack.push_back(V);
+    });
+  } else {
+    for (uint32_t I = 0, E = Obj.NumRefs; I != E; ++I)
+      pushIfUnmarked(loadRefAcquire(&Slots[I]), Work);
+  }
   bumpTrace(R);
   ++Work;
 }
@@ -84,9 +94,7 @@ void IncrementalUpdateMarker::parallelWorker(unsigned WorkerIdx, size_t Budget,
   uint64_t Marked = 0;
   uint64_t Work = 0;
   bool Counted = true;
-  auto Claim = [&](ObjRef R) {
-    if (R == NullRef || !H.isLive(R) || !H.tryClaimMark(R))
-      return;
+  auto Admit = [&](ObjRef R) {
     ++Marked;
     ++Work;
     Local.push_back(R);
@@ -95,6 +103,21 @@ void IncrementalUpdateMarker::parallelWorker(unsigned WorkerIdx, size_t Budget,
       Local.erase(Local.begin(), Local.begin() + GreySegmentTarget);
       Grey.push(std::move(Out));
     }
+  };
+  auto Claim = [&](ObjRef R) {
+    if (R == NullRef || !H.isLive(R) || !H.tryClaimMark(R))
+      return;
+    Admit(R);
+  };
+  // Slot scan of one object: reference arrays go word-at-a-time through
+  // the batched bitmap claim, everything else slot-by-slot.
+  auto ScanSlots = [&](HeapObject &Obj) {
+    const ObjRef *Slots = Obj.refs();
+    if (Obj.Kind == ObjectKind::RefArray)
+      H.markRangeWords(Slots, Obj.NumRefs, Admit);
+    else
+      for (uint32_t I = 0, E = Obj.NumRefs; I != E; ++I)
+        Claim(loadRefAcquire(&Slots[I]));
   };
   // Rescan of one dirty card, claimed through testAndClean (an atomic
   // exchange, so exactly one worker scans each dirty instance).
@@ -107,11 +130,8 @@ void IncrementalUpdateMarker::parallelWorker(unsigned WorkerIdx, size_t Budget,
       HeapObject *Obj = H.objectOrNull(R);
       if (!Obj)
         continue;
-      if (H.isMarked(R)) {
-        const ObjRef *Slots = Obj->refs();
-        for (uint32_t I = 0, E = Obj->NumRefs; I != E; ++I)
-          Claim(loadRefAcquire(&Slots[I]));
-      }
+      if (H.isMarked(R))
+        ScanSlots(*Obj);
       ++Work;
     }
     return true;
@@ -125,10 +145,7 @@ void IncrementalUpdateMarker::parallelWorker(unsigned WorkerIdx, size_t Budget,
     while (!Local.empty() && (ToCompletion || Work < Budget)) {
       ObjRef R = Local.back();
       Local.pop_back();
-      HeapObject &Obj = H.object(R);
-      const ObjRef *Slots = Obj.refs();
-      for (uint32_t I = 0, E = Obj.NumRefs; I != E; ++I)
-        Claim(loadRefAcquire(&Slots[I]));
+      ScanSlots(H.object(R));
       bumpTrace(R);
       ++Work;
     }
@@ -185,8 +202,16 @@ void IncrementalUpdateMarker::rescanCard(uint32_t Card, size_t &Work) {
     // dirtied a card holding a marked object.)
     if (H.isMarked(R)) {
       const ObjRef *Slots = Obj->refs();
-      for (uint32_t I = 0, E2 = Obj->NumRefs; I != E2; ++I)
-        pushIfUnmarked(loadRefAcquire(&Slots[I]), Work);
+      if (Obj->Kind == ObjectKind::RefArray) {
+        H.markRangeWords(Slots, Obj->NumRefs, [&](ObjRef V) {
+          ++Stats.MarkedObjects;
+          ++Work;
+          MarkStack.push_back(V);
+        });
+      } else {
+        for (uint32_t I = 0, E2 = Obj->NumRefs; I != E2; ++I)
+          pushIfUnmarked(loadRefAcquire(&Slots[I]), Work);
+      }
     }
     ++Work;
   }

@@ -52,8 +52,19 @@ void SatbMarker::scanObject(ObjRef R, size_t &Work) {
   // Acquire per slot: a concurrently stored reference must publish its
   // referent's table entry and zeroed payload before we push it.
   const ObjRef *Slots = Obj.refs();
-  for (uint32_t I = 0, E = Obj.NumRefs; I != E; ++I)
-    pushIfUnmarked(loadRefAcquire(&Slots[I]), Work);
+  if (Obj.Kind == ObjectKind::RefArray) {
+    // Reference arrays take the word-at-a-time range path: one bitmap
+    // fetch_or per touched mark word instead of one test-and-set per
+    // slot, with callback order equal to the slot-by-slot loop's.
+    H.markRangeWords(Slots, Obj.NumRefs, [&](ObjRef V) {
+      ++Stats.MarkedObjects;
+      ++Work;
+      MarkStack.push_back(V);
+    });
+  } else {
+    for (uint32_t I = 0, E = Obj.NumRefs; I != E; ++I)
+      pushIfUnmarked(loadRefAcquire(&Slots[I]), Work);
+  }
   storeTracingRelaxed(Obj, TraceState::Traced);
   bumpTrace(R);
   ++Work;
@@ -88,9 +99,10 @@ void SatbMarker::parallelWorker(size_t Budget, bool ToCompletion,
   uint64_t Marked = 0;
   uint64_t Work = 0;
   bool Counted = true; // this worker is counted in the gate
-  auto Claim = [&](ObjRef R) {
-    if (R == NullRef || !H.isLive(R) || !H.tryClaimMark(R))
-      return;
+  // Admit: a reference this worker just claimed. Claim: test-and-claim a
+  // single slot value; the range path claims whole mark words at a time
+  // (markRangeWords) and feeds the winners straight to Admit.
+  auto Admit = [&](ObjRef R) {
     ++Marked;
     ++Work;
     Local.push_back(R);
@@ -102,6 +114,11 @@ void SatbMarker::parallelWorker(size_t Budget, bool ToCompletion,
       Grey.push(std::move(Out));
     }
   };
+  auto Claim = [&](ObjRef R) {
+    if (R == NullRef || !H.isLive(R) || !H.tryClaimMark(R))
+      return;
+    Admit(R);
+  };
   for (;;) {
     while (!Local.empty() && (ToCompletion || Work < Budget)) {
       ObjRef R = Local.back();
@@ -109,8 +126,11 @@ void SatbMarker::parallelWorker(size_t Budget, bool ToCompletion,
       HeapObject &Obj = H.object(R);
       storeTracingRelaxed(Obj, TraceState::Tracing);
       const ObjRef *Slots = Obj.refs();
-      for (uint32_t I = 0, E = Obj.NumRefs; I != E; ++I)
-        Claim(loadRefAcquire(&Slots[I]));
+      if (Obj.Kind == ObjectKind::RefArray)
+        H.markRangeWords(Slots, Obj.NumRefs, Admit);
+      else
+        for (uint32_t I = 0, E = Obj.NumRefs; I != E; ++I)
+          Claim(loadRefAcquire(&Slots[I]));
       storeTracingRelaxed(Obj, TraceState::Traced);
       bumpTrace(R);
       ++Work;
@@ -298,9 +318,12 @@ size_t SatbMarker::finishMarking() {
       HeapObject *Obj = H.objectOrNull(Arr);
       if (!Obj)
         continue;
-      const ObjRef *Slots = Obj->refs();
-      for (uint32_t I = 0, E = Obj->NumRefs; I != E; ++I)
-        pushIfUnmarked(loadRefAcquire(&Slots[I]), Pause);
+      // Retraced arrays take the same word-at-a-time path as scanObject.
+      H.markRangeWords(Obj->refs(), Obj->NumRefs, [&](ObjRef V) {
+        ++Stats.MarkedObjects;
+        ++Pause;
+        MarkStack.push_back(V);
+      });
       ++Pause;
     }
     RetraceList.clear();

@@ -67,6 +67,30 @@ inline void storeIntRelaxed(int64_t *P, int64_t V) {
   __atomic_store_n(P, V, __ATOMIC_RELAXED);
 }
 
+// Range analogues for the bulk-store bytecodes. Every slot store is
+// release (same protocol as storeRefRelease) so the concurrent marker's
+// acquire loads never race with a bulk store. The copy reads each source
+// slot before writing the destination slot that could alias it — forward
+// when the destination starts below the source, backward otherwise — so
+// overlapping self-copies produce exactly std::memmove's result.
+inline void storeRefRangeFill(ObjRef *Dst, size_t N, ObjRef V) {
+  for (size_t I = 0; I != N; ++I)
+    __atomic_store_n(Dst + I, V, __ATOMIC_RELEASE);
+}
+inline void storeRefRangeCopy(ObjRef *Dst, const ObjRef *Src, size_t N) {
+  if (Dst == Src)
+    return;
+  if (Dst < Src) {
+    for (size_t I = 0; I != N; ++I)
+      __atomic_store_n(Dst + I, __atomic_load_n(Src + I, __ATOMIC_ACQUIRE),
+                       __ATOMIC_RELEASE);
+  } else {
+    for (size_t I = N; I-- != 0;)
+      __atomic_store_n(Dst + I, __atomic_load_n(Src + I, __ATOMIC_ACQUIRE),
+                       __ATOMIC_RELEASE);
+  }
+}
+
 enum class ObjectKind : uint8_t { Object, RefArray, IntArray };
 
 /// Array tracing states for the Section 4.3 optimistic protocol.
@@ -225,6 +249,31 @@ public:
            (__atomic_load_n(&YoungWords[R >> 6], __ATOMIC_RELAXED) >>
             (R & 63)) &
                1;
+  }
+
+  /// Word-at-a-time young scan for the range remembered-set barrier:
+  /// \returns true iff any of \p Vals[0..N) is a non-null young
+  /// reference. The young-bitmap word is cached across consecutive
+  /// values — bulk stores overwhelmingly move refs allocated together —
+  /// so an all-old source touches each bitmap word once, not once per
+  /// slot. Values are read with acquire loads so the scan may run
+  /// directly over shared heap slots.
+  bool anyYoung(const ObjRef *Vals, size_t N) const {
+    size_t CurWord = ~size_t(0);
+    uint64_t W = 0;
+    for (size_t I = 0; I != N; ++I) {
+      ObjRef R = __atomic_load_n(Vals + I, __ATOMIC_ACQUIRE);
+      if (R == NullRef || R >= Table.size())
+        continue;
+      size_t WI = R >> 6;
+      if (WI != CurWord) {
+        CurWord = WI;
+        W = __atomic_load_n(&YoungWords[WI], __ATOMIC_RELAXED);
+      }
+      if ((W >> (R & 63)) & 1)
+        return true;
+    }
+    return false;
   }
 
   /// \returns true if \p Mem points into the nursery buffer (block starts
@@ -410,6 +459,56 @@ public:
     uint64_t Prev =
         __atomic_fetch_or(&MarkWords[R >> 6], Bit, __ATOMIC_RELAXED);
     return (Prev & Bit) == 0;
+  }
+
+  /// Batched tryClaimMark over a reference-array range: claims the mark
+  /// bit of every distinct, live, not-yet-marked referent in
+  /// \p Slots[0..N) with one fetch_or per touched bitmap word, invoking
+  /// \p OnMarked(R) exactly once per newly marked object in
+  /// first-occurrence slot order. Duplicates within the range are folded
+  /// against a snapshot of the word; bits another worker claims between
+  /// the snapshot and the fetch_or are reconciled from the fetch_or's
+  /// returned previous value, preserving the exactly-once guarantee.
+  /// Pending bits are flushed whenever the scan leaves a bitmap word, so
+  /// callback order equals the order a slot-by-slot tryClaimMark loop
+  /// would produce. Slots are read with acquire loads (the marker-side
+  /// protocol).
+  template <typename FnT>
+  void markRangeWords(const ObjRef *Slots, size_t N, FnT OnMarked) {
+    size_t CurWord = ~size_t(0);
+    uint64_t Seen = 0;     ///< mark-word snapshot for CurWord
+    uint64_t PendMask = 0; ///< bits this batch still has to claim
+    ObjRef Scratch[64];    ///< pended refs of CurWord, slot order
+    unsigned Pend = 0;
+    auto Flush = [&] {
+      if (!PendMask)
+        return;
+      uint64_t Prev =
+          __atomic_fetch_or(&MarkWords[CurWord], PendMask, __ATOMIC_RELAXED);
+      uint64_t Newly = PendMask & ~Prev;
+      for (unsigned I = 0; I != Pend; ++I)
+        if ((Newly >> (Scratch[I] & 63)) & 1)
+          OnMarked(Scratch[I]);
+      PendMask = 0;
+      Pend = 0;
+    };
+    for (size_t I = 0; I != N; ++I) {
+      ObjRef R = __atomic_load_n(Slots + I, __ATOMIC_ACQUIRE);
+      if (R == NullRef || !isLive(R))
+        continue;
+      size_t WI = R >> 6;
+      if (WI != CurWord) {
+        Flush();
+        CurWord = WI;
+        Seen = __atomic_load_n(&MarkWords[WI], __ATOMIC_RELAXED);
+      }
+      uint64_t Bit = uint64_t(1) << (R & 63);
+      if ((Seen | PendMask) & Bit)
+        continue;
+      Scratch[Pend++] = R;
+      PendMask |= Bit;
+    }
+    Flush();
   }
 
   // --- GC support -----------------------------------------------------------

@@ -282,6 +282,187 @@ void FastInterp::collectRoots(std::vector<ObjRef> &Out) const {
 
 #define AASTORE_PROLOGUE() AASTORE_PROLOGUE_AT(IP[0], POP())
 
+// --- Bulk-store plumbing ----------------------------------------------------
+//
+// ArrayFill / ArrayCopy prologues: pops and trap order mirror the
+// reference engine's cases exactly. One bulk execution is one fuel unit,
+// one Execs tick, and at most one PreNull tick — PreNull counts
+// executions whose *whole* destination range was pre-null (the range
+// analogue of the per-slot profile, vacuously true for N == 0; the
+// speculative tier promotes on it). The pre-value scan runs before any
+// slot is written: self-copies may overlap, and the SATB log must see
+// the snapshot values. Bulk ops never fuse and are never poll points, so
+// the instruction boundary after the handler is safepoint-correct for
+// free.
+#define BULK_PRENULL_SCAN()                                                    \
+  bool AllPreNull = true;                                                      \
+  for (size_t I = 0; I != N; ++I)                                              \
+    if (loadRefAcquire(DstP + I) != NullRef) {                                 \
+      AllPreNull = false;                                                      \
+      break;                                                                   \
+    }                                                                          \
+  if (AllPreNull)                                                              \
+  ++SS.PreNull
+
+#define ARRAYFILL_PROLOGUE()                                                   \
+  int64_t Cnt = POP().Int;                                                     \
+  int64_t Start = POP().Int;                                                   \
+  ObjRef Val = POP().Ref;                                                      \
+  ObjRef Arr = POP().Ref;                                                      \
+  if (Arr == NullRef)                                                          \
+    TRAP(NullPointer);                                                         \
+  HeapObject &O = *Tbl[Arr];                                                   \
+  if (O.Kind != ObjectKind::RefArray)                                          \
+    TRAP(BadFieldAccess);                                                      \
+  if (Cnt < 0 || Start < 0 || Start + Cnt > O.arrayLength())                   \
+    TRAP(OutOfBounds);                                                         \
+  ObjRef *DstP = O.refs() + static_cast<size_t>(Start);                        \
+  const size_t N = static_cast<size_t>(Cnt);                                   \
+  SiteStats &SS = Sites[IP->Site];                                             \
+  ++SS.Execs;                                                                  \
+  BULK_PRENULL_SCAN()
+
+#define ARRAYCOPY_PROLOGUE()                                                   \
+  int64_t Cnt = POP().Int;                                                     \
+  int64_t DstPos = POP().Int;                                                  \
+  ObjRef Arr = POP().Ref; /* the destination: the barrier's base */            \
+  int64_t SrcPos = POP().Int;                                                  \
+  ObjRef Src = POP().Ref;                                                      \
+  if (Src == NullRef || Arr == NullRef)                                        \
+    TRAP(NullPointer);                                                         \
+  HeapObject &SrcO = *Tbl[Src];                                                \
+  HeapObject &DstO = *Tbl[Arr];                                                \
+  if (SrcO.Kind != ObjectKind::RefArray || DstO.Kind != ObjectKind::RefArray)  \
+    TRAP(BadFieldAccess);                                                      \
+  if (Cnt < 0 || SrcPos < 0 || SrcPos + Cnt > SrcO.arrayLength() ||            \
+      DstPos < 0 || DstPos + Cnt > DstO.arrayLength())                         \
+    TRAP(OutOfBounds);                                                         \
+  const ObjRef *SrcP = SrcO.refs() + static_cast<size_t>(SrcPos);              \
+  ObjRef *DstP = DstO.refs() + static_cast<size_t>(DstPos);                    \
+  const size_t N = static_cast<size_t>(Cnt);                                   \
+  SiteStats &SS = Sites[IP->Site];                                             \
+  ++SS.Execs;                                                                  \
+  BULK_PRENULL_SCAN()
+
+// Range barrier tails: the reference engine's rangeStoreBarrier cost
+// model verbatim — the mode/active checks and the remembered-set
+// young/card work are paid once per range, only the unavoidable per-slot
+// log of a non-null pre-value stays linear.
+#define RANGE_BARRIER_SATB()                                                   \
+  do {                                                                         \
+    BarrierCost += 2; /* one marking-active check for the whole range */       \
+    if (Satb && Satb->isActive()) {                                            \
+      BarrierCost += 3; /* range-scan setup; per-slot checks amortize */       \
+      for (size_t I = 0; I != N; ++I) {                                        \
+        ObjRef Pre = loadRefAcquire(DstP + I);                                 \
+        if (Pre != NullRef) {                                                  \
+          BarrierCost += 6;                                                    \
+          Ctx.logPreValue(Pre);                                                \
+        }                                                                      \
+      }                                                                        \
+    }                                                                          \
+  } while (0)
+
+#define RANGE_BARRIER_ALWAYSLOG()                                              \
+  do {                                                                         \
+    BarrierCost += 3;                                                          \
+    for (size_t I = 0; I != N; ++I) {                                          \
+      ObjRef Pre = loadRefAcquire(DstP + I);                                   \
+      if (Pre != NullRef) {                                                    \
+        BarrierCost += 6;                                                      \
+        if (Satb)                                                              \
+          Ctx.logPreValue(Pre);                                                \
+      }                                                                        \
+    }                                                                          \
+  } while (0)
+
+// Range elisions are only ever justified by the Section 3 null-range
+// proof: every covered slot must still be pre-null.
+#ifndef SATB_NO_JUSTIFICATION_CHECK
+#define RANGE_BARRIER_ELIDED()                                                 \
+  do {                                                                         \
+    ++SS.Elided;                                                               \
+    if (!AllPreNull)                                                           \
+      ++SS.Violations;                                                         \
+  } while (0)
+#else
+#define RANGE_BARRIER_ELIDED() ++SS.Elided
+#endif
+
+// One young test of the base and at most one value scan / card dirty for
+// the whole range. ANYYOUNG is the variant-specific scan expression: the
+// fill tests its single value, the copy word-scans the source range
+// (Heap::anyYoung) — both read strictly before any slot is written.
+#define RANGE_GEN_REMSET(ANYYOUNG)                                             \
+  do {                                                                         \
+    BarrierCost += 2; /* young-test the base once */                           \
+    if (!H.isYoung(Arr)) {                                                     \
+      BarrierCost += 2; /* one word-at-a-time null+young value scan */         \
+      if (ANYYOUNG) {                                                          \
+        BarrierCost += 2; /* shift + dirty the card, once */                   \
+        ++SS.RemSetDirtied;                                                    \
+        if (Gen)                                                               \
+          Gen->recordOldToYoung(Arr);                                          \
+      }                                                                        \
+    } else {                                                                   \
+      ++SS.YoungSeen;                                                          \
+    }                                                                          \
+  } while (0)
+
+#define FILL_ANYYOUNG (N != 0 && Val != NullRef && H.isYoung(Val))
+#define COPY_ANYYOUNG (H.anyYoung(SrcP, N))
+
+// Speculative-tier bulk components: the per-slot SPEC_* logic with the
+// range guards — the mark guard is "whole destination range pre-null"
+// (the prologue's AllPreNull), the rem guard is the base's young test. A
+// failing guard replays the conservative *range* barrier inline, then
+// the handler completes the bulk store and deopts, exactly like the
+// per-slot stores.
+#define SPEC_RANGE_MARK_COMPONENT()                                            \
+  do {                                                                         \
+    uint16_t Flags = IP->C;                                                    \
+    if (Flags & kSpecMarkNull) {                                               \
+      BarrierCost += 1; /* the all-null range guard */                         \
+      if (AllPreNull && !forcedDeopt()) {                                      \
+        ++SS.SpecElided;                                                       \
+      } else {                                                                 \
+        Genuine |= !AllPreNull;                                                \
+        if (Flags & kSpecAlwaysLog)                                            \
+          RANGE_BARRIER_ALWAYSLOG();                                           \
+        else                                                                   \
+          RANGE_BARRIER_SATB();                                                \
+        Deopt = true;                                                          \
+      }                                                                        \
+    } else if (Flags & kSpecMarkStaticElided) {                                \
+      RANGE_BARRIER_ELIDED();                                                  \
+    } else if (Flags & kSpecMarkKept) {                                        \
+      if (Flags & kSpecAlwaysLog)                                              \
+        RANGE_BARRIER_ALWAYSLOG();                                             \
+      else                                                                     \
+        RANGE_BARRIER_SATB();                                                  \
+    }                                                                          \
+  } while (0)
+
+#define SPEC_RANGE_REM_COMPONENT(ANYYOUNG)                                     \
+  do {                                                                         \
+    uint16_t Flags = IP->C;                                                    \
+    if (Flags & kSpecRemYoung) {                                               \
+      BarrierCost += 1; /* the young guard */                                  \
+      bool Young = H.isYoung(Arr);                                             \
+      if (Young && !forcedDeopt()) {                                           \
+        ++SS.SpecElided;                                                       \
+      } else {                                                                 \
+        Genuine |= !Young;                                                     \
+        RANGE_GEN_REMSET(ANYYOUNG);                                            \
+        Deopt = true;                                                          \
+      }                                                                        \
+    } else if (Flags & kSpecRemStaticElided) {                                 \
+      BARRIER_GEN_YOUNG(Arr);                                                  \
+    } else if (Flags & kSpecRemKept) {                                         \
+      RANGE_GEN_REMSET(ANYYOUNG);                                              \
+    }                                                                          \
+  } while (0)
+
 // --- Superinstruction plumbing ---------------------------------------------
 //
 // A fused handler runs with one fuel unit already paid (the DISPATCH that
@@ -846,6 +1027,154 @@ DispatchTop:
       BARRIER_ALWAYSLOG();
     }
     storeRefRelease(SlotP, Val.Ref);
+    NEXT();
+  }
+
+  // --- Bulk stores -----------------------------------------------------------
+  // Barrier first, then the slot movement: pre-values and source
+  // originals are all read before any slot is written (self-copies may
+  // overlap). The barrier prologue is paid once per range — the
+  // _RangeBarrier / _RangeYoung / _RangeElided specializations of
+  // DESIGN.md map onto the Satb/AlwaysLog/Card/Gen, GenYoung, and
+  // Elided/GenElided variants respectively.
+
+  CASE(ArrayFill_Elided) {
+    ARRAYFILL_PROLOGUE();
+    RANGE_BARRIER_ELIDED();
+    storeRefRangeFill(DstP, N, Val);
+    NEXT();
+  }
+  CASE(ArrayFill_NoBarrier) {
+    ARRAYFILL_PROLOGUE();
+    storeRefRangeFill(DstP, N, Val);
+    NEXT();
+  }
+  CASE(ArrayFill_Satb) {
+    ARRAYFILL_PROLOGUE();
+    RANGE_BARRIER_SATB();
+    storeRefRangeFill(DstP, N, Val);
+    NEXT();
+  }
+  CASE(ArrayFill_AlwaysLog) {
+    ARRAYFILL_PROLOGUE();
+    RANGE_BARRIER_ALWAYSLOG();
+    storeRefRangeFill(DstP, N, Val);
+    NEXT();
+  }
+  CASE(ArrayFill_Card) {
+    ARRAYFILL_PROLOGUE();
+    // Cards are per-object here: one dirty covers the whole range.
+    BarrierCost += 2;
+    if (Inc)
+      Inc->recordWrite(Arr);
+    storeRefRangeFill(DstP, N, Val);
+    NEXT();
+  }
+  CASE(ArrayFill_Gen) {
+    ARRAYFILL_PROLOGUE();
+    RANGE_BARRIER_SATB();
+    RANGE_GEN_REMSET(FILL_ANYYOUNG);
+    storeRefRangeFill(DstP, N, Val);
+    NEXT();
+  }
+  CASE(ArrayFill_GenPreNull) {
+    ARRAYFILL_PROLOGUE();
+    RANGE_BARRIER_ELIDED();
+    RANGE_GEN_REMSET(FILL_ANYYOUNG);
+    storeRefRangeFill(DstP, N, Val);
+    NEXT();
+  }
+  CASE(ArrayFill_GenYoung) {
+    ARRAYFILL_PROLOGUE();
+    RANGE_BARRIER_SATB();
+    BARRIER_GEN_YOUNG(Arr);
+    storeRefRangeFill(DstP, N, Val);
+    NEXT();
+  }
+  CASE(ArrayFill_GenElided) {
+    ARRAYFILL_PROLOGUE();
+    RANGE_BARRIER_ELIDED();
+    BARRIER_GEN_YOUNG(Arr);
+    storeRefRangeFill(DstP, N, Val);
+    NEXT();
+  }
+  CASE(ArrayFill_Spec) {
+    ARRAYFILL_PROLOGUE();
+    bool Deopt = false, Genuine = false;
+    SPEC_RANGE_MARK_COMPONENT();
+    SPEC_RANGE_REM_COMPONENT(FILL_ANYYOUNG);
+    storeRefRangeFill(DstP, N, Val);
+    if (Deopt)
+      SPEC_DEOPT(1);
+    NEXT();
+  }
+  CASE(ArrayCopy_Elided) {
+    ARRAYCOPY_PROLOGUE();
+    RANGE_BARRIER_ELIDED();
+    storeRefRangeCopy(DstP, SrcP, N);
+    NEXT();
+  }
+  CASE(ArrayCopy_NoBarrier) {
+    ARRAYCOPY_PROLOGUE();
+    storeRefRangeCopy(DstP, SrcP, N);
+    NEXT();
+  }
+  CASE(ArrayCopy_Satb) {
+    ARRAYCOPY_PROLOGUE();
+    RANGE_BARRIER_SATB();
+    storeRefRangeCopy(DstP, SrcP, N);
+    NEXT();
+  }
+  CASE(ArrayCopy_AlwaysLog) {
+    ARRAYCOPY_PROLOGUE();
+    RANGE_BARRIER_ALWAYSLOG();
+    storeRefRangeCopy(DstP, SrcP, N);
+    NEXT();
+  }
+  CASE(ArrayCopy_Card) {
+    ARRAYCOPY_PROLOGUE();
+    BarrierCost += 2;
+    if (Inc)
+      Inc->recordWrite(Arr);
+    storeRefRangeCopy(DstP, SrcP, N);
+    NEXT();
+  }
+  CASE(ArrayCopy_Gen) {
+    ARRAYCOPY_PROLOGUE();
+    RANGE_BARRIER_SATB();
+    RANGE_GEN_REMSET(COPY_ANYYOUNG);
+    storeRefRangeCopy(DstP, SrcP, N);
+    NEXT();
+  }
+  CASE(ArrayCopy_GenPreNull) {
+    ARRAYCOPY_PROLOGUE();
+    RANGE_BARRIER_ELIDED();
+    RANGE_GEN_REMSET(COPY_ANYYOUNG);
+    storeRefRangeCopy(DstP, SrcP, N);
+    NEXT();
+  }
+  CASE(ArrayCopy_GenYoung) {
+    ARRAYCOPY_PROLOGUE();
+    RANGE_BARRIER_SATB();
+    BARRIER_GEN_YOUNG(Arr);
+    storeRefRangeCopy(DstP, SrcP, N);
+    NEXT();
+  }
+  CASE(ArrayCopy_GenElided) {
+    ARRAYCOPY_PROLOGUE();
+    RANGE_BARRIER_ELIDED();
+    BARRIER_GEN_YOUNG(Arr);
+    storeRefRangeCopy(DstP, SrcP, N);
+    NEXT();
+  }
+  CASE(ArrayCopy_Spec) {
+    ARRAYCOPY_PROLOGUE();
+    bool Deopt = false, Genuine = false;
+    SPEC_RANGE_MARK_COMPONENT();
+    SPEC_RANGE_REM_COMPONENT(COPY_ANYYOUNG);
+    storeRefRangeCopy(DstP, SrcP, N);
+    if (Deopt)
+      SPEC_DEOPT(1);
     NEXT();
   }
   CASE(Invoke) {

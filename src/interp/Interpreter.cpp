@@ -3,6 +3,7 @@
 #include "interp/Interpreter.h"
 
 #include <algorithm>
+#include <cstring>
 
 using namespace satb;
 
@@ -231,6 +232,103 @@ void Interpreter::refStoreBarrier(const Frame &F, uint32_t PC, ObjRef Base,
   }
 }
 
+void Interpreter::rangeStoreBarrier(const Frame &F, uint32_t PC, ObjRef Base,
+                                    const ObjRef *Pre, size_t N,
+                                    const ObjRef *NewVals, size_t NewStride) {
+  const CompiledMethod &CM = *F.CM;
+  SiteStats &SS = Stats.site(CM.Id, PC);
+  ++SS.Execs;
+  bool AllPreNull = true;
+  for (size_t I = 0; I != N; ++I)
+    if (Pre[I] != NullRef) {
+      AllPreNull = false;
+      break;
+    }
+  // PreNull counts executions whose whole destination range was pre-null:
+  // the range analogue of the per-slot counter, and the profile the
+  // speculative tier promotes on.
+  if (AllPreNull)
+    ++SS.PreNull;
+
+  const bool IsGen = CP.Options.Barrier == BarrierMode::Generational;
+
+  if (SS.ElideDecision) {
+    ++SS.Elided;
+#ifndef SATB_NO_JUSTIFICATION_CHECK
+    // Range elisions are only ever justified by the Section 3 null-range
+    // proof: every covered slot must still be pre-null.
+    if (!AllPreNull)
+      ++SS.Violations;
+#endif
+    if (!IsGen)
+      return;
+  } else {
+    bool Kept = PC < CM.BarrierKept.size() && CM.BarrierKept[PC];
+    if (!Kept && !IsGen)
+      return; // BarrierMode::None
+    if (Kept)
+      switch (CP.Options.Barrier) {
+      case BarrierMode::None:
+        break;
+      case BarrierMode::Satb:
+      case BarrierMode::Generational:
+        BarrierCost += 2; // one marking-active check for the whole range
+        if (Satb && Satb->isActive()) {
+          BarrierCost += 3; // range-scan setup; per-slot checks amortize
+          for (size_t I = 0; I != N; ++I)
+            if (Pre[I] != NullRef) {
+              BarrierCost += 6;
+              Satb->logPreValue(Pre[I]);
+            }
+        }
+        break;
+      case BarrierMode::SatbAlwaysLog:
+        BarrierCost += 3;
+        for (size_t I = 0; I != N; ++I)
+          if (Pre[I] != NullRef) {
+            BarrierCost += 6;
+            if (Satb)
+              Satb->logPreValue(Pre[I]);
+          }
+        break;
+      case BarrierMode::CardMarking:
+        // Cards are per-object here: one dirty covers the whole range.
+        BarrierCost += 2;
+        if (Inc && Base != NullRef)
+          Inc->recordWrite(Base);
+        break;
+      }
+  }
+
+  if (IsGen && Base != NullRef) {
+    if (SS.YoungDecision) {
+      ++SS.RemSetElided;
+#ifndef SATB_NO_JUSTIFICATION_CHECK
+      if (H.nurseryEnabled() && !H.isYoung(Base))
+        ++SS.RemSetViolations;
+#endif
+    } else {
+      BarrierCost += 2; // young-test the base once
+      if (!H.isYoung(Base)) {
+        BarrierCost += 2; // one word-at-a-time null+young scan of the values
+        bool AnyYoung = false;
+        for (size_t I = 0; I != N && !AnyYoung; ++I) {
+          ObjRef V = NewVals[I * NewStride];
+          AnyYoung = V != NullRef && H.isYoung(V);
+        }
+        if (AnyYoung) {
+          BarrierCost += 2; // shift + dirty the card, once
+          ++SS.RemSetDirtied;
+          if (Gen)
+            Gen->recordOldToYoung(Base);
+        }
+      } else {
+        ++SS.YoungSeen;
+      }
+    }
+  }
+}
+
 bool Interpreter::stepOne() {
   Frame &F = Frames.back();
   const std::vector<Instruction> &Code = F.CM->Body.Instructions;
@@ -438,6 +536,60 @@ bool Interpreter::stepOne() {
     } else {
       O.ints()[static_cast<size_t>(Idx)] = Val.Int;
     }
+    return true;
+  }
+  case Opcode::ArrayFill: {
+    int64_t Cnt = Pop().Int;
+    int64_t Start = Pop().Int;
+    ObjRef Val = Pop().Ref;
+    ObjRef Arr = Pop().Ref;
+    if (Arr == NullRef) {
+      setTrap(TrapKind::NullPointer);
+      return false;
+    }
+    HeapObject &O = H.object(Arr);
+    if (O.Kind != ObjectKind::RefArray) {
+      setTrap(TrapKind::BadFieldAccess);
+      return false;
+    }
+    if (Cnt < 0 || Start < 0 || Start + Cnt > O.arrayLength()) {
+      setTrap(TrapKind::OutOfBounds);
+      return false;
+    }
+    ObjRef *Slots = O.refs() + static_cast<size_t>(Start);
+    rangeStoreBarrier(F, PC, Arr, Slots, static_cast<size_t>(Cnt), &Val, 0);
+    for (int64_t I = 0; I != Cnt; ++I)
+      Slots[I] = Val;
+    return true;
+  }
+  case Opcode::ArrayCopy: {
+    int64_t Cnt = Pop().Int;
+    int64_t DstPos = Pop().Int;
+    ObjRef Dst = Pop().Ref;
+    int64_t SrcPos = Pop().Int;
+    ObjRef Src = Pop().Ref;
+    if (Src == NullRef || Dst == NullRef) {
+      setTrap(TrapKind::NullPointer);
+      return false;
+    }
+    HeapObject &SrcO = H.object(Src);
+    HeapObject &DstO = H.object(Dst);
+    if (SrcO.Kind != ObjectKind::RefArray ||
+        DstO.Kind != ObjectKind::RefArray) {
+      setTrap(TrapKind::BadFieldAccess);
+      return false;
+    }
+    if (Cnt < 0 || SrcPos < 0 || SrcPos + Cnt > SrcO.arrayLength() ||
+        DstPos < 0 || DstPos + Cnt > DstO.arrayLength()) {
+      setTrap(TrapKind::OutOfBounds);
+      return false;
+    }
+    const ObjRef *From = SrcO.refs() + static_cast<size_t>(SrcPos);
+    ObjRef *To = DstO.refs() + static_cast<size_t>(DstPos);
+    // Barrier first: pre-values and source originals must be read before
+    // any slot is written (self-copies may overlap).
+    rangeStoreBarrier(F, PC, Dst, To, static_cast<size_t>(Cnt), From, 1);
+    std::memmove(To, From, static_cast<size_t>(Cnt) * sizeof(ObjRef));
     return true;
   }
   case Opcode::ArrayLength: {

@@ -141,6 +141,17 @@ private:
   void refStoreBarrier(const Frame &F, uint32_t PC, ObjRef Base, ObjRef Pre,
                        ObjRef New);
 
+  /// Range-barrier counterpart for the bulk-store bytecodes: one execution
+  /// is one site event covering \p N destination slots. \p Pre points at
+  /// the destination slots (read before any store), \p NewVals at the
+  /// stored values with stride \p NewStride (0 = one fill value repeated,
+  /// 1 = a source range). Mode checks, the remembered-set young tests and
+  /// card dirtying are paid once per range; only SATB pre-value logging
+  /// stays per non-null slot (the log itself is per-value).
+  void rangeStoreBarrier(const Frame &F, uint32_t PC, ObjRef Base,
+                         const ObjRef *Pre, size_t N, const ObjRef *NewVals,
+                         size_t NewStride);
+
   const Program &P;
   const CompiledProgram &CP;
   Heap &H;

@@ -70,6 +70,10 @@ uint32_t CodeSizeModel::instrCost(const Instruction &I) {
     return 5; // log the dropped element + read the tracing state
   case Opcode::RearrangeExit:
     return 3; // re-read the state + conditional retrace enqueue
+  case Opcode::ArrayFill:
+  case Opcode::ArrayCopy:
+    return 8; // null/kind/range checks + loop setup; the per-slot moves
+              // are data movement a compiled memmove amortizes away
   }
   return 1;
 }

@@ -115,7 +115,27 @@ namespace satb {
   X(PutStaticRef_Gen)                                                          \
   X(PutFieldRef_Spec)                                                          \
   X(PutStaticRef_Spec)                                                         \
-  X(AAStore_Spec)
+  X(AAStore_Spec)                                                              \
+  X(ArrayFill_Elided)                                                          \
+  X(ArrayFill_NoBarrier)                                                       \
+  X(ArrayFill_Satb)                                                            \
+  X(ArrayFill_AlwaysLog)                                                       \
+  X(ArrayFill_Card)                                                            \
+  X(ArrayFill_Gen)                                                             \
+  X(ArrayFill_GenPreNull)                                                      \
+  X(ArrayFill_GenYoung)                                                        \
+  X(ArrayFill_GenElided)                                                       \
+  X(ArrayFill_Spec)                                                            \
+  X(ArrayCopy_Elided)                                                          \
+  X(ArrayCopy_NoBarrier)                                                       \
+  X(ArrayCopy_Satb)                                                            \
+  X(ArrayCopy_AlwaysLog)                                                       \
+  X(ArrayCopy_Card)                                                            \
+  X(ArrayCopy_Gen)                                                             \
+  X(ArrayCopy_GenPreNull)                                                      \
+  X(ArrayCopy_GenYoung)                                                        \
+  X(ArrayCopy_GenElided)                                                       \
+  X(ArrayCopy_Spec)
 
 /// Fused superinstructions (translation-time peephole, DESIGN.md
 /// "Superinstructions"). A fused op replaces the *opcode of the first

@@ -336,6 +336,42 @@ FastOp selectAAStore(StoreVariant V) {
   return FastOp::AAStore_NoBarrier;
 }
 
+/// Bulk-store selection. The variants map onto the range-barrier naming:
+/// Satb/AlwaysLog/Card/Gen are the _RangeBarrier family (one prologue for
+/// the whole range), GenYoung is _RangeYoung, Elided/GenElided are
+/// _RangeElided. Bulk sites never carry the rearrangement protocol.
+FastOp selectBulk(StoreVariant V, bool IsFill) {
+  switch (V) {
+  case StoreVariant::Elided:
+    return IsFill ? FastOp::ArrayFill_Elided : FastOp::ArrayCopy_Elided;
+  case StoreVariant::NoBarrier:
+    return IsFill ? FastOp::ArrayFill_NoBarrier
+                  : FastOp::ArrayCopy_NoBarrier;
+  case StoreVariant::Satb:
+    return IsFill ? FastOp::ArrayFill_Satb : FastOp::ArrayCopy_Satb;
+  case StoreVariant::AlwaysLog:
+    return IsFill ? FastOp::ArrayFill_AlwaysLog
+                  : FastOp::ArrayCopy_AlwaysLog;
+  case StoreVariant::Card:
+    return IsFill ? FastOp::ArrayFill_Card : FastOp::ArrayCopy_Card;
+  case StoreVariant::Gen:
+    return IsFill ? FastOp::ArrayFill_Gen : FastOp::ArrayCopy_Gen;
+  case StoreVariant::GenPreNull:
+    return IsFill ? FastOp::ArrayFill_GenPreNull
+                  : FastOp::ArrayCopy_GenPreNull;
+  case StoreVariant::GenYoung:
+    return IsFill ? FastOp::ArrayFill_GenYoung : FastOp::ArrayCopy_GenYoung;
+  case StoreVariant::GenElided:
+    return IsFill ? FastOp::ArrayFill_GenElided
+                  : FastOp::ArrayCopy_GenElided;
+  case StoreVariant::RearrSatb:
+  case StoreVariant::RearrAlwaysLog:
+    break;
+  }
+  assert(false && "rearrangement protocol never marks bulk stores");
+  return IsFill ? FastOp::ArrayFill_NoBarrier : FastOp::ArrayCopy_NoBarrier;
+}
+
 /// Per-component view of the *static* tier's verdict at a barrier site,
 /// shared by the speculative lowering below and the promotion policy's
 /// candidate scan (siteComponentsKept). Statics have no remembered-set
@@ -467,6 +503,10 @@ int stackDelta(const CompiledProgram &CP, const Instruction &Ins) {
   case Opcode::AAStore:
   case Opcode::IAStore:
     return -3;
+  case Opcode::ArrayFill:
+    return -4;
+  case Opcode::ArrayCopy:
+    return -5;
   case Opcode::Invoke: {
     const Method &Callee = CP.method(static_cast<MethodId>(Ins.A)).Body;
     return -static_cast<int>(Callee.numArgs()) +
@@ -740,6 +780,22 @@ FastMethod translateMethodImpl(const Program &P, const CompiledProgram &CP,
         FI.C = SF;
       } else {
         Set(selectAAStore(storeVariant(CP, CM, PC, Opts.Tier)));
+      }
+      FI.Site = Offsets[M] + PC;
+      break;
+    }
+    case Opcode::ArrayFill:
+    case Opcode::ArrayCopy: {
+      const bool IsFill = Ins.Op == Opcode::ArrayFill;
+      uint16_t SF = Opts.Tier == TranslationTier::Speculative && Opts.Spec
+                        ? specSiteFlags(CP, CM, PC, *Opts.Spec,
+                                        /*IsStaticStore=*/false)
+                        : 0;
+      if (SF) {
+        Set(IsFill ? FastOp::ArrayFill_Spec : FastOp::ArrayCopy_Spec);
+        FI.C = SF;
+      } else {
+        Set(selectBulk(storeVariant(CP, CM, PC, Opts.Tier), IsFill));
       }
       FI.Site = Offsets[M] + PC;
       break;

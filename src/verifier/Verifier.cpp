@@ -213,6 +213,21 @@ bool MethodVerifier::step(VState &S, uint32_t I) {
         !popKind(S, JType::Ref, I, "array ref"))
       return false;
     return true;
+  case Opcode::ArrayFill:
+    if (!popKind(S, JType::Int, I, "fill count") ||
+        !popKind(S, JType::Int, I, "fill start") ||
+        !popKind(S, JType::Ref, I, "fill value") ||
+        !popKind(S, JType::Ref, I, "array ref"))
+      return false;
+    return true;
+  case Opcode::ArrayCopy:
+    if (!popKind(S, JType::Int, I, "copy count") ||
+        !popKind(S, JType::Int, I, "copy dst pos") ||
+        !popKind(S, JType::Ref, I, "copy dst array") ||
+        !popKind(S, JType::Int, I, "copy src pos") ||
+        !popKind(S, JType::Ref, I, "copy src array"))
+      return false;
+    return true;
   case Opcode::ArrayLength:
     if (!popKind(S, JType::Ref, I, "arraylength"))
       return false;

@@ -116,7 +116,7 @@ private:
   }
 
   void emitAction(MethodBuilder &B, Local T) {
-    switch (pick(11)) {
+    switch (pick(13)) {
     case 0: { // fresh allocation
       int R = pick(NumRefLocals);
       B.newInstance(Cls[classOf(R)]).astore(Refs[R]);
@@ -204,6 +204,34 @@ private:
           .ifne(Skip);
       emitAction(B, T);
       B.bind(Skip);
+      return;
+    }
+    case 11: { // bulk fill; sometimes a fresh array's in-order prefix
+      int A = pick(NumArrLocals);
+      bool Fresh = pick(2);
+      if (Fresh) // prefix of a fresh array: the Section 3 null-range
+                 // proof covers it, so eliding modes see it pre-null
+        B.iconst(ArrLen).newRefArray().astore(Arrs[A]);
+      B.aload(Arrs[A]);
+      if (pick(5) == 0)
+        B.aconstNull();
+      else
+        B.aload(Refs[pick(3) * 2 % NumRefLocals]);
+      uint32_t Start = Fresh ? 0 : pick(ArrLen);
+      B.iconst(static_cast<int32_t>(Start));
+      B.iconst(static_cast<int32_t>(pick(ArrLen - Start + 1))); // may be 0
+      B.arrayfill();
+      return;
+    }
+    case 12: { // bulk copy; biased towards overlapping self-copies
+      int S = pick(NumArrLocals);
+      int D = pick(2) ? S : pick(NumArrLocals);
+      uint32_t Cnt = pick(ArrLen + 1); // zero-length edges included
+      uint32_t SrcPos = pick(ArrLen - Cnt + 1);
+      uint32_t DstPos = pick(ArrLen - Cnt + 1);
+      B.aload(Arrs[S]).iconst(static_cast<int32_t>(SrcPos));
+      B.aload(Arrs[D]).iconst(static_cast<int32_t>(DstPos));
+      B.iconst(static_cast<int32_t>(Cnt)).arraycopy();
       return;
     }
     }

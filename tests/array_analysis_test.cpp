@@ -301,6 +301,248 @@ TEST(ArrayAnalysis, MergedArraysNeedBothRanges) {
   runChecked(F.P, F.P.findMethod("f"), {1});
 }
 
+// --- Bulk stores (ArrayFill / ArrayCopy): the Section 3 null-range proof
+// --- lifted from single indices to whole destination ranges.
+
+TEST(ArrayBulkAnalysis, FreshArrayFullFillElides) {
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  Local Arr = B.newLocal(JType::Ref);
+  B.iconst(4).newRefArray().astore(Arr);
+  B.aload(Arr).aload(Arr).iconst(0).iconst(4).arrayfill();
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  ASSERT_EQ(R.NumArraySites, 1u);
+  EXPECT_EQ(R.NumElidedArray, 1u);
+  EXPECT_EQ(site(R, 0).Reason, ElisionReason::PreNullArrayElement);
+  runChecked(F.P, F.P.findMethod("f"), {});
+}
+
+TEST(ArrayBulkAnalysis, PrefixFillComposesWithPerSlotStores) {
+  // A bulk prefix contracts the range exactly like an in-order scalar
+  // sequence: the next per-slot store at index Count still elides, while
+  // a store back into the filled prefix is kept.
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  Local Arr = B.newLocal(JType::Ref);
+  B.iconst(4).newRefArray().astore(Arr);
+  B.aload(Arr).aconstNull().iconst(0).iconst(2).arrayfill(); // elided
+  B.aload(Arr).iconst(2).aload(Arr).aastore();               // elided
+  B.aload(Arr).iconst(0).aload(Arr).aastore();               // kept
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_TRUE(site(R, 0).Elide);
+  EXPECT_TRUE(site(R, 1).Elide);
+  EXPECT_FALSE(site(R, 2).Elide);
+  runChecked(F.P, F.P.findMethod("f"), {});
+}
+
+TEST(ArrayBulkAnalysis, InteriorFillElidesButKillsRange) {
+  // An interior range of a fresh array is still provably pre-null (the
+  // bounds check discharges the top, lo is 0), but a non-in-order bulk
+  // store loses the range — Section 3.6's contract rule, range form — so
+  // everything after degrades to kept.
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  Local Arr = B.newLocal(JType::Ref);
+  B.iconst(4).newRefArray().astore(Arr);
+  B.aload(Arr).aconstNull().iconst(1).iconst(2).arrayfill(); // elided
+  B.aload(Arr).iconst(0).aload(Arr).aastore(); // dynamically pre-null,
+                                               // statically kept
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_TRUE(site(R, 0).Elide);
+  EXPECT_FALSE(site(R, 1).Elide);
+  runChecked(F.P, F.P.findMethod("f"), {});
+}
+
+TEST(ArrayBulkAnalysis, HighEndFillContractsDownward) {
+  // Bulk store ending at the range's high end: [0..3] minus [2..4) leaves
+  // [0..1], and in-order scalar stores keep consuming from the top.
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  Local Arr = B.newLocal(JType::Ref);
+  B.iconst(4).newRefArray().astore(Arr);
+  B.aload(Arr).aconstNull().iconst(2).iconst(2).arrayfill(); // elided
+  B.aload(Arr).iconst(1).aload(Arr).aastore();               // elided
+  B.aload(Arr).iconst(0).aload(Arr).aastore();               // elided
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_EQ(R.NumElidedArray, 3u);
+  runChecked(F.P, F.P.findMethod("f"), {});
+}
+
+TEST(ArrayBulkAnalysis, ZeroLengthFillPreservesRange) {
+  // A zero-count fill writes nothing: it elides (vacuously pre-null) and
+  // contracts the range by zero, so the follow-up store still elides.
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  Local Arr = B.newLocal(JType::Ref);
+  B.iconst(2).newRefArray().astore(Arr);
+  B.aload(Arr).aload(Arr).iconst(0).iconst(0).arrayfill();
+  B.aload(Arr).iconst(0).aload(Arr).aastore();
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_TRUE(site(R, 0).Elide);
+  EXPECT_TRUE(site(R, 1).Elide);
+  runChecked(F.P, F.P.findMethod("f"), {});
+}
+
+TEST(ArrayBulkAnalysis, EscapedArrayBulkKept) {
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  Local Arr = B.newLocal(JType::Ref);
+  B.iconst(4).newRefArray().astore(Arr);
+  B.aload(Arr).putstatic(F.Sink); // escape before the fill
+  B.aload(Arr).aconstNull().iconst(0).iconst(4).arrayfill();
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_EQ(R.NumElidedArray, 0u);
+}
+
+TEST(ArrayBulkAnalysis, CopyIntoFreshDstElides) {
+  // ArrayCopy judges only the destination range; the source is read-only,
+  // so its own null range survives the copy.
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  Local Src = B.newLocal(JType::Ref), Dst = B.newLocal(JType::Ref);
+  B.iconst(4).newRefArray().astore(Src);
+  B.iconst(4).newRefArray().astore(Dst);
+  B.aload(Src).iconst(0).aload(Dst).iconst(0).iconst(2).arraycopy(); // elided
+  B.aload(Dst).iconst(2).aload(Dst).aastore(); // elided (dst contracted)
+  B.aload(Src).iconst(0).aload(Dst).aastore(); // elided (src untouched)
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_TRUE(site(R, 0).Elide);
+  EXPECT_EQ(site(R, 0).Reason, ElisionReason::PreNullArrayElement);
+  EXPECT_TRUE(site(R, 1).Elide);
+  EXPECT_TRUE(site(R, 2).Elide);
+  runChecked(F.P, F.P.findMethod("f"), {});
+}
+
+TEST(ArrayBulkAnalysis, TopCountKeepsBulkBarrier) {
+  // A count from a call result is Top: no range judgment is possible.
+  PairFixture F;
+  MethodBuilder Len(F.P, "len", {}, JType::Int);
+  Len.iconst(2).ireturn();
+  MethodId LenId = Len.finish();
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  Local Arr = B.newLocal(JType::Ref);
+  B.iconst(4).newRefArray().astore(Arr);
+  B.aload(Arr).aconstNull().iconst(0).invoke(LenId).arrayfill();
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_EQ(R.NumElidedArray, 0u);
+  runChecked(F.P, F.P.findMethod("f"), {});
+}
+
+TEST(ArrayBulkAnalysis, ContractAblationKillsFollowUpElision) {
+  // With contraction disabled, the fill itself still elides (judged
+  // against the pre-store range) but the range dies, keeping the
+  // follow-up store.
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  Local Arr = B.newLocal(JType::Ref);
+  B.iconst(4).newRefArray().astore(Arr);
+  B.aload(Arr).aconstNull().iconst(0).iconst(2).arrayfill();
+  B.aload(Arr).iconst(2).aload(Arr).aastore();
+  B.ret();
+  B.finish();
+  AnalysisConfig Cfg;
+  Cfg.EnableContract = false;
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"), Cfg);
+  EXPECT_TRUE(site(R, 0).Elide);
+  EXPECT_FALSE(site(R, 1).Elide);
+}
+
+TEST(ArrayBulkAnalysis, FieldOnlyModeKeepsBulkSites) {
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  Local Arr = B.newLocal(JType::Ref);
+  B.iconst(4).newRefArray().astore(Arr);
+  B.aload(Arr).aconstNull().iconst(0).iconst(4).arrayfill();
+  B.ret();
+  B.finish();
+  AnalysisConfig Cfg;
+  Cfg.Mode = AnalysisMode::FieldOnly;
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"), Cfg);
+  EXPECT_EQ(R.NumArraySites, 1u);
+  EXPECT_EQ(R.NumElidedArray, 0u);
+}
+
+TEST(ArrayBulkAnalysis, CallKillsYoungButNotNullRange) {
+  // A constructor call between allocation and fill is a potential GC
+  // point: the generational young-target proof dies, but null-ness is
+  // GC-invariant, so the range — and the marking elision — survive.
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  Local Arr = B.newLocal(JType::Ref), Q = B.newLocal(JType::Ref);
+  B.iconst(4).newRefArray().astore(Arr);
+  B.aload(Arr).aload(Arr).iconst(0).iconst(2).arrayfill(); // young + elided
+  B.newInstance(F.Pair).dup().aconstNull().invoke(F.PairCtor).astore(Q);
+  B.aload(Arr).aload(Q).iconst(2).iconst(2).arrayfill(); // old + elided
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_TRUE(site(R, 0).Elide);
+  EXPECT_TRUE(site(R, 0).TargetYoung);
+  EXPECT_TRUE(site(R, 1).Elide);
+  EXPECT_FALSE(site(R, 1).TargetYoung);
+  runChecked(F.P, F.P.findMethod("f"), {});
+}
+
+TEST(ArrayBulkAnalysis, LoopBackEdgeKillsYoungForBulkStores) {
+  // A fill reached through a loop back-edge targets an array that may
+  // have survived a poll-triggered minor GC: TargetYoung must be false
+  // for the pre-loop array but true for one allocated in the iteration.
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {JType::Int}, std::nullopt);
+  Local Old = B.newLocal(JType::Ref), Fresh = B.newLocal(JType::Ref);
+  Local T = B.newLocal(JType::Int);
+  Label Head = B.newLabel(), Done = B.newLabel();
+  B.iconst(4).newRefArray().astore(Old);
+  B.iconst(0).istore(T);
+  B.bind(Head).iload(T).iload(B.arg(0)).ifICmpGe(Done);
+  B.aload(Old).aconstNull().iconst(0).iconst(4).arrayfill(); // not young
+  B.iconst(4).newRefArray().astore(Fresh);
+  B.aload(Fresh).aconstNull().iconst(0).iconst(4).arrayfill(); // young
+  B.iinc(T, 1).jump(Head);
+  B.bind(Done).ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_FALSE(site(R, 0).TargetYoung);
+  EXPECT_TRUE(site(R, 1).TargetYoung);
+  EXPECT_TRUE(site(R, 1).Elide);
+  runChecked(F.P, F.P.findMethod("f"), {8});
+}
+
+TEST(ArrayBulkAnalysis, SelfCopyAfterFillKept) {
+  // A self-copy of a still-fresh array elides like any interior bulk
+  // store; but once a full fill has consumed the range, the overlapping
+  // self-copy must keep its barrier — the destination slots now hold the
+  // values the fill wrote.
+  PairFixture F;
+  MethodBuilder B(F.P, "f", {}, std::nullopt);
+  Local Arr = B.newLocal(JType::Ref);
+  B.iconst(4).newRefArray().astore(Arr);
+  B.aload(Arr).aload(Arr).iconst(0).iconst(4).arrayfill(); // elided
+  B.aload(Arr).iconst(0).aload(Arr).iconst(1).iconst(2).arraycopy(); // kept
+  B.ret();
+  B.finish();
+  AnalysisResult R = analyze(F.P, F.P.findMethod("f"));
+  EXPECT_TRUE(site(R, 0).Elide);
+  EXPECT_FALSE(site(R, 1).Elide);
+  runChecked(F.P, F.P.findMethod("f"), {});
+}
+
 TEST(ArrayAnalysis, ExpandStillElidesWhenInlined) {
   // Vector.add grows through expand(); compiled with inlining, the copy
   // loop's stores may lose the symbolic length. Whatever the decision, it
